@@ -1,0 +1,165 @@
+// Benchmarks regenerating every exhibit of the paper's evaluation, plus
+// per-configuration throughput benchmarks that report both the simulated
+// result (sim-tps — the paper's metric) and the simulator's own wall-clock
+// speed (ns/op per transaction).
+//
+// Run all exhibits:
+//
+//	go test -bench=Benchmark -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/mem"
+	"repro/internal/replication"
+	"repro/internal/tpc"
+	"repro/internal/vista"
+)
+
+// benchCfg keeps exhibit regeneration around a second per iteration.
+var benchCfg = harness.RunConfig{
+	DBSize:     16 << 20,
+	DCTxns:     3000,
+	OETxns:     1200,
+	Warmup:     300,
+	Seed:       1,
+	SMPStreams: []int{1, 2, 4},
+	SMPDBSize:  10 << 20,
+}
+
+// benchExhibit regenerates one paper table or figure per iteration.
+func benchExhibit(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	for b.Loop() {
+		harness.ResetCache()
+		if _, err := e.Run(benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per exhibit in the paper's evaluation section.
+
+func BenchmarkFig1Bandwidth(b *testing.B)         { benchExhibit(b, "fig1") }
+func BenchmarkTable1Straightforward(b *testing.B) { benchExhibit(b, "table1") }
+func BenchmarkTable2TrafficV0(b *testing.B)       { benchExhibit(b, "table2") }
+func BenchmarkTable3Standalone(b *testing.B)      { benchExhibit(b, "table3") }
+func BenchmarkTable4Passive(b *testing.B)         { benchExhibit(b, "table4") }
+func BenchmarkTable5PassiveTraffic(b *testing.B)  { benchExhibit(b, "table5") }
+func BenchmarkTable6PassiveVsActive(b *testing.B) { benchExhibit(b, "table6") }
+func BenchmarkTable7ActiveTraffic(b *testing.B)   { benchExhibit(b, "table7") }
+func BenchmarkTable8DatabaseSizes(b *testing.B)   { benchExhibit(b, "table8") }
+func BenchmarkFig2SMPDebitCredit(b *testing.B)    { benchExhibit(b, "fig2") }
+func BenchmarkFig3SMPOrderEntry(b *testing.B)     { benchExhibit(b, "fig3") }
+
+// BenchmarkThroughput drives b.N transactions through each configuration
+// of the paper's comparison, reporting the simulated throughput alongside
+// the harness's wall-clock cost per transaction.
+func BenchmarkThroughput(b *testing.B) {
+	const db = 16 << 20
+	cells := []struct {
+		name string
+		ver  vista.Version
+		mode replication.Mode
+		dc   bool
+	}{
+		{"DebitCredit/V0-Standalone", vista.V0Vista, replication.Standalone, true},
+		{"DebitCredit/V3-Standalone", vista.V3InlineLog, replication.Standalone, true},
+		{"DebitCredit/V0-Passive", vista.V0Vista, replication.Passive, true},
+		{"DebitCredit/V1-Passive", vista.V1MirrorCopy, replication.Passive, true},
+		{"DebitCredit/V2-Passive", vista.V2MirrorDiff, replication.Passive, true},
+		{"DebitCredit/V3-Passive", vista.V3InlineLog, replication.Passive, true},
+		{"DebitCredit/V3-Active", vista.V3InlineLog, replication.Active, true},
+		{"OrderEntry/V3-Passive", vista.V3InlineLog, replication.Passive, false},
+		{"OrderEntry/V3-Active", vista.V3InlineLog, replication.Active, false},
+	}
+	for _, c := range cells {
+		b.Run(c.name, func(b *testing.B) {
+			pair, err := replication.NewPair(replication.Config{
+				Mode:  c.mode,
+				Store: vista.Config{Version: c.ver, DBSize: db},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var w tpc.Workload
+			if c.dc {
+				w, err = tpc.NewDebitCredit(db)
+			} else {
+				w, err = tpc.NewOrderEntry(db)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res, err := tpc.Run(pair, w, tpc.Options{
+				Txns:      int64(b.N),
+				Warmup:    200,
+				Seed:      1,
+				WarmCache: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.TPS, "sim-tps")
+			b.ReportMetric(res.PerTxn(res.NetTotal()), "SAN-B/txn")
+			b.ReportMetric(res.PerTxn(res.Net[mem.CatMeta]), "meta-B/txn")
+		})
+	}
+}
+
+// BenchmarkFailover measures takeover cost: crash after a burst of
+// transactions and time the backup's recovery, reporting the simulated
+// takeover latency.
+func BenchmarkFailover(b *testing.B) {
+	const db = 8 << 20
+	modes := []struct {
+		name string
+		ver  vista.Version
+		mode replication.Mode
+	}{
+		{"Passive-V0", vista.V0Vista, replication.Passive},
+		{"Passive-V1-FullCopy", vista.V1MirrorCopy, replication.Passive},
+		{"Passive-V3", vista.V3InlineLog, replication.Passive},
+		{"Active", vista.V3InlineLog, replication.Active},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			// The whole crash/failover cycle is timed (pausing the
+			// timer around the setup would make Go's auto-scaling pay
+			// thousands of unmeasured setups); the simulated takeover
+			// latency is the reported metric of interest.
+			var takeoverUS float64
+			for b.Loop() {
+				pair, err := replication.NewPair(replication.Config{
+					Mode:  m.mode,
+					Store: vista.Config{Version: m.ver, DBSize: db},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w, err := tpc.NewDebitCredit(db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := tpc.Run(pair, w, tpc.Options{Txns: 200, Seed: 1}); err != nil {
+					b.Fatal(err)
+				}
+				if err := pair.Crash(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pair.Failover(); err != nil {
+					b.Fatal(err)
+				}
+				takeoverUS = pair.Backup().Clock.Now().Duration().Seconds() * 1e6
+			}
+			b.ReportMetric(takeoverUS, "sim-us-takeover")
+		})
+	}
+}

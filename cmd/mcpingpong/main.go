@@ -1,0 +1,32 @@
+// Command mcpingpong probes the modelled Memory Channel the way the paper
+// probes the real one (Section 2.3): a latency ping for a 4-byte write and
+// a strided-store bandwidth sweep producing 4/8/16/32-byte packets —
+// regenerating Figure 1.
+//
+//	mcpingpong [-bytes N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/memchannel"
+	"repro/internal/sim"
+)
+
+func main() {
+	total := flag.Int("bytes", 1<<20, "payload bytes per bandwidth sample")
+	flag.Parse()
+
+	params := sim.Default()
+	fmt.Printf("uncontended 4-byte write latency: %.2f us (paper: 3.3 us)\n",
+		memchannel.MeasureLatency(&params).Nanoseconds()/1000)
+	fmt.Println("\npacket size   effective bandwidth")
+	for _, pt := range memchannel.MeasureBandwidth(&params, *total, []int{4, 8, 16, 32}) {
+		bar := ""
+		for i := 0; i < int(pt.MBPerSec/2); i++ {
+			bar += "#"
+		}
+		fmt.Printf("%8dB     %6.1f MB/s  %s\n", pt.PacketBytes, pt.MBPerSec, bar)
+	}
+}

@@ -1,0 +1,97 @@
+// Command replbench regenerates the paper's evaluation exhibits (Tables
+// 1-8, Figures 1-3) on the simulated cluster.
+//
+// Usage:
+//
+//	replbench [-experiment all|ablations|everything|fig1|table1|...|fig3]
+//	          [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
+//	          [-full] [-csv]
+//
+// Examples:
+//
+//	replbench -experiment table4        # passive-backup version comparison
+//	replbench -experiment all -full     # paper-scale transaction counts
+//	replbench -experiment ablations     # beyond-the-paper sensitivity studies
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		experiment = flag.String("experiment", "all", "exhibit to regenerate (all, fig1, table1..table8, fig2, fig3)")
+		dbMB       = flag.Int("db", 50, "database size in MB")
+		dcTxns     = flag.Int64("dc-txns", 0, "Debit-Credit transactions per cell (0 = default)")
+		oeTxns     = flag.Int64("oe-txns", 0, "Order-Entry transactions per cell (0 = default)")
+		warmup     = flag.Int64("warmup", 0, "warmup transactions per cell (0 = default)")
+		seed       = flag.Uint64("seed", 1, "workload seed")
+		full       = flag.Bool("full", false, "paper-scale transaction counts (slow)")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		quiet      = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultRunConfig()
+	cfg.DBSize = *dbMB << 20
+	cfg.Seed = *seed
+	if *full {
+		cfg.DCTxns, cfg.OETxns, cfg.Warmup = 1_000_000, 200_000, 20_000
+	}
+	if *dcTxns > 0 {
+		cfg.DCTxns = *dcTxns
+	}
+	if *oeTxns > 0 {
+		cfg.OETxns = *oeTxns
+	}
+	if *warmup > 0 {
+		cfg.Warmup = *warmup
+	}
+
+	var exps []harness.Experiment
+	switch *experiment {
+	case "all":
+		exps = harness.All()
+	case "ablations":
+		exps = harness.Ablations()
+	case "everything":
+		exps = append(harness.All(), harness.Ablations()...)
+	default:
+		for _, id := range strings.Split(*experiment, ",") {
+			e, ok := harness.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "replbench: unknown experiment %q\n", id)
+				return 2
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "replbench: %s: %v\n", e.ID, err)
+			return 1
+		}
+		if *csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Println(table.Render())
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s took %.1fs wall]\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+	return 0
+}

@@ -1,0 +1,94 @@
+// Command vistaprimary is the sending half of the two-process replication
+// demo: a Vista-style transaction server whose doubled writes stream to a
+// vistabackup process over TCP while it runs the Debit-Credit workload.
+//
+//	vistaprimary -backup localhost:7070 -db 16 -version 3 -txns 100000
+//
+// Kill it with SIGKILL mid-run to exercise the backup's failure detector
+// and takeover; -crash-after N makes it kill itself after N transactions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/tpc"
+	"repro/internal/transport"
+	"repro/internal/vista"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		backupAddr = flag.String("backup", "localhost:7070", "backup address")
+		dbMB       = flag.Int("db", 16, "database size in MB (must match the backup)")
+		version    = flag.Int("version", 3, "engine version 0..3 (must match the backup)")
+		txns       = flag.Int64("txns", 100_000, "transactions to run")
+		crashAfter = flag.Int64("crash-after", 0, "self-SIGKILL after this many transactions (0 = run to completion)")
+	)
+	flag.Parse()
+
+	cfg := vista.Config{Version: vista.Version(*version), DBSize: *dbMB << 20}
+	sink, err := transport.DialPrimary(*backupAddr, cfg, 5*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vistaprimary: %v\n", err)
+		return 1
+	}
+	store, err := transport.NewPrimaryStore(cfg, sink)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vistaprimary: %v\n", err)
+		return 1
+	}
+
+	w, err := tpc.NewDebitCredit(cfg.DBSize)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vistaprimary: %v\n", err)
+		return 1
+	}
+	if err := w.Populate(store.Load); err != nil {
+		fmt.Fprintf(os.Stderr, "vistaprimary: populate: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("vistaprimary: %s, %d MB, replicating to %s\n", cfg.Version, *dbMB, *backupAddr)
+	r := tpc.NewRand(1)
+	start := time.Now()
+	for i := int64(0); i < *txns; i++ {
+		tx, err := store.Begin()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "vistaprimary: begin: %v\n", err)
+			return 1
+		}
+		if err := w.Txn(r, tx, i); err != nil {
+			fmt.Fprintf(os.Stderr, "vistaprimary: txn %d: %v\n", i, err)
+			return 1
+		}
+		if err := tx.Commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "vistaprimary: commit %d: %v\n", i, err)
+			return 1
+		}
+		if *crashAfter > 0 && i+1 == *crashAfter {
+			// A real crash: no goodbye, no flush, just gone — exactly
+			// what SIGKILL from a shell would do.
+			fmt.Printf("vistaprimary: simulating hard crash after %d transactions\n", i+1)
+			os.Exit(137)
+		}
+		if err := sink.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "vistaprimary: replication stream failed: %v\n", err)
+			return 1
+		}
+	}
+	wall := time.Since(start)
+	fmt.Printf("vistaprimary: %d transactions committed in %.2fs wall (%.0f wall-TPS)\n",
+		*txns, wall.Seconds(), float64(*txns)/wall.Seconds())
+	if err := sink.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "vistaprimary: close: %v\n", err)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,40 @@
+package mem
+
+// Category classifies replicated bytes the way the paper's Tables 2, 5 and
+// 7 break down "data communicated to the backup".
+type Category uint8
+
+// Byte categories.
+const (
+	// CatModified is data actually modified by transactions (in-place
+	// database writes, and for the active backup the redo payload).
+	CatModified Category = iota + 1
+	// CatUndo is undo information: the before-image copies in the undo
+	// log (V0/V3) or the mirror updates (V1/V2), which play the same
+	// recovery role.
+	CatUndo
+	// CatMeta is everything else: allocator and list bookkeeping, log
+	// record headers, array indices, commit flags and log pointers.
+	CatMeta
+
+	// NumCategories is the number of valid categories plus one, for
+	// dense per-category arrays indexed by Category.
+	NumCategories = 4
+)
+
+// String returns the table label used in the paper.
+func (c Category) String() string {
+	switch c {
+	case CatModified:
+		return "Modified data"
+	case CatUndo:
+		return "Undo data"
+	case CatMeta:
+		return "Meta-data"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether c is one of the defined categories.
+func (c Category) Valid() bool { return c >= CatModified && c <= CatMeta }

@@ -1,0 +1,161 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseBacking(t *testing.T) {
+	d := NewDense(64)
+	d.WriteAt(10, []byte("hello"))
+	got := make([]byte, 5)
+	d.ReadAt(10, got)
+	if string(got) != "hello" {
+		t.Fatalf("got %q", got)
+	}
+	if d.Size() != 64 {
+		t.Fatalf("Size() = %d", d.Size())
+	}
+}
+
+func TestSparseBackingHolesReadZero(t *testing.T) {
+	s := NewSparse(3 * sparsePage)
+	got := make([]byte, 16)
+	s.ReadAt(sparsePage+100, got)
+	if !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatalf("hole read non-zero: %v", got)
+	}
+	if s.Pages() != 0 {
+		t.Fatalf("reading allocated %d pages", s.Pages())
+	}
+}
+
+func TestSparseBackingPageCrossing(t *testing.T) {
+	s := NewSparse(4 * sparsePage)
+	data := make([]byte, sparsePage+100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	off := sparsePage - 50 // crosses two boundaries
+	s.WriteAt(off, data)
+	got := make([]byte, len(data))
+	s.ReadAt(off, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("page-crossing write/read mismatch")
+	}
+	if s.Pages() != 3 {
+		t.Fatalf("allocated %d pages, want 3", s.Pages())
+	}
+}
+
+func TestSparseBackingOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range sparse write did not panic")
+		}
+	}()
+	NewSparse(100).WriteAt(90, make([]byte, 20))
+}
+
+// TestSparseMatchesDense: a sparse backing behaves exactly like a dense
+// one under arbitrary write/read sequences.
+func TestSparseMatchesDense(t *testing.T) {
+	const size = 4 * sparsePage
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 99))
+		sp := NewSparse(size)
+		de := NewDense(size)
+		for i := 0; i < 200; i++ {
+			off := r.IntN(size - 64)
+			n := 1 + r.IntN(64)
+			buf := make([]byte, n)
+			for j := range buf {
+				buf[j] = byte(r.Uint32())
+			}
+			sp.WriteAt(off, buf)
+			de.WriteAt(off, buf)
+		}
+		a := make([]byte, size)
+		b := make([]byte, size)
+		sp.ReadAt(0, a)
+		de.ReadAt(0, b)
+		return bytes.Equal(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceAddAndLookup(t *testing.T) {
+	s := NewSpace()
+	r1 := NewRegion("a", 0x1000, NewDense(256))
+	r2 := NewRegion("b", 0x2000, NewDense(256))
+	for _, r := range []*Region{r1, r2} {
+		if err := s.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Lookup(0x1010, 16); got != r1 {
+		t.Fatalf("Lookup landed on %v", got)
+	}
+	if got := s.Lookup(0x10F0, 32); got != nil {
+		t.Fatal("Lookup matched a range overrunning the region")
+	}
+	if got := s.Lookup(0x1500, 1); got != nil {
+		t.Fatal("Lookup matched a gap")
+	}
+	if s.ByName("b") != r2 || s.ByName("zzz") != nil {
+		t.Fatal("ByName wrong")
+	}
+	if got := len(s.Regions()); got != 2 {
+		t.Fatalf("Regions() = %d entries", got)
+	}
+}
+
+func TestSpaceRejectsOverlapAndDuplicates(t *testing.T) {
+	s := NewSpace()
+	if err := s.Add(NewRegion("a", 0x1000, NewDense(256))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(NewRegion("a", 0x9000, NewDense(16))); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := s.Add(NewRegion("c", 0x10FF, NewDense(16))); err == nil {
+		t.Fatal("overlapping region accepted")
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := NewRegion("r", 100, NewDense(50))
+	cases := []struct {
+		addr uint64
+		n    int
+		want bool
+	}{
+		{100, 50, true},
+		{100, 51, false},
+		{99, 1, false},
+		{149, 1, true},
+		{150, 1, false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.addr, c.n); got != c.want {
+			t.Errorf("Contains(%d,%d) = %v", c.addr, c.n, got)
+		}
+	}
+	if r.End() != 150 {
+		t.Fatalf("End() = %d", r.End())
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatModified.String() != "Modified data" || CatUndo.String() != "Undo data" ||
+		CatMeta.String() != "Meta-data" || Category(99).String() != "unknown" {
+		t.Fatal("category names changed")
+	}
+	if !CatUndo.Valid() || Category(0).Valid() || Category(9).Valid() {
+		t.Fatal("Valid() wrong")
+	}
+}

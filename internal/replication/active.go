@@ -1,0 +1,312 @@
+package replication
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/sim"
+	"repro/internal/vista"
+)
+
+// Active-backup region names (appended after the vista layout).
+const (
+	regionRedoRing = "redoring"
+	regionRingCtl  = "ringctl"
+)
+
+// wrapMarker in a record's nWrites field means "skip to the start of the
+// ring": the producer leaves it when a record would straddle the wrap.
+const wrapMarker = 0xFFFFFFFF
+
+// redoChannel is the active backup's shipping lane (paper Section 6.1): a
+// circular buffer in Memory Channel space written by the primary and
+// consumed by the backup CPU, with a producer pointer flowing forward and
+// (modelled by sim.Ring) a consumer pointer flowing back.
+//
+// Record layout (the record as a whole is 8-byte aligned; entries are
+// packed tight so typical records fill whole 32-byte blocks — redo-log
+// compactness is what lets the active scheme ride the SAN's full-packet
+// bandwidth in the paper's Section 8 experiment):
+//
+//	[+0] nWrites (u32)   wrapMarker = skip-to-ring-start marker
+//	[+4] size    (u32)   total record bytes including header and pad
+//	then per write: off (u32), len (u16), data (unpadded)
+type redoChannel struct {
+	pair *Pair
+	ring *sim.Ring
+
+	ringIO *mem.Region // primary-side I/O-space window
+	ctlIO  *mem.Region // primary-side pointer window
+	bRing  *mem.Region // backup-side buffer
+	bCtl   *mem.Region // backup-side pointer
+
+	ringSize  int
+	prodTotal uint64 // bytes produced (monotonic, includes pads)
+
+	appliedTotal uint64 // backup applier progress (monotonic bytes)
+	appliedTxns  uint64
+
+	cur activeTx
+}
+
+func (p *Pair) buildActive(specs []vista.RegionSpec) error {
+	p.link = p.cfg.Link
+	if p.link == nil {
+		p.link = sim.NewLink(p.params)
+	}
+	p.primary = NewNode("primary", p.params, p.link)
+	p.backup = NewNode("backup", p.params, nil)
+
+	next, err := vista.PlaceRegions(p.primary.Space, specs, regionBase)
+	if err != nil {
+		return err
+	}
+	// The active scheme replicates nothing but the redo log: the engine's
+	// own structures stay local.
+	for _, r := range p.primary.Space.Regions() {
+		r.WriteThrough = false
+	}
+	if _, err := vista.PlaceRegions(p.backup.Space, p.backupSpecs(specs), regionBase); err != nil {
+		return err
+	}
+
+	ringSize := p.params.RingBytes
+	ch := &redoChannel{pair: p, ringSize: ringSize, ring: sim.NewRing(p.params, ringSize)}
+
+	ringBase := next
+	ctlBase := ringBase + uint64(ringSize) + regionBase
+	ch.ringIO = mem.NewRegion(regionRedoRing, ringBase, mem.NewDense(ringSize))
+	ch.ringIO.IOOnly = true
+	ch.ctlIO = mem.NewRegion(regionRingCtl, ctlBase, mem.NewDense(64))
+	ch.ctlIO.IOOnly = true
+	ch.bRing = mem.NewRegion(regionRedoRing, ringBase, mem.NewDense(ringSize))
+	ch.bCtl = mem.NewRegion(regionRingCtl, ctlBase, mem.NewDense(64))
+
+	for _, r := range []*mem.Region{ch.ringIO, ch.ctlIO} {
+		if err := p.primary.Space.Add(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range []*mem.Region{ch.bRing, ch.bCtl} {
+		if err := p.backup.Space.Add(r); err != nil {
+			return err
+		}
+	}
+	if err := p.primary.MapIdentity(p.backup.Space); err != nil {
+		return err
+	}
+	p.redo = ch
+	return nil
+}
+
+// activeTx wraps a vista transaction with redo capture. One transaction is
+// open at a time, so the channel reuses a single value and its buffers.
+type activeTx struct {
+	ch   *redoChannel
+	tx   *vista.Tx
+	offs []int
+	lens []int
+	data []byte // concatenated payloads, entries indexed via offs/lens
+}
+
+var _ TxHandle = (*activeTx)(nil)
+
+func (c *redoChannel) wrap(tx *vista.Tx) *activeTx {
+	c.cur = activeTx{ch: c, tx: tx, offs: c.cur.offs[:0], lens: c.cur.lens[:0], data: c.cur.data[:0]}
+	return &c.cur
+}
+
+// SetRange delegates to the local engine (undo capture).
+func (t *activeTx) SetRange(off, n int) error { return t.tx.SetRange(off, n) }
+
+// Read delegates to the local engine.
+func (t *activeTx) Read(off int, dst []byte) error { return t.tx.Read(off, dst) }
+
+// maxEntryLen is the largest single redo entry (16-bit length field);
+// larger application writes are staged as several entries.
+const maxEntryLen = 1<<16 - 1
+
+// Write performs the local in-place write and stages the bytes for the
+// commit-time redo record.
+func (t *activeTx) Write(off int, src []byte) error {
+	if err := t.tx.Write(off, src); err != nil {
+		return err
+	}
+	for len(src) > 0 {
+		n := len(src)
+		if n > maxEntryLen {
+			n = maxEntryLen
+		}
+		t.offs = append(t.offs, off)
+		t.lens = append(t.lens, n)
+		t.data = append(t.data, src[:n]...)
+		off += n
+		src = src[n:]
+	}
+	return nil
+}
+
+// Abort rolls back locally; nothing was shipped yet.
+func (t *activeTx) Abort() error {
+	t.offs, t.lens, t.data = t.offs[:0], t.lens[:0], t.data[:0]
+	return t.tx.Abort()
+}
+
+// Commit writes the redo record through the SAN, commits locally (the
+// 1-safe commit point), then advances the producer pointer so the backup
+// may consume the record.
+func (t *activeTx) Commit() error {
+	c := t.ch
+	size := 8
+	for _, n := range t.lens {
+		size += 6 + n
+	}
+	size = pad8(size)
+
+	// Reserve ring space, accounting for a wrap pad.
+	off := int(c.prodTotal % uint64(c.ringSize))
+	pad := 0
+	if off+size > c.ringSize {
+		pad = c.ringSize - off
+	}
+	c.pair.primary.MC.RingReserve(c.ring, size+pad)
+
+	acc := c.pair.primary.Acc
+	if pad > 0 {
+		c.writeU32(acc, off, wrapMarker)
+		c.writeU32(acc, off+4, uint32(pad))
+		c.prodTotal += uint64(pad)
+		off = 0
+	}
+
+	// The record: header, then tightly packed per-write entries. All
+	// stores are sequential and gapless, so the stream coalesces into
+	// full 32-byte packets (a Debit-Credit record is exactly two).
+	c.writeU32(acc, off, uint32(len(t.lens)))
+	c.writeU32(acc, off+4, uint32(size))
+	pos := off + 8
+	cursor := 0
+	var hdr [6]byte
+	for i, n := range t.lens {
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(t.offs[i]))
+		binary.LittleEndian.PutUint16(hdr[4:6], uint16(n))
+		acc.Write(c.ringIO.Base+uint64(pos), hdr[:], mem.CatMeta)
+		acc.Write(c.ringIO.Base+uint64(pos+6), t.data[cursor:cursor+n], mem.CatModified)
+		pos += 6 + n
+		cursor += n
+	}
+	if tail := off + size - pos; tail > 0 {
+		// Zero the alignment pad so the stream stays gapless.
+		var zeros [8]byte
+		acc.Write(c.ringIO.Base+uint64(pos), zeros[:tail], mem.CatMeta)
+	}
+	c.prodTotal += uint64(size)
+
+	// Entries must be on the backup before the pointer names them
+	// (paper Section 6.1: "only after all of the entries are written,
+	// does it advance the end of buffer pointer").
+	acc.Fence()
+
+	// Local commit: the 1-safe commit point. A crash between here and
+	// the pointer's delivery loses this transaction on the backup.
+	if err := t.tx.Commit(); err != nil {
+		return err
+	}
+
+	// The pointer store needs no fence of its own: its buffer was
+	// (re)allocated after the fence above, and both natural fills and
+	// evictions leave the node in allocation order, so by the time any
+	// pointer value reaches the backup, every record it names has been
+	// drained by an earlier commit's fence. Letting it linger coalesces
+	// consecutive transactions' pointer updates into one packet.
+	acc.WriteU64(c.ctlIO.Base, c.prodTotal, mem.CatMeta)
+	c.pair.primary.MC.RingPublish(c.ring, size+pad)
+
+	if c.pair.cfg.TwoSafe {
+		// 2-safe: hold the commit until the backup has applied the
+		// record and its acknowledgement has crossed back — the pointer
+		// must actually leave the write buffers first.
+		acc.Fence()
+		ackAt := c.ring.ConsumerDone() + sim.Time(c.pair.params.LinkLatency)
+		c.pair.primary.Clock.AdvanceTo(ackAt)
+	}
+
+	// Apply everything whose pointer actually reached the backup (under
+	// injected mid-stream crashes this may lag prodTotal).
+	c.applyDelivered()
+	t.offs, t.lens, t.data = t.offs[:0], t.lens[:0], t.data[:0]
+	return nil
+}
+
+func (c *redoChannel) writeU32(acc *mem.Accessor, off int, v uint32) {
+	acc.WriteU32(c.ringIO.Base+uint64(off), v, mem.CatMeta)
+}
+
+// deliveredPtr reads the producer pointer as the backup sees it.
+func (c *redoChannel) deliveredPtr() uint64 {
+	var b [8]byte
+	c.bCtl.ReadRaw(0, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// applyDelivered advances the backup's database copy through every
+// complete record the SAN has delivered. State-only: the backup CPU's
+// timing is modelled by sim.Ring.
+func (c *redoChannel) applyDelivered() {
+	target := c.deliveredPtr()
+	for c.appliedTotal < target {
+		off := int(c.appliedTotal % uint64(c.ringSize))
+		var hdr [8]byte
+		c.bRing.ReadRaw(off, hdr[:])
+		nWrites := binary.LittleEndian.Uint32(hdr[0:4])
+		size := binary.LittleEndian.Uint32(hdr[4:8])
+		if nWrites == wrapMarker {
+			c.appliedTotal += uint64(size)
+			continue
+		}
+		c.applyRecord(off, int(nWrites), int(size))
+		c.appliedTotal += uint64(size)
+		c.appliedTxns++
+	}
+}
+
+// applyRecord replays one record's writes into the backup database.
+func (c *redoChannel) applyRecord(off, nWrites, size int) {
+	db := c.pair.backup.Space.ByName(vista.RegionDB)
+	pos := off + 8
+	var buf []byte
+	for w := 0; w < nWrites; w++ {
+		var ent [6]byte
+		c.bRing.ReadRaw(pos, ent[:])
+		dbOff := int(binary.LittleEndian.Uint32(ent[0:4]))
+		n := int(binary.LittleEndian.Uint16(ent[4:6]))
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		c.bRing.ReadRaw(pos+6, buf)
+		db.WriteRaw(dbOff, buf)
+		pos += 6 + n
+	}
+	if pos-off > size {
+		panic(fmt.Sprintf("replication: redo record at %d overruns its size %d", off, size))
+	}
+}
+
+// takeover finishes consumption and opens a fresh store over the backup's
+// database (paper: the active backup's copy is transaction-consistent, so
+// recovery is trivial — apply complete records, discard the partial tail).
+func (c *redoChannel) takeover(p *Pair) (*vista.Store, error) {
+	c.applyDelivered()
+
+	// Seed the committed-transaction counter before the engine opens.
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], c.appliedTxns)
+	ctl := p.backup.Space.ByName(vista.RegionControl)
+	ctl.WriteRaw(0, b[:])
+
+	return vista.Open(p.cfg.Store, p.backup.Acc, p.backup.Rio)
+}
+
+func pad8(n int) int { return (n + 7) &^ 7 }

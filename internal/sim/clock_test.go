@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("fresh clock at %v, want 0", c.Now())
+	}
+	c.Advance(5 * Microsecond)
+	if got := c.Now(); got != Time(5*Microsecond) {
+		t.Fatalf("Now() = %v, want 5us", got)
+	}
+	c.Advance(-time1000())
+	if got := c.Now(); got != Time(5*Microsecond) {
+		t.Fatalf("negative Advance moved the clock to %v", got)
+	}
+}
+
+func time1000() Dur { return 1000 * Nanosecond }
+
+func TestClockAdvanceTo(t *testing.T) {
+	var c Clock
+	c.Advance(10 * Nanosecond)
+	c.AdvanceTo(Time(5 * Nanosecond)) // in the past: no-op
+	if got := c.Now(); got != Time(10*Nanosecond) {
+		t.Fatalf("AdvanceTo past moved clock to %v", got)
+	}
+	c.AdvanceTo(Time(25 * Nanosecond))
+	if got := c.Now(); got != Time(25*Nanosecond) {
+		t.Fatalf("AdvanceTo future: clock at %v, want 25ns", got)
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("Reset did not rewind to zero")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tm := Time(2500 * Millisecond)
+	if got := tm.Seconds(); got != 2.5 {
+		t.Fatalf("Seconds() = %v, want 2.5", got)
+	}
+	if got := tm.Duration(); got != 2500*time.Millisecond {
+		t.Fatalf("Duration() = %v, want 2.5s", got)
+	}
+	if got := Time(1500 * Nanosecond).String(); got != "1.500us" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestDurOf(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Dur
+	}{
+		{1.0, Nanosecond},
+		{0.9, Dur(900)},
+		{3.5, Dur(3500)},
+		{0.0004, 0}, // rounds to zero picoseconds
+	}
+	for _, c := range cases {
+		if got := DurOf(c.ns); got != c.want {
+			t.Errorf("DurOf(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	if got := (1500 * Nanosecond).Nanoseconds(); got != 1500 {
+		t.Fatalf("Nanoseconds() = %v", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Fatalf("Seconds() = %v", got)
+	}
+}

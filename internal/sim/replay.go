@@ -1,0 +1,121 @@
+package sim
+
+import "container/heap"
+
+// ReplayResult reports the outcome of replaying N stream traces against a
+// single shared SAN link.
+type ReplayResult struct {
+	// Finish holds each stream's completion time.
+	Finish []Time
+	// Makespan is the latest completion time.
+	Makespan Time
+	// Txns is the total number of transactions across all streams.
+	Txns int64
+	// Link holds the shared link's counters for the replay.
+	Link LinkStats
+}
+
+// AggregateTPS returns total transactions divided by the makespan.
+func (r *ReplayResult) AggregateTPS() float64 {
+	if r.Makespan <= 0 {
+		return 0
+	}
+	return float64(r.Txns) / r.Makespan.Seconds()
+}
+
+// Replay runs the captured traces concurrently (in simulated time) against
+// one shared link, reproducing the paper's SMP-primary configuration: every
+// stream has its own CPU (compute advances independently) and, for the
+// active backup, its own redo ring and backup applier, while all packets
+// serialize through the single Memory Channel adapter.
+//
+// Streams interact only through the link, so a conservative event-driven
+// merge is exact: the stream with the earliest next packet submission is
+// advanced first, guaranteeing the link sees submissions in time order.
+func Replay(p *Params, traces []*Trace) ReplayResult {
+	link := NewLink(p)
+	res := ReplayResult{Finish: make([]Time, len(traces))}
+
+	h := make(streamHeap, 0, len(traces))
+	for i, tr := range traces {
+		s := &replayStream{id: i, trace: tr, ring: NewRing(p, p.RingBytes)}
+		res.Txns += tr.Txns
+		s.runToNextPacket()
+		if !s.done {
+			h = append(h, s)
+		}
+		res.Finish[i] = s.now // final if the trace had no packets
+	}
+	heap.Init(&h)
+
+	for h.Len() > 0 {
+		s := heap.Pop(&h).(*replayStream)
+		ev := s.trace.Events[s.idx]
+		readyAt, deliveredAt := link.Submit(s.now, ev.Size, ev.Sync)
+		s.now = readyAt
+		s.lastDelivered = deliveredAt
+		s.idx++
+		s.runToNextPacket()
+		if s.done {
+			res.Finish[s.id] = s.now
+			continue
+		}
+		heap.Push(&h, s)
+	}
+
+	for _, t := range res.Finish {
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+	}
+	res.Link = link.Stats()
+	return res
+}
+
+// replayStream is the cursor of one trace during replay.
+type replayStream struct {
+	id            int
+	trace         *Trace
+	idx           int
+	now           Time
+	lastDelivered Time
+	ring          *Ring
+	done          bool
+}
+
+// runToNextPacket consumes local events (compute, ring operations) until
+// the cursor rests on the next EvPacket or the trace ends.
+func (s *replayStream) runToNextPacket() {
+	evs := s.trace.Events
+	for s.idx < len(evs) {
+		ev := &evs[s.idx]
+		switch ev.Kind {
+		case EvCompute:
+			s.now += Time(ev.Dur)
+		case EvReserve:
+			s.now = s.ring.Reserve(s.now, ev.Size)
+		case EvPublish:
+			s.ring.Publish(s.lastDelivered, ev.Size)
+		case EvPacket:
+			return
+		}
+		s.idx++
+	}
+	s.done = true
+}
+
+// streamHeap orders streams by the local time of their pending packet.
+type streamHeap []*replayStream
+
+func (h streamHeap) Len() int            { return len(h) }
+func (h streamHeap) Less(i, j int) bool  { return h[i].now < h[j].now }
+func (h streamHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *streamHeap) Push(x interface{}) { *h = append(*h, x.(*replayStream)) }
+func (h *streamHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}

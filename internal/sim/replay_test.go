@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceComputeMerging(t *testing.T) {
+	var tr Trace
+	tr.AddCompute(10 * Nanosecond)
+	tr.AddCompute(5 * Nanosecond)
+	tr.AddPacket(8, true)
+	tr.AddCompute(0) // ignored
+	tr.AddCompute(3 * Nanosecond)
+	if len(tr.Events) != 3 {
+		t.Fatalf("got %d events, want 3 (merged computes): %+v", len(tr.Events), tr.Events)
+	}
+	if tr.Events[0].Dur != 15*Nanosecond {
+		t.Fatalf("merged compute = %v, want 15ns", tr.Events[0].Dur)
+	}
+	if !tr.Events[1].Sync || tr.Events[1].Size != 8 {
+		t.Fatalf("packet event wrong: %+v", tr.Events[1])
+	}
+}
+
+// seqTime computes the finish time of one trace run alone on a fresh link,
+// as a reference for replay.
+func seqTime(p *Params, tr *Trace) Time {
+	res := Replay(p, []*Trace{tr})
+	return res.Finish[0]
+}
+
+func mkTrace(packets int, size int, gap Dur) *Trace {
+	tr := &Trace{Txns: int64(packets)}
+	for i := 0; i < packets; i++ {
+		tr.AddCompute(gap)
+		tr.AddPacket(size, false)
+	}
+	return tr
+}
+
+func TestReplaySingleStreamMatchesSequential(t *testing.T) {
+	p := testParams()
+	tr := mkTrace(50, 32, 1000*Nanosecond)
+	res := Replay(p, []*Trace{tr})
+	if res.Txns != 50 {
+		t.Fatalf("txns = %d", res.Txns)
+	}
+	// With 1us of compute per 32B packet (0.398us service), the link
+	// never backs up: finish ~= 50 * 1us.
+	want := Time(50 * 1000 * Nanosecond)
+	if res.Finish[0] != want {
+		t.Fatalf("finish = %v, want %v", res.Finish[0], want)
+	}
+}
+
+func TestReplayContentionSaturatesLink(t *testing.T) {
+	p := testParams()
+	// Each stream demands ~0.398us of link per 0.5us of compute: two
+	// streams exceed capacity, so aggregate throughput is link-bound.
+	mk := func() *Trace { return mkTrace(200, 32, 500*Nanosecond) }
+	one := Replay(p, []*Trace{mk()})
+	four := Replay(p, []*Trace{mk(), mk(), mk(), mk()})
+
+	if four.Txns != 4*one.Txns {
+		t.Fatalf("txns %d, want %d", four.Txns, 4*one.Txns)
+	}
+	linkBound := 1.0 / p.PacketTime(32).Seconds() // packets/sec capacity
+	got := four.AggregateTPS()
+	if got > linkBound*1.01 {
+		t.Fatalf("aggregate %.0f exceeds link capacity %.0f", got, linkBound)
+	}
+	if got < linkBound*0.9 {
+		t.Fatalf("aggregate %.0f far below link capacity %.0f: lost concurrency", got, linkBound)
+	}
+}
+
+func TestReplayScalesWhenLinkIdle(t *testing.T) {
+	p := testParams()
+	mk := func() *Trace { return mkTrace(100, 8, 4000*Nanosecond) }
+	one := Replay(p, []*Trace{mk()})
+	four := Replay(p, []*Trace{mk(), mk(), mk(), mk()})
+	if got, want := four.AggregateTPS(), 3.8*one.AggregateTPS(); got < want {
+		t.Fatalf("idle-link replay scaled to %.0f, want >= %.0f (near-linear)", got, want)
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	p := testParams()
+	mk := func(n int) []*Trace {
+		out := make([]*Trace, n)
+		for i := range out {
+			out[i] = mkTrace(50+i, 16, Dur(300+i*13)*Nanosecond)
+		}
+		return out
+	}
+	a := Replay(p, mk(4))
+	b := Replay(p, mk(4))
+	if a.Makespan != b.Makespan || a.Txns != b.Txns {
+		t.Fatalf("replay is not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestReplayWithRingEvents(t *testing.T) {
+	p := testParams()
+	tr := &Trace{Txns: 100}
+	for i := 0; i < 100; i++ {
+		tr.AddCompute(200 * Nanosecond)
+		tr.AddReserve(64)
+		tr.AddPacket(32, false)
+		tr.AddPacket(32, false)
+		tr.AddPublish(64)
+	}
+	res := Replay(p, []*Trace{tr})
+	if res.Finish[0] <= 0 {
+		t.Fatal("ring-event trace did not advance time")
+	}
+	// Sanity: no deadlock with several streams sharing the link.
+	res4 := Replay(p, []*Trace{tr, tr, tr, tr})
+	if res4.Makespan < res.Finish[0] {
+		t.Fatal("contended makespan shorter than solo run")
+	}
+}
+
+func TestReplayEmptyAndComputeOnlyTraces(t *testing.T) {
+	p := testParams()
+	empty := &Trace{}
+	computeOnly := &Trace{}
+	computeOnly.AddCompute(5 * Microsecond)
+	res := Replay(p, []*Trace{empty, computeOnly})
+	if res.Finish[0] != 0 {
+		t.Fatalf("empty trace finished at %v", res.Finish[0])
+	}
+	if res.Finish[1] != Time(5*Microsecond) {
+		t.Fatalf("compute-only trace finished at %v", res.Finish[1])
+	}
+}
+
+// TestReplayMakespanProperty: adding streams never shrinks the makespan,
+// and the link never serves more than its capacity.
+func TestReplayMakespanProperty(t *testing.T) {
+	p := testParams()
+	f := func(seed uint8, streams uint8) bool {
+		n := int(streams)%4 + 1
+		traces := make([]*Trace, n)
+		for i := range traces {
+			traces[i] = mkTrace(20+int(seed)%30, 8+4*(i%3), Dur(100+int(seed))*Nanosecond)
+		}
+		res := Replay(p, traces)
+		// Link can't be over-committed: serialization may lag the CPUs
+		// by at most the posted window after the last stream finishes.
+		slack := Dur(p.PostedDepth+1) * p.PacketTime(p.MaxPacket)
+		if res.Link.Busy > Dur(res.Makespan)+slack {
+			return false
+		}
+		// Every stream finishes no earlier than its uncontended run.
+		for i, tr := range traces {
+			if res.Finish[i] < seqTime(p, tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package sim
+
+import "fmt"
+
+// Ring models the timing behaviour of the active backup's redo-log circular
+// buffer (paper Section 6.1): the primary (producer) reserves space, writes
+// the record through the SAN, and advances its end-of-buffer pointer; the
+// backup CPU (consumer) busy-waits for the pointer, applies the record to
+// its database copy, and writes its own pointer back through the reverse
+// mapping so the producer can reuse the space.
+//
+// State truth for the ring's *contents* lives in the memchannel/replication
+// layers; Ring only answers the timing question "when may the producer
+// reuse these bytes", which is what creates back-pressure when the SAN or
+// the backup CPU cannot keep up.
+type Ring struct {
+	params   *Params
+	capacity int
+
+	reserved int       // bytes reserved by the producer, not yet published
+	pending  []ringSeg // published records not yet known free
+	inFlight int       // bytes in pending
+	consDone Time      // backup CPU finishes its last applied record here
+}
+
+type ringSeg struct {
+	bytes  int
+	freeAt Time
+}
+
+// NewRing returns a ring timing model of the given capacity in bytes.
+func NewRing(p *Params, capacity int) *Ring {
+	return &Ring{params: p, capacity: capacity}
+}
+
+// Reserve blocks the producer until bytes of ring space are available at or
+// after time now, and returns the time at which the producer may proceed.
+func (r *Ring) Reserve(now Time, bytes int) Time {
+	if bytes > r.capacity {
+		panic(fmt.Sprintf("sim: redo record of %d bytes exceeds ring capacity %d", bytes, r.capacity))
+	}
+	r.collect(now)
+	for r.reserved+r.inFlight+bytes > r.capacity {
+		if len(r.pending) == 0 {
+			// Cannot happen given the capacity check above: reserved
+			// space is bounded by one in-flight record.
+			panic("sim: ring reservation deadlock")
+		}
+		seg := r.pending[0]
+		r.pending = r.pending[1:]
+		r.inFlight -= seg.bytes
+		if seg.freeAt > now {
+			now = seg.freeAt
+		}
+	}
+	r.reserved += bytes
+	return now
+}
+
+// Publish marks a reserved record of the given size as fully written
+// through the SAN, with the producer-pointer update delivered to the backup
+// at deliveredAt. The backup applies the record (serially, after its
+// previous work) and releases the space after its consumer-pointer
+// write-back crosses the reverse link.
+func (r *Ring) Publish(deliveredAt Time, bytes int) {
+	if bytes > r.reserved {
+		panic("sim: ring publish without matching reservation")
+	}
+	r.reserved -= bytes
+
+	start := deliveredAt
+	if r.consDone > start {
+		start = r.consDone
+	}
+	apply := r.params.ApplyPerRecord + Dur(bytes)*r.params.ApplyPerByte
+	done := start + Time(apply)
+	r.consDone = done
+
+	freeAt := done + Time(r.params.LinkLatency)
+	r.pending = append(r.pending, ringSeg{bytes: bytes, freeAt: freeAt})
+	r.inFlight += bytes
+}
+
+// ConsumerDone reports when the backup CPU finishes applying everything
+// published so far.
+func (r *Ring) ConsumerDone() Time { return r.consDone }
+
+// collect releases every published segment already freed by time now.
+func (r *Ring) collect(now Time) {
+	i := 0
+	for ; i < len(r.pending) && r.pending[i].freeAt <= now; i++ {
+		r.inFlight -= r.pending[i].bytes
+	}
+	r.pending = r.pending[i:]
+}

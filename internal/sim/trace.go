@@ -1,0 +1,74 @@
+package sim
+
+// EventKind discriminates trace events captured from one transaction
+// stream for later replay against a contended SAN.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// EvCompute is local CPU progress (cache charges, copies, API costs)
+	// between two SAN interactions. Its duration is independent of link
+	// contention, which is what makes capture/replay exact.
+	EvCompute EventKind = iota + 1
+	// EvPacket is the submission of one SAN packet.
+	EvPacket
+	// EvReserve is a producer-side reservation of redo-ring space
+	// (active backup only); it may stall the stream at replay time.
+	EvReserve
+	// EvPublish marks a redo record as published; the record becomes
+	// consumable when the immediately preceding EvPacket (the producer
+	// pointer update) is delivered.
+	EvPublish
+)
+
+// Event is one entry in a captured stream trace.
+type Event struct {
+	Kind EventKind
+	// Dur is the compute duration for EvCompute events.
+	Dur Dur
+	// Size is the payload size in bytes: packet size for EvPacket,
+	// record size for EvReserve/EvPublish.
+	Size int
+	// Sync marks an EvPacket as a synchronous partial-buffer eviction
+	// (see Link.Submit).
+	Sync bool
+}
+
+// Trace is the SAN-interaction skeleton of one transaction stream, captured
+// by running the stream alone and recording its link activity with compute
+// time in between. Replaying N traces against one shared Link reproduces
+// the SMP-primary contention of paper Section 8.
+type Trace struct {
+	Events []Event
+	// Txns is the number of transactions the stream committed, carried
+	// along so replays can report aggregate throughput.
+	Txns int64
+}
+
+// AddCompute appends local compute time, merging with a preceding compute
+// event to keep traces compact.
+func (t *Trace) AddCompute(d Dur) {
+	if d <= 0 {
+		return
+	}
+	if n := len(t.Events); n > 0 && t.Events[n-1].Kind == EvCompute {
+		t.Events[n-1].Dur += d
+		return
+	}
+	t.Events = append(t.Events, Event{Kind: EvCompute, Dur: d})
+}
+
+// AddPacket appends a SAN packet submission of the given payload size.
+func (t *Trace) AddPacket(size int, sync bool) {
+	t.Events = append(t.Events, Event{Kind: EvPacket, Size: size, Sync: sync})
+}
+
+// AddReserve appends a redo-ring reservation.
+func (t *Trace) AddReserve(bytes int) {
+	t.Events = append(t.Events, Event{Kind: EvReserve, Size: bytes})
+}
+
+// AddPublish appends a redo-record publication.
+func (t *Trace) AddPublish(bytes int) {
+	t.Events = append(t.Events, Event{Kind: EvPublish, Size: bytes})
+}

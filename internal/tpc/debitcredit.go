@@ -1,0 +1,152 @@
+package tpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/replication"
+)
+
+// Debit-Credit layout constants. Records are 128 bytes like classic TPC-B
+// implementations pad them; each transaction touches one 16-byte aligned
+// balance window per record plus one 16-byte history entry, so a
+// transaction's undo footprint is 4 x 16 = 64 bytes and its modified data
+// 3 x 4 + 16 = 28 bytes — matching the per-transaction volumes implied by
+// the paper's Tables 2 and 5.
+const (
+	dcRecSize     = 128
+	dcRangeSize   = 16
+	dcHistRecSize = 16
+	dcHistBytes   = 2 << 20 // "a 2 Mbytes circular buffer" (Section 2.4)
+	dcHeaderSize  = 64
+
+	// tellersPerBranch follows TPC-B's 10 tellers per branch.
+	tellersPerBranch = 10
+	// accountsPerBranch follows TPC-B's 100,000 accounts per branch.
+	accountsPerBranch = 100000
+)
+
+// DebitCredit is the TPC-B-variant workload.
+type DebitCredit struct {
+	dbSize int
+
+	nBranches int
+	nTellers  int
+	nAccounts int
+
+	branchesOff int
+	tellersOff  int
+	accountsOff int
+	historyOff  int
+	histCap     int64
+
+	buf [dcHistRecSize]byte
+}
+
+var _ Workload = (*DebitCredit)(nil)
+
+// NewDebitCredit lays the benchmark out over a database of dbSize bytes
+// (the paper's default is 50 MB).
+func NewDebitCredit(dbSize int) (*DebitCredit, error) {
+	avail := dbSize - dcHeaderSize - dcHistBytes
+	records := avail / dcRecSize
+	perBranch := 1 + tellersPerBranch + accountsPerBranch
+	if records < perBranch {
+		// Small databases keep the TPC-B shape with fewer accounts.
+		if records < 1+tellersPerBranch+100 {
+			return nil, fmt.Errorf("tpc: database of %d bytes too small for Debit-Credit", dbSize)
+		}
+		w := &DebitCredit{dbSize: dbSize, nBranches: 1, nTellers: tellersPerBranch,
+			nAccounts: records - 1 - tellersPerBranch}
+		w.place()
+		return w, nil
+	}
+	b := records / perBranch
+	w := &DebitCredit{
+		dbSize:    dbSize,
+		nBranches: b,
+		nTellers:  b * tellersPerBranch,
+		nAccounts: records - b - b*tellersPerBranch,
+	}
+	w.place()
+	return w, nil
+}
+
+func (w *DebitCredit) place() {
+	w.branchesOff = dcHeaderSize
+	w.tellersOff = w.branchesOff + w.nBranches*dcRecSize
+	w.accountsOff = w.tellersOff + w.nTellers*dcRecSize
+	w.historyOff = w.accountsOff + w.nAccounts*dcRecSize
+	w.histCap = int64(dcHistBytes / dcHistRecSize)
+}
+
+// Name implements Workload.
+func (w *DebitCredit) Name() string { return "Debit-Credit" }
+
+// DBSize implements Workload.
+func (w *DebitCredit) DBSize() int { return w.dbSize }
+
+// Branches, Tellers, Accounts report the scaled layout.
+func (w *DebitCredit) Branches() int { return w.nBranches }
+
+// Tellers returns the teller count.
+func (w *DebitCredit) Tellers() int { return w.nTellers }
+
+// Accounts returns the account count.
+func (w *DebitCredit) Accounts() int { return w.nAccounts }
+
+// Populate writes the layout header; balances start at zero.
+func (w *DebitCredit) Populate(load func(off int, data []byte) error) error {
+	hdr := make([]byte, dcHeaderSize)
+	copy(hdr, "DEBITCRD")
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(w.nBranches))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(w.nTellers))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(w.nAccounts))
+	return load(0, hdr)
+}
+
+// Txn implements one Debit-Credit transaction: update a random account's
+// balance, the owning teller's and branch's balances, and append an audit
+// record to the in-memory history ring.
+func (w *DebitCredit) Txn(r *rand.Rand, tx replication.TxHandle, i int64) error {
+	aid := r.IntN(w.nAccounts)
+	tid := r.IntN(w.nTellers)
+	bid := tid / tellersPerBranch
+	delta := int32(r.IntN(1_999_999)) - 999_999
+
+	if err := w.updateBalance(tx, w.accountsOff+aid*dcRecSize, delta); err != nil {
+		return err
+	}
+	if err := w.updateBalance(tx, w.tellersOff+tid*dcRecSize, delta); err != nil {
+		return err
+	}
+	if err := w.updateBalance(tx, w.branchesOff+bid*dcRecSize, delta); err != nil {
+		return err
+	}
+
+	hOff := w.historyOff + int(i%w.histCap)*dcHistRecSize
+	if err := tx.SetRange(hOff, dcHistRecSize); err != nil {
+		return err
+	}
+	h := w.buf[:dcHistRecSize]
+	binary.LittleEndian.PutUint32(h[0:], uint32(aid))
+	binary.LittleEndian.PutUint32(h[4:], uint32(tid))
+	binary.LittleEndian.PutUint32(h[8:], uint32(delta))
+	binary.LittleEndian.PutUint32(h[12:], uint32(i))
+	return tx.Write(hOff, h)
+}
+
+// updateBalance is the read-modify-write at the head of a 128-byte record.
+func (w *DebitCredit) updateBalance(tx replication.TxHandle, off int, delta int32) error {
+	if err := tx.SetRange(off, dcRangeSize); err != nil {
+		return err
+	}
+	var cur [4]byte
+	if err := tx.Read(off, cur[:]); err != nil {
+		return err
+	}
+	bal := int32(binary.LittleEndian.Uint32(cur[:])) + delta
+	binary.LittleEndian.PutUint32(cur[:], uint32(bal))
+	return tx.Write(off, cur[:])
+}

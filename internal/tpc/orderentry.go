@@ -1,0 +1,383 @@
+package tpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/replication"
+)
+
+// Order-Entry layout constants. The workload follows TPC-C's shape —
+// warehouses with 10 districts, customers, a stock table, per-district
+// order rings — restricted to the three database-updating transaction
+// types the paper uses (Section 2.4). set_range extents cover whole
+// records (the conservative declaration a real application makes), which
+// is what gives Order-Entry its large undo-to-modified ratio.
+const (
+	oeHeaderSize = 64
+	oeWHRec      = 256
+	oeDistRec    = 256
+	oeCustRec    = 256
+	oeStockRec   = 64
+	oeOrderHdr   = 32
+	oeLineRec    = 24
+	oeMaxLines   = 12
+	oeOrderSlot  = oeOrderHdr + oeMaxLines*oeLineRec // 320
+	oeHistRec    = 48
+	oeHistBytes  = 1 << 20
+
+	districtsPerWH = 10
+	// perWHFootprint is the full-scale per-warehouse budget used to pick
+	// the warehouse count for a database size.
+	perWHFootprint = 15 << 20
+
+	// Transaction mix: the three TPC-C update types renormalized
+	// (New-Order 45 : Payment 43 : Delivery 4 of the standard mix).
+	mixNewOrder = 49
+	mixPayment  = 47 // Delivery gets the remaining 4%
+)
+
+// District record fields.
+const (
+	distNextOID = 0
+	distYTD     = 4
+)
+
+// Order header fields.
+const (
+	ordOID     = 0
+	ordCID     = 4
+	ordCnt     = 8
+	ordCarrier = 12
+	ordDate    = 16
+)
+
+// Order line fields.
+const (
+	olItem     = 0
+	olQty      = 4
+	olAmount   = 8
+	olDelivery = 16
+)
+
+// OrderEntry is the TPC-C-variant workload.
+type OrderEntry struct {
+	dbSize int
+
+	warehouses int
+	custPerD   int
+	stockPerWH int
+	slotsPerD  int
+
+	whOff    int
+	distOff  int
+	custOff  int
+	stockOff int
+	orderOff int
+	histOff  int
+	histCap  int64
+
+	buf [64]byte
+}
+
+var _ Workload = (*OrderEntry)(nil)
+
+// NewOrderEntry lays the benchmark out over a database of dbSize bytes.
+func NewOrderEntry(dbSize int) (*OrderEntry, error) {
+	avail := dbSize - oeHeaderSize - oeHistBytes
+	if avail < 1<<20 {
+		return nil, fmt.Errorf("tpc: database of %d bytes too small for Order-Entry", dbSize)
+	}
+	w := &OrderEntry{dbSize: dbSize}
+	w.warehouses = dbSize / perWHFootprint
+	if w.warehouses < 1 {
+		w.warehouses = 1
+	}
+	perWH := avail/w.warehouses - oeWHRec - districtsPerWH*oeDistRec
+
+	w.custPerD = clamp(perWH*55/100/oeCustRec/districtsPerWH, 100, 3000)
+	w.stockPerWH = clamp(perWH*38/100/oeStockRec, 1000, 100000)
+	w.slotsPerD = clamp(perWH*7/100/oeOrderSlot/districtsPerWH, 64, 1024)
+
+	w.whOff = oeHeaderSize
+	w.distOff = w.whOff + w.warehouses*oeWHRec
+	w.custOff = w.distOff + w.warehouses*districtsPerWH*oeDistRec
+	w.stockOff = w.custOff + w.warehouses*districtsPerWH*w.custPerD*oeCustRec
+	w.orderOff = w.stockOff + w.warehouses*w.stockPerWH*oeStockRec
+	w.histOff = w.orderOff + w.warehouses*districtsPerWH*w.slotsPerD*oeOrderSlot
+	w.histCap = int64(oeHistBytes / oeHistRec)
+
+	if w.histOff+oeHistBytes > dbSize {
+		return nil, fmt.Errorf("tpc: Order-Entry layout overflows %d-byte database", dbSize)
+	}
+	return w, nil
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Name implements Workload.
+func (w *OrderEntry) Name() string { return "Order-Entry" }
+
+// DBSize implements Workload.
+func (w *OrderEntry) DBSize() int { return w.dbSize }
+
+// Warehouses reports the scaled layout.
+func (w *OrderEntry) Warehouses() int { return w.warehouses }
+
+// Populate writes the layout header; numeric fields start at zero.
+func (w *OrderEntry) Populate(load func(off int, data []byte) error) error {
+	hdr := make([]byte, oeHeaderSize)
+	copy(hdr, "ORDERENT")
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(w.warehouses))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(w.custPerD))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(w.stockPerWH))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(w.slotsPerD))
+	return load(0, hdr)
+}
+
+// Txn implements Workload, dispatching on the paper's transaction mix.
+func (w *OrderEntry) Txn(r *rand.Rand, tx replication.TxHandle, i int64) error {
+	switch p := r.IntN(100); {
+	case p < mixNewOrder:
+		return w.newOrder(r, tx)
+	case p < mixNewOrder+mixPayment:
+		return w.payment(r, tx, i)
+	default:
+		return w.delivery(r, tx)
+	}
+}
+
+// newOrder inserts an order with 3..10 lines: it advances the district's
+// next-order id, fills an order slot, and decrements stock quantities.
+func (w *OrderEntry) newOrder(r *rand.Rand, tx replication.TxHandle) error {
+	wh := r.IntN(w.warehouses)
+	d := r.IntN(districtsPerWH)
+	items := 3 + r.IntN(8)
+
+	// District: read-modify-write next_o_id.
+	dOff := w.districtOff(wh, d)
+	if err := tx.SetRange(dOff, 32); err != nil {
+		return err
+	}
+	var b4 [4]byte
+	if err := tx.Read(dOff+distNextOID, b4[:]); err != nil {
+		return err
+	}
+	oid := binary.LittleEndian.Uint32(b4[:])
+	binary.LittleEndian.PutUint32(b4[:], oid+1)
+	if err := tx.Write(dOff+distNextOID, b4[:]); err != nil {
+		return err
+	}
+
+	// Order slot: header plus one entry per line.
+	cid := r.IntN(w.custPerD)
+	slot := w.orderSlotOff(wh, d, int(oid)%w.slotsPerD)
+	if err := tx.SetRange(slot, oeOrderHdr+items*oeLineRec); err != nil {
+		return err
+	}
+	hdr := w.buf[:20]
+	binary.LittleEndian.PutUint32(hdr[ordOID:], oid)
+	binary.LittleEndian.PutUint32(hdr[ordCID:], uint32(cid))
+	binary.LittleEndian.PutUint32(hdr[ordCnt:], uint32(items))
+	binary.LittleEndian.PutUint32(hdr[ordCarrier:], 0)
+	binary.LittleEndian.PutUint32(hdr[ordDate:], oid^uint32(cid))
+	if err := tx.Write(slot, hdr); err != nil {
+		return err
+	}
+	for l := 0; l < items; l++ {
+		item := r.IntN(w.stockPerWH)
+		qty := 1 + r.IntN(10)
+		amount := uint32(qty) * uint32(1+item%97)
+
+		line := w.buf[:12]
+		binary.LittleEndian.PutUint32(line[olItem:], uint32(item))
+		binary.LittleEndian.PutUint32(line[olQty:], uint32(qty))
+		binary.LittleEndian.PutUint32(line[olAmount:], amount)
+		if err := tx.Write(slot+oeOrderHdr+l*oeLineRec, line); err != nil {
+			return err
+		}
+
+		// Stock: read-modify-write quantity and year-to-date.
+		sOff := w.stockRecOff(wh, item)
+		if err := tx.SetRange(sOff, 16); err != nil {
+			return err
+		}
+		var sb [8]byte
+		if err := tx.Read(sOff, sb[:]); err != nil {
+			return err
+		}
+		sq := binary.LittleEndian.Uint32(sb[0:4])
+		sy := binary.LittleEndian.Uint32(sb[4:8])
+		if sq < uint32(qty) {
+			sq += 91 // TPC-C restock rule
+		}
+		binary.LittleEndian.PutUint32(sb[0:4], sq-uint32(qty))
+		binary.LittleEndian.PutUint32(sb[4:8], sy+uint32(qty))
+		if err := tx.Write(sOff, sb[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// payment updates warehouse and district year-to-date totals, the
+// customer's balance triple, and appends a history record.
+func (w *OrderEntry) payment(r *rand.Rand, tx replication.TxHandle, i int64) error {
+	wh := r.IntN(w.warehouses)
+	d := r.IntN(districtsPerWH)
+	c := r.IntN(w.custPerD)
+	amount := uint32(1 + r.IntN(5000))
+
+	wOff := w.whOff + wh*oeWHRec
+	if err := w.rmwU32(tx, wOff, 16, 0, amount); err != nil {
+		return err
+	}
+	dOff := w.districtOff(wh, d)
+	if err := w.rmwU32(tx, dOff, 16, distYTD, amount); err != nil {
+		return err
+	}
+
+	// Customer: the whole record is declared (balance, ytd, count live
+	// together with the payment data fields).
+	cOff := w.custRecOff(wh, d, c)
+	if err := tx.SetRange(cOff, oeCustRec); err != nil {
+		return err
+	}
+	var cb [12]byte
+	if err := tx.Read(cOff, cb[:]); err != nil {
+		return err
+	}
+	bal := binary.LittleEndian.Uint32(cb[0:4]) - amount
+	ytd := binary.LittleEndian.Uint32(cb[4:8]) + amount
+	cnt := binary.LittleEndian.Uint32(cb[8:12]) + 1
+	binary.LittleEndian.PutUint32(cb[0:4], bal)
+	binary.LittleEndian.PutUint32(cb[4:8], ytd)
+	binary.LittleEndian.PutUint32(cb[8:12], cnt)
+	if err := tx.Write(cOff, cb[:]); err != nil {
+		return err
+	}
+
+	// History append.
+	hOff := w.histOff + int(i%w.histCap)*oeHistRec
+	if err := tx.SetRange(hOff, oeHistRec); err != nil {
+		return err
+	}
+	h := w.buf[:40]
+	binary.LittleEndian.PutUint32(h[0:], uint32(wh))
+	binary.LittleEndian.PutUint32(h[4:], uint32(d))
+	binary.LittleEndian.PutUint32(h[8:], uint32(c))
+	binary.LittleEndian.PutUint32(h[12:], amount)
+	binary.LittleEndian.PutUint32(h[16:], uint32(i))
+	for j := 20; j < 40; j += 4 {
+		binary.LittleEndian.PutUint32(h[j:], amount^uint32(j))
+	}
+	return tx.Write(hOff, h)
+}
+
+// delivery processes the most recent order of every district in one
+// warehouse: stamps carrier and per-line delivery dates, and credits the
+// ordering customer's balance.
+func (w *OrderEntry) delivery(r *rand.Rand, tx replication.TxHandle) error {
+	wh := r.IntN(w.warehouses)
+	carrier := uint32(1 + r.IntN(10))
+
+	for d := 0; d < districtsPerWH; d++ {
+		dOff := w.districtOff(wh, d)
+		var b4 [4]byte
+		if err := tx.Read(dOff+distNextOID, b4[:]); err != nil {
+			return err
+		}
+		nextOID := binary.LittleEndian.Uint32(b4[:])
+		if nextOID == 0 {
+			continue // no orders yet in this district
+		}
+		slot := w.orderSlotOff(wh, d, int(nextOID-1)%w.slotsPerD)
+
+		var hdr [12]byte
+		if err := tx.Read(slot, hdr[:]); err != nil {
+			return err
+		}
+		cid := binary.LittleEndian.Uint32(hdr[ordCID:])
+		cnt := int(binary.LittleEndian.Uint32(hdr[ordCnt:]))
+		if cnt < 1 || cnt > oeMaxLines {
+			continue // slot not populated yet (ring wrap at startup)
+		}
+
+		if err := tx.SetRange(slot, oeOrderHdr+cnt*oeLineRec); err != nil {
+			return err
+		}
+		binary.LittleEndian.PutUint32(b4[:], carrier)
+		if err := tx.Write(slot+ordCarrier, b4[:]); err != nil {
+			return err
+		}
+		total := uint32(0)
+		for l := 0; l < cnt; l++ {
+			line := slot + oeOrderHdr + l*oeLineRec
+			var amt [4]byte
+			if err := tx.Read(line+olAmount, amt[:]); err != nil {
+				return err
+			}
+			total += binary.LittleEndian.Uint32(amt[:])
+			binary.LittleEndian.PutUint32(amt[:], carrier+uint32(l))
+			if err := tx.Write(line+olDelivery, amt[:]); err != nil {
+				return err
+			}
+		}
+
+		// Credit the customer.
+		cOff := w.custRecOff(wh, d, int(cid))
+		if err := tx.SetRange(cOff, oeCustRec); err != nil {
+			return err
+		}
+		var cb [8]byte
+		if err := tx.Read(cOff, cb[:]); err != nil {
+			return err
+		}
+		bal := binary.LittleEndian.Uint32(cb[0:4]) + total
+		dcnt := binary.LittleEndian.Uint32(cb[4:8]) + 1
+		binary.LittleEndian.PutUint32(cb[0:4], bal)
+		binary.LittleEndian.PutUint32(cb[4:8], dcnt)
+		if err := tx.Write(cOff, cb[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rmwU32 declares a range and adds delta to the u32 at off+field.
+func (w *OrderEntry) rmwU32(tx replication.TxHandle, off, rangeLen, field int, delta uint32) error {
+	if err := tx.SetRange(off, rangeLen); err != nil {
+		return err
+	}
+	var b [4]byte
+	if err := tx.Read(off+field, b[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(b[:], binary.LittleEndian.Uint32(b[:])+delta)
+	return tx.Write(off+field, b[:])
+}
+
+func (w *OrderEntry) districtOff(wh, d int) int {
+	return w.distOff + (wh*districtsPerWH+d)*oeDistRec
+}
+
+func (w *OrderEntry) custRecOff(wh, d, c int) int {
+	return w.custOff + ((wh*districtsPerWH+d)*w.custPerD+c)*oeCustRec
+}
+
+func (w *OrderEntry) stockRecOff(wh, item int) int {
+	return w.stockOff + (wh*w.stockPerWH+item)*oeStockRec
+}
+
+func (w *OrderEntry) orderSlotOff(wh, d, slot int) int {
+	return w.orderOff + ((wh*districtsPerWH+d)*w.slotsPerD+slot)*oeOrderSlot
+}

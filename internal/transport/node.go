@@ -1,0 +1,71 @@
+package transport
+
+import (
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/rio"
+	"repro/internal/sim"
+	"repro/internal/vista"
+)
+
+// localNode bundles the per-process simulation plumbing (clock, cache,
+// accessor) the vista engines need; in the TCP deployment the simulated
+// clock is bookkeeping only — real time governs the processes.
+type localNode struct {
+	acc *mem.Accessor
+	rio *rio.Memory
+}
+
+func newLocalNode(space *mem.Space) *localNode {
+	p := sim.Default()
+	clk := &sim.Clock{}
+	return &localNode{
+		acc: mem.NewAccessor(&p, clk, cache.New(&p, clk), space),
+		rio: rio.New(space),
+	}
+}
+
+// PrimaryStore is a transaction store wired to a TCP replication sink; its
+// Load also performs the initial transfer of database content to the
+// backup (the in-process deployments do the same via Pair.Load).
+type PrimaryStore struct {
+	*vista.Store
+	space *mem.Space
+	sink  mem.IOSink
+}
+
+// NewPrimaryStore builds a transaction store whose doubled writes go to
+// sink — for the TCP deployment, a *Primary. The store's region layout
+// matches what NewBackup lays out for the same configuration.
+func NewPrimaryStore(cfg vista.Config, sink mem.IOSink) (*PrimaryStore, error) {
+	specs, err := vista.Layout(cfg)
+	if err != nil {
+		return nil, err
+	}
+	space := mem.NewSpace()
+	if _, err := vista.PlaceRegions(space, specs, 8<<20); err != nil {
+		return nil, err
+	}
+	node := newLocalNode(space)
+	node.acc.IO = sink
+	store, err := vista.Open(cfg, node.acc, node.rio)
+	if err != nil {
+		return nil, err
+	}
+	return &PrimaryStore{Store: store, space: space, sink: sink}, nil
+}
+
+// Load installs initial database content locally and ships it to the
+// backup, keeping the mirror (when the version has one) in sync on both
+// sides.
+func (ps *PrimaryStore) Load(off int, data []byte) error {
+	if err := ps.Store.Load(off, data); err != nil {
+		return err
+	}
+	db := ps.space.ByName(vista.RegionDB)
+	ps.sink.StoreIO(db.Base+uint64(off), data, mem.CatModified)
+	if m := ps.space.ByName(vista.RegionMirror); m != nil {
+		ps.sink.StoreIO(m.Base+uint64(off), data, mem.CatUndo)
+	}
+	return nil
+}

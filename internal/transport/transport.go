@@ -1,0 +1,280 @@
+// Package transport carries the paper's passive write-through replication
+// between two real OS processes over TCP, demonstrating that the engines'
+// recovery protocols are not simulation artifacts: kill the primary
+// process mid-stream and the backup process reconstructs the committed
+// prefix from the bytes that actually arrived.
+//
+// The primary side implements mem.IOSink, so it slots in exactly where the
+// modelled Memory Channel does: every doubled store becomes a Write frame;
+// Fence flushes the socket buffer (the posted-write analogue — bytes not
+// yet flushed when the primary dies are the 1-safe window). The backup
+// side applies frames to its identically laid-out reliable memory and, on
+// connection loss or heartbeat timeout, runs the engine's backup recovery.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/vista"
+	"repro/internal/wire"
+)
+
+// LayoutChecksum fingerprints a region layout; both endpoints must agree
+// before replicating by raw address.
+func LayoutChecksum(cfg vista.Config) (uint64, error) {
+	specs, err := vista.Layout(cfg)
+	if err != nil {
+		return 0, err
+	}
+	h := crc32.NewIEEE()
+	for _, s := range specs {
+		fmt.Fprintf(h, "%s/%d/%t/%t;", s.Name, s.Size, s.Sparse, s.Replicated)
+	}
+	return uint64(h.Sum32()), nil
+}
+
+// Primary is the sending end: a mem.IOSink that frames doubled stores onto
+// a TCP connection.
+//
+// StoreIO and Fence are called from the (single-threaded) transaction
+// path; Close may be called once afterwards. A background goroutine emits
+// heartbeats so the backup's failure detector stays quiet across think
+// time.
+type Primary struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	w      *wire.Writer
+	err    error
+	failN  int64 // test hook: silently drop output after failN frames
+	frames int64
+
+	stopHeartbeat chan struct{}
+	wg            sync.WaitGroup
+}
+
+var _ mem.IOSink = (*Primary)(nil)
+
+// DialPrimary connects to a backup and performs the layout handshake.
+func DialPrimary(addr string, cfg vista.Config, timeout time.Duration) (*Primary, error) {
+	sum, err := LayoutChecksum(cfg)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial backup: %w", err)
+	}
+	p := &Primary{
+		conn:          conn,
+		w:             wire.NewWriter(conn),
+		failN:         -1,
+		stopHeartbeat: make(chan struct{}),
+	}
+	var hello [8]byte
+	binary.LittleEndian.PutUint64(hello[:], sum)
+	if err := p.w.Write(wire.Frame{Type: wire.FrameHello, Data: hello[:]}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := p.w.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	p.wg.Add(1)
+	go p.heartbeatLoop()
+	return p, nil
+}
+
+func (p *Primary) heartbeatLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stopHeartbeat:
+			return
+		case <-tick.C:
+			p.mu.Lock()
+			if p.err == nil && !p.dropping() {
+				if err := p.w.Write(wire.Frame{Type: wire.FrameHeartbeat}); err == nil {
+					p.err = p.w.Flush()
+				} else {
+					p.err = err
+				}
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+// flushThreshold bounds how much replication data may sit in the user-
+// space buffer: it is the TCP deployment's analogue of the write-buffer
+// drain, keeping the 1-safe window at a handful of transactions.
+const flushThreshold = 4096
+
+// StoreIO implements mem.IOSink: one doubled store becomes one frame.
+func (p *Primary) StoreIO(addr uint64, src []byte, _ mem.Category) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.frames++
+	if p.err != nil || p.dropping() {
+		return
+	}
+	p.err = p.w.Write(wire.Frame{Type: wire.FrameWrite, Addr: addr, Data: src})
+	if p.err == nil && p.w.Buffered() >= flushThreshold {
+		p.err = p.w.Flush()
+	}
+}
+
+// Fence implements mem.IOSink: flush the socket buffer. Bytes that never
+// reached a fence can be lost with the process — the 1-safe window.
+func (p *Primary) Fence() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil || p.dropping() {
+		return
+	}
+	p.err = p.w.Flush()
+}
+
+// Err returns the first transport error, if any.
+func (p *Primary) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// FailAfterFrames silently discards all output after n more frames — a
+// deterministic stand-in for SIGKILL in failure-injection tests.
+func (p *Primary) FailAfterFrames(n int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.failN = p.frames + n
+}
+
+func (p *Primary) dropping() bool { return p.failN >= 0 && p.frames >= p.failN }
+
+// Close announces an orderly shutdown and closes the connection.
+func (p *Primary) Close() error {
+	close(p.stopHeartbeat)
+	p.wg.Wait()
+	p.mu.Lock()
+	if p.err == nil && !p.dropping() {
+		if err := p.w.Write(wire.Frame{Type: wire.FrameBye}); err == nil {
+			p.err = p.w.Flush()
+		}
+	}
+	err := p.conn.Close()
+	p.mu.Unlock()
+	return err
+}
+
+// Backup is the receiving end: it owns the backup node's reliable memory
+// and applies incoming frames to it.
+type Backup struct {
+	cfg   vista.Config
+	space *mem.Space
+
+	// Timeout is the heartbeat failure-detector window (default 1s).
+	Timeout time.Duration
+
+	applied int64
+}
+
+// Backup session outcomes.
+var (
+	// ErrPrimaryDead reports that the session ended by failure (socket
+	// error or heartbeat timeout) rather than an orderly Bye.
+	ErrPrimaryDead = errors.New("transport: primary presumed dead")
+	// ErrLayoutMismatch reports a handshake disagreement.
+	ErrLayoutMismatch = errors.New("transport: layout checksum mismatch")
+)
+
+// NewBackup builds the receiving node: a fresh address space with the
+// configuration's region layout.
+func NewBackup(cfg vista.Config) (*Backup, error) {
+	specs, err := vista.Layout(cfg)
+	if err != nil {
+		return nil, err
+	}
+	space := mem.NewSpace()
+	if _, err := vista.PlaceRegions(space, specs, 8<<20); err != nil {
+		return nil, err
+	}
+	return &Backup{cfg: cfg, space: space, Timeout: time.Second}, nil
+}
+
+// Space exposes the backup's address space (tests inspect it; Recover
+// builds the takeover store from it).
+func (b *Backup) Space() *mem.Space { return b.space }
+
+// Applied returns the number of write frames applied.
+func (b *Backup) Applied() int64 { return b.applied }
+
+// Serve applies one replication session from conn until the primary says
+// goodbye (returns nil) or is presumed dead (returns ErrPrimaryDead). The
+// caller then typically invokes Recover.
+func (b *Backup) Serve(conn net.Conn) error {
+	r := wire.NewReader(conn)
+
+	if err := conn.SetReadDeadline(time.Now().Add(b.Timeout)); err != nil {
+		return err
+	}
+	hello, err := r.Read()
+	if err != nil || hello.Type != wire.FrameHello || len(hello.Data) != 8 {
+		return fmt.Errorf("%w: bad hello (%v)", ErrPrimaryDead, err)
+	}
+	sum, err := LayoutChecksum(b.cfg)
+	if err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint64(hello.Data) != sum {
+		return ErrLayoutMismatch
+	}
+
+	for {
+		if err := conn.SetReadDeadline(time.Now().Add(b.Timeout)); err != nil {
+			return err
+		}
+		f, err := r.Read()
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrPrimaryDead, err)
+		}
+		switch f.Type {
+		case wire.FrameWrite:
+			if err := b.apply(f.Addr, f.Data); err != nil {
+				return err
+			}
+		case wire.FrameHeartbeat:
+			// failure detector reset only
+		case wire.FrameBye:
+			return nil
+		default:
+			return fmt.Errorf("transport: unexpected frame %d mid-session", f.Type)
+		}
+	}
+}
+
+func (b *Backup) apply(addr uint64, data []byte) error {
+	reg := b.space.Lookup(addr, len(data))
+	if reg == nil {
+		return fmt.Errorf("transport: write [%#x,+%d) outside layout", addr, len(data))
+	}
+	reg.WriteRaw(int(addr-reg.Base), data)
+	b.applied++
+	return nil
+}
+
+// Recover runs the engine's backup recovery over the received bytes and
+// returns a store serving the committed prefix.
+func (b *Backup) Recover() (*vista.Store, error) {
+	node := newLocalNode(b.space)
+	return vista.Recover(b.cfg, node.acc, node.rio, vista.RecoverBackup)
+}

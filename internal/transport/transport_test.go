@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/tpc"
+	"repro/internal/vista"
+)
+
+const testDB = 4 << 20
+
+// session wires a primary store to a backup over a real localhost TCP
+// connection and runs the backup's Serve loop in the background.
+type session struct {
+	store  *PrimaryStore
+	sink   *Primary
+	backup *Backup
+
+	wg       sync.WaitGroup
+	serveErr error
+}
+
+func startSession(t *testing.T, cfg vista.Config) *session {
+	t.Helper()
+	backup, err := NewBackup(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup.Timeout = 2 * time.Second
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &session{backup: backup}
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer ln.Close()
+		conn, err := ln.Accept()
+		if err != nil {
+			s.serveErr = err
+			return
+		}
+		defer conn.Close()
+		s.serveErr = backup.Serve(conn)
+	}()
+
+	sink, err := DialPrimary(ln.Addr().String(), cfg, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := NewPrimaryStore(cfg, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.sink = sink
+	s.store = store
+	return s
+}
+
+func (s *session) wait() { s.wg.Wait() }
+
+func runDC(t *testing.T, store *PrimaryStore, txns int64) {
+	t.Helper()
+	w, err := tpc.NewDebitCredit(testDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Populate(store.Load); err != nil {
+		t.Fatal(err)
+	}
+	r := tpc.NewRand(21)
+	for i := int64(0); i < txns; i++ {
+		tx, err := store.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Txn(r, tx, i); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOrderlyShutdownReplicatesEverything(t *testing.T) {
+	cfg := vista.Config{Version: vista.V3InlineLog, DBSize: testDB}
+	s := startSession(t, cfg)
+	runDC(t, s.store, 300)
+	if err := s.sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.wait()
+	if s.serveErr != nil {
+		t.Fatalf("serve: %v", s.serveErr)
+	}
+
+	recovered, err := s.backup.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recovered.Committed(); got != 300 {
+		t.Fatalf("backup recovered %d commits, want 300", got)
+	}
+	want := make([]byte, testDB)
+	got := make([]byte, testDB)
+	s.store.ReadRaw(0, want)
+	recovered.ReadRaw(0, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("backup database differs from primary after orderly shutdown")
+	}
+}
+
+func TestHardCrashRecoversCommittedPrefix(t *testing.T) {
+	for _, v := range []vista.Version{vista.V0Vista, vista.V1MirrorCopy, vista.V2MirrorDiff, vista.V3InlineLog} {
+		t.Run(v.String(), func(t *testing.T) {
+			cfg := vista.Config{Version: v, DBSize: testDB}
+			s := startSession(t, cfg)
+			s.backup.Timeout = 500 * time.Millisecond
+			runDC(t, s.store, 200)
+			// Die silently mid-stream: some frames of the next
+			// transactions never leave the process.
+			s.sink.FailAfterFrames(7)
+			runDC2 := func() {
+				w, _ := tpc.NewDebitCredit(testDB)
+				r := tpc.NewRand(99)
+				for i := int64(0); i < 20; i++ {
+					tx, err := s.store.Begin()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := w.Txn(r, tx, i); err != nil {
+						t.Fatal(err)
+					}
+					if err := tx.Commit(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			runDC2()
+			s.wait()
+			if !errors.Is(s.serveErr, ErrPrimaryDead) {
+				t.Fatalf("backup verdict: %v, want ErrPrimaryDead", s.serveErr)
+			}
+			recovered, err := s.backup.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// At least the settled prefix survives; the tail within the
+			// unflushed socket buffer is the (real) 1-safe window.
+			if got := recovered.Committed(); got < 175 || got > 220 {
+				t.Fatalf("recovered %d commits, want roughly 200", got)
+			}
+			s.sink.Close()
+		})
+	}
+}
+
+func TestLayoutMismatchRejected(t *testing.T) {
+	good := vista.Config{Version: vista.V3InlineLog, DBSize: testDB}
+	bad := vista.Config{Version: vista.V3InlineLog, DBSize: testDB * 2}
+
+	backup, err := NewBackup(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		done <- backup.Serve(conn)
+	}()
+	sink, err := DialPrimary(ln.Addr().String(), bad, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+	if err := <-done; !errors.Is(err, ErrLayoutMismatch) {
+		t.Fatalf("mismatched layouts accepted: %v", err)
+	}
+}
+
+func TestLayoutChecksumDistinguishesConfigs(t *testing.T) {
+	a, err := LayoutChecksum(vista.Config{Version: vista.V3InlineLog, DBSize: testDB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LayoutChecksum(vista.Config{Version: vista.V1MirrorCopy, DBSize: testDB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := LayoutChecksum(vista.Config{Version: vista.V3InlineLog, DBSize: testDB * 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b || a == c {
+		t.Fatal("layout checksums collide across configurations")
+	}
+}
+
+func TestHeartbeatTimeoutDetectsSilentPeer(t *testing.T) {
+	cfg := vista.Config{Version: vista.V3InlineLog, DBSize: testDB}
+	s := startSession(t, cfg)
+	s.backup.Timeout = 300 * time.Millisecond
+	runDC(t, s.store, 10)
+	// Silence everything, including heartbeats.
+	s.sink.FailAfterFrames(0)
+	start := time.Now()
+	s.wait()
+	if !errors.Is(s.serveErr, ErrPrimaryDead) {
+		t.Fatalf("verdict %v", s.serveErr)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("failure detection took %v", elapsed)
+	}
+	s.sink.Close()
+}

@@ -1,0 +1,137 @@
+package vista
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// mirror implements Versions 1 and 2 (paper Sections 4.2, 4.3): a full
+// mirror copy of the database plus a flat array of set-range coordinates.
+// Database writes are in place; on commit the set-range areas are brought
+// over to the mirror — wholesale in Version 1, by diffing in Version 2.
+// Abort (and local recovery) restores the set-range areas from the mirror.
+//
+// Set-range array layout (its own region, NOT replicated in the passive
+// primary-backup configuration — the paper's Section 5.1 optimization):
+//
+//	[0]  count (u64)
+//	[16 + 16*i] entry i: base (u64), len (u64)
+//
+// Invariant between transactions: mirror content equals database content,
+// byte for byte. During a transaction the areas named by the array may
+// differ; everything else is equal.
+type mirror struct {
+	diffing bool // false: Version 1 (copy); true: Version 2 (diff)
+
+	mirrorReg *mem.Region
+	srReg     *mem.Region
+	srMax     int
+}
+
+const srEntriesOff = 16
+
+func newMirror(s *Store, diffing bool) (*mirror, error) {
+	mr, err := s.mem.Lookup(RegionMirror)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := s.mem.Lookup(RegionSRArray)
+	if err != nil {
+		return nil, err
+	}
+	return &mirror{
+		diffing:   diffing,
+		mirrorReg: mr,
+		srReg:     sr,
+		srMax:     (sr.Size() - srEntriesOff) / 16,
+	}, nil
+}
+
+func (e *mirror) begin(*Store) {}
+
+func (e *mirror) setRange(s *Store, off, n int) error {
+	cnt := s.acc.ReadU64(e.srReg.Base)
+	if int(cnt) >= e.srMax {
+		return fmt.Errorf("vista: set-range array full (%d entries)", e.srMax)
+	}
+	entry := e.srReg.Base + srEntriesOff + cnt*16
+	s.acc.WriteU64(entry, uint64(off), mem.CatMeta)
+	s.acc.WriteU64(entry+8, uint64(n), mem.CatMeta)
+	s.acc.WriteU64(e.srReg.Base, cnt+1, mem.CatMeta)
+	return nil
+}
+
+func (e *mirror) commit(s *Store) error {
+	cnt := s.acc.ReadU64(e.srReg.Base)
+	for i := uint64(0); i < cnt; i++ {
+		base, n := e.entry(s, i)
+		if e.diffing {
+			// Version 2: compare database and mirror over the area and
+			// write only the differing words to the mirror.
+			runs := s.acc.Diff(s.dbAddr(base), e.mirrorAddr(base), n)
+			for _, r := range runs {
+				s.acc.Copy(e.mirrorAddr(base+r.Off), s.dbAddr(base+r.Off), r.Len, mem.CatUndo)
+			}
+		} else {
+			// Version 1: copy the whole area to the mirror.
+			s.acc.Copy(e.mirrorAddr(base), s.dbAddr(base), n, mem.CatUndo)
+		}
+	}
+	s.acc.WriteU64(e.srReg.Base, 0, mem.CatMeta)
+	s.bumpCommitSeq()
+	return nil
+}
+
+func (e *mirror) abort(s *Store) error {
+	return e.restoreFromArray(s)
+}
+
+// restoreFromArray copies the set-range areas back from the mirror
+// (idempotent: the mirror holds pre-transaction content until commit).
+func (e *mirror) restoreFromArray(s *Store) error {
+	cnt := s.acc.ReadU64(e.srReg.Base)
+	if int(cnt) > e.srMax {
+		return fmt.Errorf("vista: set-range count %d is corrupt", cnt)
+	}
+	for i := uint64(0); i < cnt; i++ {
+		base, n := e.entry(s, i)
+		s.acc.Copy(s.dbAddr(base), e.mirrorAddr(base), n, mem.CatModified)
+	}
+	s.acc.WriteU64(e.srReg.Base, 0, mem.CatMeta)
+	return nil
+}
+
+// recoverInFlight uses the locally surviving set-range array for a fast,
+// targeted restore (a Rio reboot on the same node).
+func (e *mirror) recoverInFlight(s *Store) error {
+	return e.restoreFromArray(s)
+}
+
+// recoverBackup runs on a backup whose set-range array was never
+// replicated: it cannot know which areas are dirty, so it copies the
+// entire database from the mirror — the paper's deliberate trade of
+// failure-free traffic for a longer takeover (Section 5.1).
+func (e *mirror) recoverBackup(s *Store) error {
+	const chunk = 1 << 20
+	for off := 0; off < s.cfg.DBSize; off += chunk {
+		n := chunk
+		if off+n > s.cfg.DBSize {
+			n = s.cfg.DBSize - off
+		}
+		s.acc.Copy(s.dbAddr(off), e.mirrorAddr(off), n, mem.CatModified)
+	}
+	s.acc.WriteU64(e.srReg.Base, 0, mem.CatMeta)
+	return nil
+}
+
+func (e *mirror) entry(s *Store, i uint64) (base, n int) {
+	addr := e.srReg.Base + srEntriesOff + i*16
+	b := s.acc.ReadU64(addr)
+	l := s.acc.ReadU64(addr + 8)
+	return int(b), int(l)
+}
+
+func (e *mirror) mirrorAddr(off int) uint64 { return e.mirrorReg.Base + uint64(off) }
+
+var _ engine = (*mirror)(nil)

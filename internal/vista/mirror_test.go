@@ -1,0 +1,98 @@
+package vista
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// mirrorEquals reports whether the mirror region is byte-identical to the
+// database — the invariant both mirroring engines must restore at every
+// transaction boundary.
+func mirrorEquals(t *testing.T, s *Store) bool {
+	t.Helper()
+	db := s.mem.Space().ByName(RegionDB)
+	mr := s.mem.Space().ByName(RegionMirror)
+	if db == nil || mr == nil {
+		t.Fatal("store has no mirror")
+	}
+	a := make([]byte, db.Size())
+	b := make([]byte, mr.Size())
+	db.ReadRaw(0, a)
+	mr.ReadRaw(0, b)
+	return bytes.Equal(a, b)
+}
+
+// TestMirrorInvariantAcrossTransactions: after every commit AND every
+// abort, mirror == database for both V1 and V2 — the property their
+// recovery correctness rests on.
+func TestMirrorInvariantAcrossTransactions(t *testing.T) {
+	const dbSize = 1 << 15
+	for _, v := range []Version{V1MirrorCopy, V2MirrorDiff} {
+		t.Run(v.String(), func(t *testing.T) {
+			s, _, _ := newTestStore(t, Config{Version: v, DBSize: dbSize})
+			must(t, s.Load(0, bytes.Repeat([]byte{0x5A}, 4096)))
+			if !mirrorEquals(t, s) {
+				t.Fatal("mirror differs right after Load")
+			}
+			r := rand.New(rand.NewPCG(8, 9))
+			for i := 0; i < 100; i++ {
+				tx, err := s.Begin()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < 1+r.IntN(3); j++ {
+					off := r.IntN(dbSize - 64)
+					must(t, tx.SetRange(off, 32))
+					buf := make([]byte, 1+r.IntN(32))
+					for k := range buf {
+						buf[k] = byte(r.Uint32())
+					}
+					must(t, tx.Write(off, buf))
+				}
+				if r.IntN(3) == 0 {
+					must(t, tx.Abort())
+				} else {
+					must(t, tx.Commit())
+				}
+				if !mirrorEquals(t, s) {
+					t.Fatalf("%s: mirror diverged after txn %d", v, i)
+				}
+			}
+		})
+	}
+}
+
+// TestMirrorDiffWritesLess: on identical workloads, V2 must move fewer
+// bytes into the mirror than V1 (the design's entire point), while ending
+// in the same state.
+func TestMirrorDiffWritesLess(t *testing.T) {
+	const dbSize = 1 << 15
+	run := func(v Version) (int64, []byte) {
+		s, _, acc := newTestStore(t, Config{Version: v, DBSize: dbSize})
+		r := rand.New(rand.NewPCG(4, 2))
+		for i := 0; i < 50; i++ {
+			tx, err := s.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			off := r.IntN(dbSize - 64)
+			must(t, tx.SetRange(off, 64))
+			// Touch only 4 of the declared 64 bytes: diffing should
+			// pay for 4, copying for 64.
+			must(t, tx.Write(off, []byte{byte(i), 1, 2, 3}))
+			must(t, tx.Commit())
+		}
+		db := make([]byte, dbSize)
+		s.ReadRaw(0, db)
+		return acc.Stats().BytesWritten, db
+	}
+	v1Bytes, v1State := run(V1MirrorCopy)
+	v2Bytes, v2State := run(V2MirrorDiff)
+	if !bytes.Equal(v1State, v2State) {
+		t.Fatal("V1 and V2 diverged on identical input")
+	}
+	if v2Bytes >= v1Bytes {
+		t.Fatalf("diffing wrote %d bytes, copying %d — diff must write less", v2Bytes, v1Bytes)
+	}
+}

@@ -1,0 +1,174 @@
+package vista
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/rio"
+)
+
+// v0 is the original Vista design (paper Section 4.1): on set_range, an
+// undo record and a data area are allocated from the persistent heap, the
+// current contents are copied into the area, and the record is pushed onto
+// a linked list rooted in the control region. Every allocation, free and
+// list operation writes heap metadata — which, in the straightforward
+// primary-backup configuration, is all doubled onto the SAN. That metadata
+// storm is the paper's Table 2.
+//
+// Undo record layout (payload of a 40-byte heap allocation):
+//
+//	[+0]  next    absolute address of next record (0 = end of list)
+//	[+8]  base    database offset of the range
+//	[+16] len     range length in bytes
+//	[+24] dataPtr absolute address of the saved before-image
+//	[+32] txnID   tag: committed-count-plus-one of the writing txn
+//
+// Like Version 3, records carry a transaction-id tag so takeover on a
+// backup can reject records whose bytes never fully reached it (heap
+// stores are scattered, so — unlike the sequential undo log — delivery
+// order is not a prefix; the tag plus bounds checks stop the walk at the
+// first inconsistent record, bounding the damage to the paper's 1-safe
+// window).
+type v0 struct {
+	heap    *rio.Heap
+	heapReg *mem.Region
+	txnID   uint64
+}
+
+const v0RecSize = 40
+
+func newV0(s *Store, format bool) (*v0, error) {
+	reg, err := s.mem.Lookup(RegionHeap)
+	if err != nil {
+		return nil, err
+	}
+	e := &v0{heapReg: reg}
+	if format {
+		e.heap, err = rio.NewHeap(s.acc, reg, reg.Base, reg.Size())
+	} else {
+		e.heap, err = rio.OpenHeap(s.acc, reg, reg.Base)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (e *v0) begin(s *Store) {
+	e.txnID = s.acc.ReadU64(s.control.Base+ctlCommitSeq) + 1
+}
+
+func (e *v0) setRange(s *Store, off, n int) error {
+	rec, err := e.heap.Alloc(v0RecSize)
+	if err != nil {
+		return fmt.Errorf("vista: v0 undo record: %w", err)
+	}
+	area, err := e.heap.Alloc(n)
+	if err != nil {
+		return fmt.Errorf("vista: v0 undo area: %w", err)
+	}
+	// Save the before-image.
+	s.acc.Copy(area, s.dbAddr(off), n, mem.CatUndo)
+
+	// Fill the record and push it on the undo list (newest first, so
+	// reverse-chronological undo falls out of list order).
+	head := s.acc.ReadU64(s.control.Base + ctlRoot)
+	s.acc.Charge(s.acc.Params.ListOp)
+	s.acc.WriteU64(rec+0, head, mem.CatMeta)
+	s.acc.WriteU64(rec+8, uint64(off), mem.CatMeta)
+	s.acc.WriteU64(rec+16, uint64(n), mem.CatMeta)
+	s.acc.WriteU64(rec+24, area, mem.CatMeta)
+	s.acc.WriteU64(rec+32, e.txnID, mem.CatMeta)
+	s.acc.WriteU64(s.control.Base+ctlRoot, rec, mem.CatMeta)
+	return nil
+}
+
+func (e *v0) commit(s *Store) error {
+	// Detach the list and advance the committed count first — both live
+	// in the same control-region cache block, so they travel to the
+	// backup in one packet and form the atomic commit point.
+	head := s.acc.ReadU64(s.control.Base + ctlRoot)
+	s.acc.WriteU64(s.control.Base+ctlRoot, 0, mem.CatMeta)
+	s.bumpCommitSeq()
+
+	for rec := head; rec != 0; {
+		s.acc.Charge(s.acc.Params.ListOp)
+		next := s.acc.ReadU64(rec + 0)
+		area := s.acc.ReadU64(rec + 24)
+		e.heap.Free(area)
+		e.heap.Free(rec)
+		rec = next
+	}
+	return nil
+}
+
+func (e *v0) abort(s *Store) error {
+	restored, err := e.undoWalk(s)
+	if err != nil {
+		return err
+	}
+	// Release the records (safe after the root was cleared by undoWalk).
+	for _, rec := range restored {
+		area := s.acc.ReadU64(rec + 24)
+		e.heap.Free(area)
+		e.heap.Free(rec)
+	}
+	return nil
+}
+
+// undoWalk restores before-images from the undo list (newest first), then
+// clears the root. It validates every record against the heap region, the
+// database bounds and the in-flight transaction tag, stopping at the first
+// inconsistency: on a backup, such a record simply never finished arriving
+// (1-safe window); locally it cannot occur. It returns the records walked.
+func (e *v0) undoWalk(s *Store) ([]uint64, error) {
+	seq := s.acc.ReadU64(s.control.Base + ctlCommitSeq)
+	want := seq + 1
+	maxRecs := e.heapReg.Size()/v0RecSize + 1
+
+	head := s.acc.ReadU64(s.control.Base + ctlRoot)
+	var walked []uint64
+	for rec := head; rec != 0 && len(walked) < maxRecs; {
+		if !e.heapReg.Contains(rec, v0RecSize) {
+			break
+		}
+		s.acc.Charge(s.acc.Params.ListOp)
+		next := s.acc.ReadU64(rec + 0)
+		base := s.acc.ReadU64(rec + 8)
+		n := s.acc.ReadU64(rec + 16)
+		area := s.acc.ReadU64(rec + 24)
+		tag := s.acc.ReadU64(rec + 32)
+		if tag != want || n == 0 || base+n > uint64(s.cfg.DBSize) || !e.heapReg.Contains(area, int(n)) {
+			break
+		}
+		s.acc.Copy(s.dbAddr(int(base)), area, int(n), mem.CatModified)
+		walked = append(walked, rec)
+		rec = next
+	}
+	s.acc.WriteU64(s.control.Base+ctlRoot, 0, mem.CatMeta)
+	return walked, nil
+}
+
+func (e *v0) recoverInFlight(s *Store) error {
+	if _, err := e.undoWalk(s); err != nil {
+		return err
+	}
+	// A crash in the middle of commit- or abort-time frees can leave the
+	// heap's free list inconsistent. The heap holds no live data between
+	// transactions (only undo state, which was just released), so
+	// recovery reformats it — Vista's recovery performs the equivalent
+	// cleanup of its Rio heap.
+	heap, err := rio.NewHeap(s.acc, e.heapReg, e.heapReg.Base, e.heapReg.Size())
+	if err != nil {
+		return err
+	}
+	e.heap = heap
+	return nil
+}
+
+// recoverBackup is identical to local recovery: the heap and list are
+// replicated, and the tag/bounds validation already rejects partially
+// delivered records.
+func (e *v0) recoverBackup(s *Store) error { return e.recoverInFlight(s) }
+
+var _ engine = (*v0)(nil)

@@ -1,0 +1,144 @@
+// Package wire defines the binary framing used by the TCP transport that
+// carries write-through replication between two real processes. Frames are
+// length-prefixed and CRC-protected:
+//
+//	[ type u8 | addr u64 | len u32 | payload ... | crc32c u32 ]
+//
+// all little-endian. The Write frame reuses the simulated-address
+// convention of the in-process SAN: both sides lay their regions out
+// identically (vista.Layout), so an address names the same byte on either
+// machine — exactly how Memory Channel mappings work.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// FrameType discriminates wire frames.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameHello opens a session; the payload is the 8-byte layout
+	// checksum both sides must agree on.
+	FrameHello FrameType = iota + 1
+	// FrameWrite carries a doubled store: addr names the target byte in
+	// the shared layout, the payload is the data.
+	FrameWrite
+	// FrameHeartbeat keeps the failure detector quiet.
+	FrameHeartbeat
+	// FrameBye announces an orderly shutdown.
+	FrameBye
+)
+
+// MaxPayload bounds a frame's payload (the largest bulk copy the engines
+// issue is a whole mirror region chunk; 1 MiB gives ample headroom).
+const MaxPayload = 1 << 20
+
+// Frame is one unit on the wire.
+type Frame struct {
+	Type FrameType
+	Addr uint64
+	Data []byte
+}
+
+// Framing errors.
+var (
+	ErrTooLarge = errors.New("wire: payload exceeds MaxPayload")
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	ErrType     = errors.New("wire: unknown frame type")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const headerLen = 1 + 8 + 4
+
+// Writer frames onto a buffered writer. Not safe for concurrent use.
+type Writer struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+// NewWriter returns a frame writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// Write frames f. Data is copied before return.
+func (w *Writer) Write(f Frame) error {
+	if len(f.Data) > MaxPayload {
+		return ErrTooLarge
+	}
+	need := headerLen + len(f.Data) + 4
+	if cap(w.buf) < need {
+		w.buf = make([]byte, need)
+	}
+	b := w.buf[:need]
+	b[0] = byte(f.Type)
+	binary.LittleEndian.PutUint64(b[1:], f.Addr)
+	binary.LittleEndian.PutUint32(b[9:], uint32(len(f.Data)))
+	copy(b[headerLen:], f.Data)
+	crc := crc32.Checksum(b[:headerLen+len(f.Data)], castagnoli)
+	binary.LittleEndian.PutUint32(b[headerLen+len(f.Data):], crc)
+	_, err := w.w.Write(b)
+	return err
+}
+
+// Flush pushes buffered frames to the underlying writer (the transport's
+// fence).
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Buffered returns the bytes accumulated since the last Flush.
+func (w *Writer) Buffered() int { return w.w.Buffered() }
+
+// Reader decodes frames. Not safe for concurrent use.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Read decodes the next frame. The returned frame's Data aliases an
+// internal buffer valid until the next Read.
+func (r *Reader) Read() (Frame, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	ft := FrameType(hdr[0])
+	if ft < FrameHello || ft > FrameBye {
+		return Frame{}, fmt.Errorf("%w: %d", ErrType, hdr[0])
+	}
+	n := binary.LittleEndian.Uint32(hdr[9:])
+	if n > MaxPayload {
+		return Frame{}, ErrTooLarge
+	}
+	need := int(n) + 4
+	if cap(r.buf) < headerLen+need {
+		r.buf = make([]byte, headerLen+need)
+	}
+	b := r.buf[:headerLen+need]
+	copy(b, hdr[:])
+	if _, err := io.ReadFull(r.r, b[headerLen:]); err != nil {
+		return Frame{}, err
+	}
+	want := binary.LittleEndian.Uint32(b[headerLen+int(n):])
+	got := crc32.Checksum(b[:headerLen+int(n)], castagnoli)
+	if want != got {
+		return Frame{}, ErrChecksum
+	}
+	return Frame{
+		Type: ft,
+		Addr: binary.LittleEndian.Uint64(b[1:]),
+		Data: b[headerLen : headerLen+int(n)],
+	}, nil
+}

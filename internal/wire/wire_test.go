@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	frames := []Frame{
+		{Type: FrameHello, Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Type: FrameWrite, Addr: 0xDEADBEEF, Data: []byte("payload")},
+		{Type: FrameHeartbeat},
+		{Type: FrameBye},
+	}
+	for _, f := range frames {
+		if err := w.Write(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.Addr != want.Addr || !bytes.Equal(got.Data, want.Data) {
+			t.Fatalf("frame %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want EOF", err)
+	}
+}
+
+func TestChecksumRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Frame{Type: FrameWrite, Addr: 42, Data: []byte("data!")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[15] ^= 0xFF // flip a payload byte
+
+	_, err := NewReader(bytes.NewReader(raw)).Read()
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted frame read: %v", err)
+	}
+}
+
+func TestRejectsUnknownTypeAndOversize(t *testing.T) {
+	raw := make([]byte, 17)
+	raw[0] = 0xEE
+	if _, err := NewReader(bytes.NewReader(raw)).Read(); !errors.Is(err, ErrType) {
+		t.Fatalf("unknown type: %v", err)
+	}
+
+	var w Writer
+	w = *NewWriter(io.Discard)
+	if err := w.Write(Frame{Type: FrameWrite, Data: make([]byte, MaxPayload+1)}); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize write: %v", err)
+	}
+
+	// A length field larger than MaxPayload must be rejected before any
+	// allocation.
+	hdr := []byte{byte(FrameWrite), 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := NewReader(bytes.NewReader(hdr)).Read(); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize length: %v", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Frame{Type: FrameWrite, Addr: 1, Data: []byte("abcdef")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := NewReader(bytes.NewReader(raw[:cut])).Read(); err == nil {
+			t.Fatalf("truncation at %d read successfully", cut)
+		}
+	}
+}
+
+// TestRandomRoundtrip: arbitrary frame sequences survive encode/decode.
+func TestRandomRoundtrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 17))
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		var frames []Frame
+		for i := 0; i < 50; i++ {
+			data := make([]byte, r.IntN(200))
+			for j := range data {
+				data[j] = byte(r.Uint32())
+			}
+			f := Frame{
+				Type: FrameType(1 + r.IntN(4)),
+				Addr: r.Uint64(),
+				Data: data,
+			}
+			frames = append(frames, f)
+			if err := w.Write(f); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		rd := NewReader(&buf)
+		for _, want := range frames {
+			got, err := rd.Read()
+			if err != nil || got.Type != want.Type || got.Addr != want.Addr ||
+				!bytes.Equal(got.Data, want.Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

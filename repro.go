@@ -1,0 +1,282 @@
+// Package repro is a from-scratch reproduction of "Data Replication
+// Strategies for Fault Tolerance and Availability on Commodity Clusters"
+// (Amza, Cox, Zwaenepoel — DSN 2000): a Vista-style in-memory transaction
+// server over reliable memory, replicated to a backup node either passively
+// (write-through doubling over a modelled Memory Channel SAN) or actively
+// (a redo-log circular buffer applied by the backup CPU), with crash
+// injection and failover.
+//
+// The package is the public facade over the internal substrate packages.
+// State is real — crash the primary at any instant and the backup recovers
+// the committed prefix — while time is simulated, so throughput numbers are
+// deterministic reproductions of the paper's tables rather than host
+// measurements. See DESIGN.md for the model and EXPERIMENTS.md for the
+// measured-versus-paper results.
+//
+// Quick start:
+//
+//	c, err := repro.New(repro.Config{
+//		Version: repro.V3InlineLog,
+//		Backup:  repro.ActiveBackup,
+//		DBSize:  8 << 20,
+//	})
+//	tx, _ := c.Begin()
+//	tx.SetRange(0, 8)
+//	tx.Write(0, []byte("8 bytes!"))
+//	tx.Commit()  // 1-safe: returns without waiting for the backup
+//	c.Settle()   // let the SAN drain (or use Config.TwoSafe)
+//	c.CrashPrimary()
+//	c.Failover() // the backup takes over with all committed data
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/vista"
+)
+
+// Version selects one of the paper's four engine designs (Section 4).
+type Version int
+
+// Engine versions, numbered as in the paper.
+const (
+	// V0Vista is the original Vista design: heap-allocated undo records
+	// on a linked list.
+	V0Vista Version = iota
+	// V1MirrorCopy mirrors the database and copies set-range areas to
+	// the mirror on commit.
+	V1MirrorCopy
+	// V2MirrorDiff mirrors the database and writes only differing words
+	// to the mirror on commit.
+	V2MirrorDiff
+	// V3InlineLog keeps before-images inline in a bump-pointer undo log
+	// — the paper's best design.
+	V3InlineLog
+)
+
+// String returns the paper's name for the version.
+func (v Version) String() string { return vista.Version(v).String() }
+
+// BackupMode selects the replication architecture (Sections 5 and 6).
+type BackupMode int
+
+// Backup modes.
+const (
+	// Standalone runs without a backup (paper Table 3).
+	Standalone BackupMode = iota + 1
+	// PassiveBackup replicates the engine's structures by write-through
+	// doubling; the backup CPU idles until failover.
+	PassiveBackup
+	// ActiveBackup ships a redo log that the backup CPU applies to its
+	// own database copy; requires V3InlineLog as the local scheme.
+	ActiveBackup
+)
+
+// String names the mode as the paper does.
+func (m BackupMode) String() string { return replication.Mode(m).String() }
+
+// Config sizes a Cluster.
+type Config struct {
+	// Version is the engine design; see the Version constants.
+	Version Version
+	// Backup is the replication architecture (default Standalone).
+	Backup BackupMode
+	// DBSize is the database size in bytes (paper default: 50 MB).
+	DBSize int
+	// SparseDB backs very large databases with page-on-demand storage.
+	SparseDB bool
+	// UncheckedWrites disables set-range enforcement, matching Vista's
+	// raw memory interface.
+	UncheckedWrites bool
+	// TwoSafe upgrades the active backup's commit to 2-safe: Commit
+	// returns only after the backup has applied and acknowledged the
+	// transaction, closing the lost-transaction window at the price of
+	// a SAN round trip per commit. Requires ActiveBackup.
+	TwoSafe bool
+}
+
+// Tx is one open transaction: the paper's RVM-style API (Section 2.1).
+// Writes must fall inside a declared range unless the cluster was created
+// with UncheckedWrites.
+type Tx interface {
+	// SetRange declares that [off, off+n) of the database may be
+	// modified, capturing undo information.
+	SetRange(off, n int) error
+	// Write stores src at database offset off, in place.
+	Write(off int, src []byte) error
+	// Read loads database bytes (reads are allowed anywhere).
+	Read(off int, dst []byte) error
+	// Commit makes the transaction durable (1-safe: it does not wait
+	// for the backup).
+	Commit() error
+	// Abort rolls the transaction back.
+	Abort() error
+}
+
+// Traffic is the SAN byte breakdown of paper Tables 2, 5 and 7.
+type Traffic struct {
+	ModifiedBytes int64
+	UndoBytes     int64
+	MetaBytes     int64
+}
+
+// Total returns the total bytes shipped to the backup.
+func (t Traffic) Total() int64 { return t.ModifiedBytes + t.UndoBytes + t.MetaBytes }
+
+// Cluster is one deployment: a primary transaction server and, unless
+// standalone, a backup node fed through the modelled SAN. A Cluster is not
+// safe for concurrent use (the paper's API defers concurrency control to a
+// separate layer).
+type Cluster struct {
+	cfg  Config
+	pair *replication.Pair
+	// serving is the store answering Begin: the primary, or the backup
+	// after Failover.
+	serving *vista.Store
+}
+
+// Cluster state errors.
+var (
+	// ErrCrashed is returned once the primary has crashed and no
+	// failover has happened yet.
+	ErrCrashed = errors.New("repro: primary crashed; call Failover")
+	// ErrNoBackup is returned by Failover on a standalone cluster.
+	ErrNoBackup = errors.New("repro: cluster has no backup")
+)
+
+// New builds a cluster per the configuration.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Backup == 0 {
+		cfg.Backup = Standalone
+	}
+	pair, err := replication.NewPair(replication.Config{
+		Mode: replication.Mode(cfg.Backup),
+		Store: vista.Config{
+			Version:         vista.Version(cfg.Version),
+			DBSize:          cfg.DBSize,
+			SparseDB:        cfg.SparseDB,
+			UncheckedWrites: cfg.UncheckedWrites,
+		},
+		SparseBackup: cfg.SparseDB,
+		TwoSafe:      cfg.TwoSafe,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("repro: %w", err)
+	}
+	return &Cluster{cfg: cfg, pair: pair, serving: pair.Store()}, nil
+}
+
+// Begin opens a transaction on the currently serving node.
+func (c *Cluster) Begin() (Tx, error) {
+	if c.serving == c.pair.Store() {
+		tx, err := c.pair.Begin()
+		if err != nil {
+			return nil, mapErr(err)
+		}
+		return tx, nil
+	}
+	tx, err := c.serving.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// Load installs initial database content without charging simulated time,
+// keeping the backup's copies in sync (the initial transfer that precedes
+// failure-free operation).
+func (c *Cluster) Load(off int, data []byte) error { return c.pair.Load(off, data) }
+
+// Read performs a charged, non-transactional read on the serving node.
+func (c *Cluster) Read(off int, dst []byte) error { return c.serving.Read(off, dst) }
+
+// ReadRaw copies database bytes without charging simulated time.
+func (c *Cluster) ReadRaw(off int, dst []byte) { c.serving.ReadRaw(off, dst) }
+
+// Committed returns the number of committed transactions recorded in the
+// serving node's reliable memory.
+func (c *Cluster) Committed() uint64 { return c.serving.Committed() }
+
+// Settle lets the cluster sit idle for a few simulated microseconds so
+// pending write buffers drain to the backup; a crash after Settle loses
+// nothing. Without it, a crash immediately after a commit may lose that
+// commit — the paper's 1-safe window.
+func (c *Cluster) Settle() { c.pair.Settle(10 * sim.Microsecond) }
+
+// CrashPrimary kills the primary mid-flight: doubled stores still sitting
+// in its write buffers are lost (the paper's 1-safe vulnerability window);
+// packets already posted reach the backup.
+func (c *Cluster) CrashPrimary() error { return c.pair.Crash() }
+
+// Failover performs takeover on the backup: the engine's recovery code
+// runs over the replicated bytes and the backup starts serving. Returns
+// ErrNoBackup on standalone clusters.
+func (c *Cluster) Failover() error {
+	st, err := c.pair.Failover()
+	if err != nil {
+		if errors.Is(err, replication.ErrNoBackup) {
+			return ErrNoBackup
+		}
+		return fmt.Errorf("repro: failover: %w", err)
+	}
+	c.serving = st
+	return nil
+}
+
+// Repair restores redundancy after Failover: a fresh backup node enrolls
+// behind the surviving server (initial full-state transfer included), so
+// the cluster tolerates another failure. The repaired deployment
+// replicates passively; CrashPrimary and Failover work again afterwards.
+func (c *Cluster) Repair() error {
+	np, err := c.pair.Repair()
+	if err != nil {
+		return fmt.Errorf("repro: repair: %w", err)
+	}
+	c.pair = np
+	c.serving = np.Store()
+	return nil
+}
+
+// Elapsed returns the simulated time consumed on the primary since the
+// cluster was built (or since the last measurement reset).
+func (c *Cluster) Elapsed() time.Duration { return c.pair.Elapsed().Duration() }
+
+// ResetMeasurement starts a fresh measured interval (statistics zeroed,
+// cache and link state preserved).
+func (c *Cluster) ResetMeasurement() { c.pair.ResetMeasurement() }
+
+// NetTraffic returns the bytes shipped to the backup since the last
+// measurement reset, in the paper's three categories.
+func (c *Cluster) NetTraffic() Traffic {
+	n := c.pair.NetBytes()
+	return Traffic{
+		ModifiedBytes: n[mem.CatModified],
+		UndoBytes:     n[mem.CatUndo],
+		MetaBytes:     n[mem.CatMeta],
+	}
+}
+
+// Stats reports transaction counters of the serving store.
+type Stats struct {
+	Begins  int64
+	Commits int64
+	Aborts  int64
+}
+
+// Stats returns the serving store's transaction counters.
+func (c *Cluster) Stats() Stats {
+	s := c.serving.Stats()
+	return Stats{Begins: s.Begins, Commits: s.Commits, Aborts: s.Aborts}
+}
+
+func mapErr(err error) error {
+	if errors.Is(err, replication.ErrCrashed) {
+		return ErrCrashed
+	}
+	return err
+}
