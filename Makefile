@@ -1,0 +1,37 @@
+# Repro build/check entry points.
+#
+#   make check   - everything CI runs: gofmt, vet, build, race tests (-short)
+#   make test    - full test suite without the race detector
+#   make bench   - exhibit-regeneration and throughput benchmarks
+#   make tables  - regenerate the paper's tables and the extension cells
+
+GO ?= go
+
+.PHONY: check fmt-check vet build test test-race bench tables
+
+check: fmt-check vet build test-race
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race run uses -short: the harness tests skip their heaviest exhibit
+# regenerations and the randomized crash tests trim their iteration count,
+# keeping the whole run to a couple of minutes.
+test-race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench . -benchtime 2000x -run XXX ./...
+
+tables:
+	$(GO) run ./cmd/replbench -experiment everything

@@ -11,6 +11,7 @@ package repro_test
 import (
 	"testing"
 
+	"repro"
 	"repro/internal/harness"
 	"repro/internal/mem"
 	"repro/internal/replication"
@@ -114,6 +115,92 @@ func BenchmarkThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicationDegree drives the active N-replica group at each
+// commit-safety level, reporting the simulated throughput cost of waiting
+// for quorum (median backup) versus 2-safe (slowest backup) acks.
+func BenchmarkReplicationDegree(b *testing.B) {
+	const db = 16 << 20
+	cells := []struct {
+		name    string
+		backups int
+		safety  replication.Safety
+	}{
+		{"K3-1safe", 3, replication.OneSafe},
+		{"K3-quorum", 3, replication.QuorumSafe},
+		{"K3-2safe", 3, replication.TwoSafe},
+		{"K1-1safe", 1, replication.OneSafe},
+	}
+	for _, c := range cells {
+		b.Run(c.name, func(b *testing.B) {
+			group, err := replication.NewGroup(replication.Config{
+				Mode:    replication.Active,
+				Store:   vista.Config{Version: vista.V3InlineLog, DBSize: db},
+				Backups: c.backups,
+				Safety:  c.safety,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			w, err := tpc.NewDebitCredit(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res, err := tpc.Run(group, w, tpc.Options{
+				Txns: int64(b.N), Warmup: 200, Seed: 1, WarmCache: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.TPS, "sim-tps")
+		})
+	}
+}
+
+// BenchmarkShardedCluster measures the sharded front-end's aggregate
+// throughput at 1 and 4 shards (same per-transaction work).
+func BenchmarkShardedCluster(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		b.Run(map[int]string{1: "1shard", 4: "4shards"}[shards], func(b *testing.B) {
+			sc, err := repro.NewSharded(repro.Config{
+				Version: repro.V3InlineLog,
+				Backup:  repro.ActiveBackup,
+				DBSize:  16 << 20,
+			}, shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			payload := make([]byte, 64)
+			for i := range payload {
+				payload[i] = byte(i + 1)
+			}
+			sc.ResetMeasurement()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shard := i % shards
+				slot := i / shards % (sc.ShardSize() / 64)
+				off := shard*sc.ShardSize() + slot*64
+				tx, err := sc.Begin()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.SetRange(off, 64); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Write(off, payload); err != nil {
+					b.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if sec := sc.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "sim-tps")
+			}
+		})
+	}
+}
+
 // BenchmarkFailover measures takeover cost: crash after a burst of
 // transactions and time the backup's recovery, reporting the simulated
 // takeover latency.
@@ -157,7 +244,9 @@ func BenchmarkFailover(b *testing.B) {
 				if _, err := pair.Failover(); err != nil {
 					b.Fatal(err)
 				}
-				takeoverUS = pair.Backup().Clock.Now().Duration().Seconds() * 1e6
+				// Failover promotes the backup to Primary() (with K=1
+				// there are no remaining backups afterwards).
+				takeoverUS = pair.Primary().Clock.Now().Duration().Seconds() * 1e6
 			}
 			b.ReportMetric(takeoverUS, "sim-us-takeover")
 		})

@@ -1,10 +1,13 @@
 // Command replbench regenerates the paper's evaluation exhibits (Tables
-// 1-8, Figures 1-3) on the simulated cluster.
+// 1-8, Figures 1-3) on the simulated cluster, plus the beyond-the-paper
+// extension cells: N-replica groups (repl-degree) and the sharded cluster
+// front-end (shard-scaling).
 //
 // Usage:
 //
-//	replbench [-experiment all|ablations|everything|fig1|table1|...|fig3]
+//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling]
 //	          [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
+//	          [-backups K] [-shards N] [-safety 1safe|2safe|quorum]
 //	          [-full] [-csv]
 //
 // Examples:
@@ -12,6 +15,8 @@
 //	replbench -experiment table4        # passive-backup version comparison
 //	replbench -experiment all -full     # paper-scale transaction counts
 //	replbench -experiment ablations     # beyond-the-paper sensitivity studies
+//	replbench -shards 4                 # sharded front-end scaling to 4 shards
+//	replbench -backups 3 -safety quorum # quorum-commit replica groups
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/replication"
 )
 
 func main() {
@@ -30,12 +36,15 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "exhibit to regenerate (all, fig1, table1..table8, fig2, fig3)")
+		experiment = flag.String("experiment", "all", "exhibit to regenerate (all, paper, ablations, extensions, everything, fig1, table1..table8, fig2, fig3, repl-degree, shard-scaling)")
 		dbMB       = flag.Int("db", 50, "database size in MB")
 		dcTxns     = flag.Int64("dc-txns", 0, "Debit-Credit transactions per cell (0 = default)")
 		oeTxns     = flag.Int64("oe-txns", 0, "Order-Entry transactions per cell (0 = default)")
 		warmup     = flag.Int64("warmup", 0, "warmup transactions per cell (0 = default)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
+		backups    = flag.Int("backups", 3, "replication degree K for the extension experiments")
+		shards     = flag.Int("shards", 4, "largest shard count the shard-scaling experiment sweeps to")
+		safety     = flag.String("safety", "1safe", "commit discipline for shard-scaling (1safe, 2safe, quorum)")
 		full       = flag.Bool("full", false, "paper-scale transaction counts (slow)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet      = flag.Bool("q", false, "suppress progress output")
@@ -45,6 +54,19 @@ func run() int {
 	cfg := harness.DefaultRunConfig()
 	cfg.DBSize = *dbMB << 20
 	cfg.Seed = *seed
+	cfg.Backups = *backups
+	cfg.Shards = *shards
+	switch *safety {
+	case "1safe", "1-safe":
+		cfg.Safety = replication.OneSafe
+	case "2safe", "2-safe":
+		cfg.Safety = replication.TwoSafe
+	case "quorum":
+		cfg.Safety = replication.QuorumSafe
+	default:
+		fmt.Fprintf(os.Stderr, "replbench: unknown safety level %q\n", *safety)
+		return 2
+	}
 	if *full {
 		cfg.DCTxns, cfg.OETxns, cfg.Warmup = 1_000_000, 200_000, 20_000
 	}
@@ -61,11 +83,16 @@ func run() int {
 	var exps []harness.Experiment
 	switch *experiment {
 	case "all":
+		exps = append(harness.All(), harness.Extensions()...)
+	case "paper":
 		exps = harness.All()
 	case "ablations":
 		exps = harness.Ablations()
+	case "extensions":
+		exps = harness.Extensions()
 	case "everything":
 		exps = append(harness.All(), harness.Ablations()...)
+		exps = append(exps, harness.Extensions()...)
 	default:
 		for _, id := range strings.Split(*experiment, ",") {
 			e, ok := harness.Lookup(strings.TrimSpace(id))

@@ -1,0 +1,205 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro"
+	"repro/internal/replication"
+	"repro/internal/tpc"
+	"repro/internal/vista"
+)
+
+// Beyond-the-paper capability experiments: the N-replica group's
+// replication-degree/safety trade-off and the sharded front-end's
+// throughput scaling. Registered separately from the paper's exhibits
+// (Extensions) so `replbench -experiment all` shows them after the tables.
+func init() {
+	register(Experiment{
+		ID:    "repl-degree",
+		Title: "Active-group throughput vs replication degree and commit safety",
+		Run:   runReplDegree,
+	})
+	register(Experiment{
+		ID:    "shard-scaling",
+		Title: "Aggregate throughput vs shard count (sharded cluster front-end)",
+		Run:   runShardScaling,
+	})
+}
+
+// runReplDegree sweeps the backup count K for each commit-safety level on
+// the active scheme: 1-safe throughput is nearly flat in K (one broadcast,
+// no waiting), quorum pays the median backup's round trip, 2-safe the
+// slowest backup's.
+func runReplDegree(cfg RunConfig) (*Table, error) {
+	maxK := cfg.Backups
+	if maxK < 1 {
+		maxK = 3
+	}
+	t := &Table{
+		ID:      "repl-degree",
+		Title:   "Active-group Debit-Credit throughput (txns/sec) by backups K and commit safety",
+		Headers: []string{"Backups", "1-safe", "quorum", "2-safe", "quorum acks"},
+		Notes: append(runNotes(cfg),
+			"quorum = ceil((K+1)/2) backup acks; an acked commit survives the primary plus any minority of backups"),
+	}
+	for k := 1; k <= maxK; k++ {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, s := range []replication.Safety{replication.OneSafe, replication.QuorumSafe, replication.TwoSafe} {
+			group, err := replication.NewGroup(replication.Config{
+				Mode:    replication.Active,
+				Store:   vista.Config{Version: vista.V3InlineLog, DBSize: cfg.DBSize},
+				Backups: k,
+				Safety:  s,
+			})
+			if err != nil {
+				return nil, err
+			}
+			w, err := tpc.NewDebitCredit(cfg.DBSize)
+			if err != nil {
+				return nil, err
+			}
+			res, err := tpc.Run(group, w, tpc.Options{
+				Txns: cfg.DCTxns, Warmup: cfg.Warmup, Seed: cfg.Seed, WarmCache: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f0(res.TPS))
+		}
+		row = append(row, fmt.Sprintf("%d", replication.QuorumAcks(k)))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// shardCounts returns the sweep for the shard-scaling experiment: the
+// powers of two up to (and always including) the configured shard count.
+func shardCounts(cfg RunConfig) []int {
+	want := cfg.Shards
+	if want < 1 {
+		want = 4
+	}
+	set := map[int]bool{1: true, want: true}
+	for n := 2; n < want; n *= 2 {
+		set[n] = true
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// runShardScaling drives the same total transaction count against 1..N
+// shards of the sharded cluster front-end. Shards are independent replica
+// groups on disjoint hardware, so the run's wall-clock is the slowest
+// shard's simulated time and aggregate txn/s grows with the shard count.
+func runShardScaling(cfg RunConfig) (*Table, error) {
+	backups := cfg.Backups
+	if backups < 1 {
+		backups = 1
+	}
+	t := &Table{
+		ID:      "shard-scaling",
+		Title:   "Aggregate Debit-Credit throughput (txns/sec) vs shard count",
+		Headers: []string{"Shards", "Aggregate txn/s", "Per-shard txn/s", "Speedup"},
+		Notes: append(runNotes(cfg),
+			fmt.Sprintf("same total transaction count per row, striped round-robin across shards (active backup, K=%d, %s commit)",
+				backups, cfg.Safety)),
+	}
+	txns := cfg.DCTxns
+	if txns > 20_000 {
+		txns = 20_000 // the sweep repeats the work per row
+	}
+	var base float64
+	for _, shards := range shardCounts(cfg) {
+		tps, err := shardCell(cfg, shards, txns)
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = tps
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", shards), f0(tps), f0(tps / float64(shards)),
+			fmt.Sprintf("%.2fx", tps/base),
+		})
+	}
+	return t, nil
+}
+
+// shardCell measures one shard count: per-shard Debit-Credit workloads
+// driven round-robin, throughput aggregated over the slowest shard.
+func shardCell(cfg RunConfig, shards int, txns int64) (float64, error) {
+	sc, err := repro.NewSharded(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  cfg.DBSize,
+		Backups: cfg.Backups,
+		Safety:  repro.Safety(cfg.Safety),
+	}, shards)
+	if err != nil {
+		return 0, err
+	}
+	// One workload per shard, laid out for the shard's slice and driven
+	// through that shard's own transaction stream.
+	ws := make([]tpc.Workload, shards)
+	rs := make([]*tpcRand, shards)
+	for i := range ws {
+		w, err := tpc.NewDebitCredit(sc.ShardSize())
+		if err != nil {
+			return 0, err
+		}
+		base := i * sc.ShardSize()
+		if err := w.Populate(func(off int, data []byte) error {
+			return sc.Load(base+off, data)
+		}); err != nil {
+			return 0, err
+		}
+		ws[i] = w
+		rs[i] = &tpcRand{r: tpc.NewRand(cfg.Seed + uint64(i))}
+	}
+
+	drive := func(count int64) error {
+		for i := int64(0); i < count; i++ {
+			shard := int(i) % shards
+			tx, err := sc.Shard(shard).Begin()
+			if err != nil {
+				return err
+			}
+			if err := ws[shard].Txn(rs[shard].r, tx, rs[shard].n); err != nil {
+				return err
+			}
+			rs[shard].n++
+			if err := tx.Commit(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	warm := cfg.Warmup
+	if warm > txns {
+		warm = txns
+	}
+	if err := drive(warm); err != nil {
+		return 0, err
+	}
+	sc.ResetMeasurement()
+	if err := drive(txns); err != nil {
+		return 0, err
+	}
+	elapsed := sc.Elapsed().Seconds()
+	if elapsed <= 0 {
+		return 0, fmt.Errorf("harness: shard cell consumed no simulated time")
+	}
+	return float64(txns) / elapsed, nil
+}
+
+// tpcRand pairs a workload stream's generator with its transaction index.
+type tpcRand struct {
+	r *rand.Rand
+	n int64
+}

@@ -7,6 +7,8 @@ package harness
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/replication"
 )
 
 // Table is a rendered experiment result.
@@ -97,11 +99,18 @@ var paperExhibits = []string{"fig1", "table1", "table2", "table3", "table4",
 var ablationExhibits = []string{"ablation-wbuf", "ablation-packet",
 	"ablation-cpu", "ablation-san", "ablation-2safe"}
 
+// extensionExhibits lists the capability experiments that go beyond the
+// paper's two-node deployments: N-replica groups and the sharded cluster.
+var extensionExhibits = []string{"repl-degree", "shard-scaling"}
+
 // All returns the paper's experiments in exhibit order.
 func All() []Experiment { return byIDs(paperExhibits) }
 
 // Ablations returns the design-sensitivity experiments.
 func Ablations() []Experiment { return byIDs(ablationExhibits) }
+
+// Extensions returns the replication-degree and sharding experiments.
+func Extensions() []Experiment { return byIDs(extensionExhibits) }
 
 func byIDs(ids []string) []Experiment {
 	out := make([]Experiment, 0, len(ids))
@@ -131,6 +140,15 @@ type RunConfig struct {
 	// SMPDBSize is the per-stream database size in the SMP experiments
 	// (paper: 10 MB per transaction stream).
 	SMPDBSize int
+	// Backups is the replication degree for the repl-degree and
+	// shard-scaling experiments (0 = their defaults).
+	Backups int
+	// Shards is the largest shard count the shard-scaling experiment
+	// sweeps to (0 = its default of 4).
+	Shards int
+	// Safety is the commit discipline the shard-scaling experiment runs
+	// under (default 1-safe).
+	Safety replication.Safety
 }
 
 // DefaultRunConfig returns the scaled-down default configuration.

@@ -6,6 +6,15 @@ import (
 	"testing"
 )
 
+// skipShort drops the heaviest exhibit regenerations under -short (the
+// race-detector run multiplies every simulated transaction's cost).
+func skipShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("heavy exhibit regeneration skipped in -short mode")
+	}
+}
+
 // testConfig is small enough for CI but large enough that the paper's
 // qualitative orderings hold.
 func testConfig() RunConfig {
@@ -78,6 +87,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestTable1Shape(t *testing.T) {
+	skipShort(t)
 	tbl := runExp(t, "table1")
 	for col := 1; col <= 2; col++ {
 		single, pb := cell(t, tbl, 0, col), cell(t, tbl, 1, col)
@@ -183,6 +193,7 @@ func TestTable7ActiveShipsLess(t *testing.T) {
 }
 
 func TestTable8GracefulDegradation(t *testing.T) {
+	skipShort(t)
 	cfg := testConfig()
 	cfg.DCTxns, cfg.OETxns = 4000, 1500
 	e, _ := Lookup("table8")
@@ -203,6 +214,7 @@ func TestTable8GracefulDegradation(t *testing.T) {
 }
 
 func TestFig2SMPShape(t *testing.T) {
+	skipShort(t)
 	tbl := runExp(t, "fig2")
 	// Columns: procs, Active, PassV3, PassV2, PassV1. The paper's robust
 	// claims at the largest processor count: the active version is far
@@ -232,6 +244,7 @@ func TestFig2SMPShape(t *testing.T) {
 }
 
 func TestFig3SMPShape(t *testing.T) {
+	skipShort(t)
 	tbl := runExp(t, "fig3")
 	last := len(tbl.Rows) - 1
 	active := cell(t, tbl, last, 1)
@@ -264,6 +277,7 @@ func TestTableRendering(t *testing.T) {
 }
 
 func TestAblationShapes(t *testing.T) {
+	skipShort(t)
 	cfg := testConfig()
 	cfg.DCTxns = 3000
 

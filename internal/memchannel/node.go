@@ -23,7 +23,23 @@ import (
 // converts one PCI write into one packet of at most this size.
 const blockSize = 32
 
-// Mapping connects a window of this node's I/O space to a remote region.
+// Target is one receiver of a mapped window. Memory Channel pages may be
+// mapped for broadcast: a single transmitted packet is delivered to every
+// node that attached a receive mapping for the page, which is how one
+// primary feeds K backups without K transmissions.
+type Target struct {
+	// Dst is the remote region written by the window; DstOff is the
+	// offset within Dst corresponding to the window's SrcBase.
+	Dst    *mem.Region
+	DstOff int
+	// Down, when non-nil and true at delivery time, drops this receiver's
+	// copy of the payload: the receiver is partitioned or dead. The sender
+	// is unaffected (broadcast has no per-receiver flow control).
+	Down *bool
+}
+
+// Mapping connects a window of this node's I/O space to one or more remote
+// regions (the first receiver inline, extra broadcast receivers in Fanout).
 type Mapping struct {
 	// SrcBase is the local simulated address of the window.
 	SrcBase uint64
@@ -33,6 +49,10 @@ type Mapping struct {
 	// offset within Dst corresponding to SrcBase.
 	Dst    *mem.Region
 	DstOff int
+	// Down gates the primary receiver exactly like Target.Down.
+	Down *bool
+	// Fanout lists additional broadcast receivers of the same window.
+	Fanout []Target
 }
 
 // Node is one machine's Memory Channel attachment. It implements
@@ -85,6 +105,14 @@ func (n *Node) Map(m Mapping) error {
 	}
 	if m.DstOff+m.Size > m.Dst.Size() {
 		return fmt.Errorf("memchannel: mapping %#x overruns destination %q", m.SrcBase, m.Dst.Name)
+	}
+	for _, t := range m.Fanout {
+		if t.Dst == nil {
+			return fmt.Errorf("memchannel: mapping %#x has nil fanout destination", m.SrcBase)
+		}
+		if t.DstOff+m.Size > t.Dst.Size() {
+			return fmt.Errorf("memchannel: mapping %#x overruns fanout destination %q", m.SrcBase, t.Dst.Name)
+		}
 	}
 	for _, o := range n.maps {
 		if m.SrcBase < o.SrcBase+uint64(o.Size) && o.SrcBase < m.SrcBase+uint64(m.Size) {
@@ -256,7 +284,15 @@ func (n *Node) applyRange(addr uint64, data []byte) {
 	if m == nil {
 		panic(fmt.Sprintf("memchannel: I/O store [%#x,+%d) hits no mapping", addr, len(data)))
 	}
-	m.Dst.WriteRaw(m.DstOff+int(addr-m.SrcBase), data)
+	off := int(addr - m.SrcBase)
+	if m.Down == nil || !*m.Down {
+		m.Dst.WriteRaw(m.DstOff+off, data)
+	}
+	for _, t := range m.Fanout {
+		if t.Down == nil || !*t.Down {
+			t.Dst.WriteRaw(t.DstOff+off, data)
+		}
+	}
 }
 
 func (n *Node) mapping(addr uint64, sz int) *Mapping {

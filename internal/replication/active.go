@@ -19,10 +19,12 @@ const (
 // ring": the producer leaves it when a record would straddle the wrap.
 const wrapMarker = 0xFFFFFFFF
 
-// redoChannel is the active backup's shipping lane (paper Section 6.1): a
+// redoChannel is the active group's shipping lane (paper Section 6.1): a
 // circular buffer in Memory Channel space written by the primary and
-// consumed by the backup CPU, with a producer pointer flowing forward and
-// (modelled by sim.Ring) a consumer pointer flowing back.
+// consumed by each backup CPU, with a producer pointer flowing forward and
+// (modelled by one sim.Ring per backup) consumer pointers flowing back.
+// The primary transmits each record once; the SAN's broadcast mappings
+// deliver it to every backup's ring copy.
 //
 // Record layout (the record as a whole is 8-byte aligned; entries are
 // packed tight so typical records fill whole 32-byte blocks — redo-log
@@ -33,46 +35,39 @@ const wrapMarker = 0xFFFFFFFF
 //	[+4] size    (u32)   total record bytes including header and pad
 //	then per write: off (u32), len (u16), data (unpadded)
 type redoChannel struct {
-	pair *Pair
-	ring *sim.Ring
+	g *Group
 
 	ringIO *mem.Region // primary-side I/O-space window
 	ctlIO  *mem.Region // primary-side pointer window
-	bRing  *mem.Region // backup-side buffer
-	bCtl   *mem.Region // backup-side pointer
 
 	ringSize  int
 	prodTotal uint64 // bytes produced (monotonic, includes pads)
 
-	appliedTotal uint64 // backup applier progress (monotonic bytes)
-	appliedTxns  uint64
-
 	cur activeTx
 }
 
-func (p *Pair) buildActive(specs []vista.RegionSpec) error {
-	p.link = p.cfg.Link
-	if p.link == nil {
-		p.link = sim.NewLink(p.params)
+func (g *Group) buildActive(specs []vista.RegionSpec) error {
+	g.link = g.cfg.Link
+	if g.link == nil {
+		g.link = sim.NewLink(g.params)
 	}
-	p.primary = NewNode("primary", p.params, p.link)
-	p.backup = NewNode("backup", p.params, nil)
+	g.primary = NewNode("primary", g.params, g.link)
 
-	next, err := vista.PlaceRegions(p.primary.Space, specs, regionBase)
+	next, err := vista.PlaceRegions(g.primary.Space, specs, regionBase)
 	if err != nil {
 		return err
 	}
 	// The active scheme replicates nothing but the redo log: the engine's
 	// own structures stay local.
-	for _, r := range p.primary.Space.Regions() {
+	for _, r := range g.primary.Space.Regions() {
 		r.WriteThrough = false
 	}
-	if _, err := vista.PlaceRegions(p.backup.Space, p.backupSpecs(specs), regionBase); err != nil {
+	if err := g.newBackupNodes(specs); err != nil {
 		return err
 	}
 
-	ringSize := p.params.RingBytes
-	ch := &redoChannel{pair: p, ringSize: ringSize, ring: sim.NewRing(p.params, ringSize)}
+	ringSize := g.params.RingBytes
+	ch := &redoChannel{g: g, ringSize: ringSize}
 
 	ringBase := next
 	ctlBase := ringBase + uint64(ringSize) + regionBase
@@ -80,23 +75,25 @@ func (p *Pair) buildActive(specs []vista.RegionSpec) error {
 	ch.ringIO.IOOnly = true
 	ch.ctlIO = mem.NewRegion(regionRingCtl, ctlBase, mem.NewDense(64))
 	ch.ctlIO.IOOnly = true
-	ch.bRing = mem.NewRegion(regionRedoRing, ringBase, mem.NewDense(ringSize))
-	ch.bCtl = mem.NewRegion(regionRingCtl, ctlBase, mem.NewDense(64))
-
 	for _, r := range []*mem.Region{ch.ringIO, ch.ctlIO} {
-		if err := p.primary.Space.Add(r); err != nil {
+		if err := g.primary.Space.Add(r); err != nil {
 			return err
 		}
 	}
-	for _, r := range []*mem.Region{ch.bRing, ch.bCtl} {
-		if err := p.backup.Space.Add(r); err != nil {
-			return err
+	for _, b := range g.backups {
+		b.ring = sim.NewRing(g.params, ringSize)
+		b.bRing = mem.NewRegion(regionRedoRing, ringBase, mem.NewDense(ringSize))
+		b.bCtl = mem.NewRegion(regionRingCtl, ctlBase, mem.NewDense(64))
+		for _, r := range []*mem.Region{b.bRing, b.bCtl} {
+			if err := b.node.Space.Add(r); err != nil {
+				return err
+			}
 		}
 	}
-	if err := p.primary.MapIdentity(p.backup.Space); err != nil {
+	if err := g.mapFanout(); err != nil {
 		return err
 	}
-	p.redo = ch
+	g.redo = ch
 	return nil
 }
 
@@ -154,25 +151,40 @@ func (t *activeTx) Abort() error {
 }
 
 // Commit writes the redo record through the SAN, commits locally (the
-// 1-safe commit point), then advances the producer pointer so the backup
-// may consume the record.
+// 1-safe commit point), then advances the producer pointer so the backups
+// may consume the record. Under TwoSafe/QuorumSafe it additionally holds
+// the commit for the configured number of backup acknowledgements.
 func (t *activeTx) Commit() error {
 	c := t.ch
+	g := c.g
 	size := 8
 	for _, n := range t.lens {
 		size += 6 + n
 	}
 	size = pad8(size)
 
-	// Reserve ring space, accounting for a wrap pad.
+	// Reserve ring space, accounting for a wrap pad. Every reachable
+	// backup's ring must have room: the slowest consumer back-pressures
+	// the producer, exactly as its write-back pointer would.
 	off := int(c.prodTotal % uint64(c.ringSize))
 	pad := 0
 	if off+size > c.ringSize {
 		pad = c.ringSize - off
 	}
-	c.pair.primary.MC.RingReserve(c.ring, size+pad)
+	first := true
+	for _, b := range g.backups {
+		if !b.acking() {
+			continue
+		}
+		if first {
+			g.primary.MC.RingReserve(b.ring, size+pad)
+			first = false
+		} else {
+			g.primary.Clock.AdvanceTo(b.ring.Reserve(g.primary.Clock.Now(), size+pad))
+		}
+	}
 
-	acc := c.pair.primary.Acc
+	acc := g.primary.Acc
 	if pad > 0 {
 		c.writeU32(acc, off, wrapMarker)
 		c.writeU32(acc, off+4, uint32(pad))
@@ -203,13 +215,13 @@ func (t *activeTx) Commit() error {
 	}
 	c.prodTotal += uint64(size)
 
-	// Entries must be on the backup before the pointer names them
+	// Entries must be on the backups before the pointer names them
 	// (paper Section 6.1: "only after all of the entries are written,
 	// does it advance the end of buffer pointer").
 	acc.Fence()
 
 	// Local commit: the 1-safe commit point. A crash between here and
-	// the pointer's delivery loses this transaction on the backup.
+	// the pointer's delivery loses this transaction on the backups.
 	if err := t.tx.Commit(); err != nil {
 		return err
 	}
@@ -217,75 +229,106 @@ func (t *activeTx) Commit() error {
 	// The pointer store needs no fence of its own: its buffer was
 	// (re)allocated after the fence above, and both natural fills and
 	// evictions leave the node in allocation order, so by the time any
-	// pointer value reaches the backup, every record it names has been
+	// pointer value reaches a backup, every record it names has been
 	// drained by an earlier commit's fence. Letting it linger coalesces
 	// consecutive transactions' pointer updates into one packet.
 	acc.WriteU64(c.ctlIO.Base, c.prodTotal, mem.CatMeta)
-	c.pair.primary.MC.RingPublish(c.ring, size+pad)
-
-	if c.pair.cfg.TwoSafe {
-		// 2-safe: hold the commit until the backup has applied the
-		// record and its acknowledgement has crossed back — the pointer
-		// must actually leave the write buffers first.
-		acc.Fence()
-		ackAt := c.ring.ConsumerDone() + sim.Time(c.pair.params.LinkLatency)
-		c.pair.primary.Clock.AdvanceTo(ackAt)
+	first = true
+	for _, b := range g.backups {
+		if !b.acking() {
+			continue
+		}
+		if first {
+			g.primary.MC.RingPublish(b.ring, size+pad)
+			first = false
+		} else {
+			b.ring.Publish(g.primary.MC.LastDelivered()+sim.Time(b.ackLag), size+pad)
+		}
 	}
 
-	// Apply everything whose pointer actually reached the backup (under
+	var ackErr error
+	if g.cfg.Safety != OneSafe {
+		// Hold the commit until enough backups have applied the record
+		// and their acknowledgements have crossed back — the pointer
+		// must actually leave the write buffers first.
+		acc.Fence()
+		acks := make([]sim.Time, 0, len(g.backups))
+		for _, b := range g.backups {
+			if b.acking() {
+				acks = append(acks, b.ring.ConsumerDone()+sim.Time(g.params.LinkLatency)+sim.Time(b.ackLag))
+			}
+		}
+		at, err := ackDeadline(acks, g.cfg.Safety, g.cfg.Backups)
+		if err != nil {
+			// Backups failed mid-transaction (Begin gates on
+			// availability): the transaction is committed locally but
+			// the acknowledgement discipline cannot be honored.
+			ackErr = err
+		} else {
+			g.primary.Clock.AdvanceTo(at)
+		}
+	}
+
+	// Apply everything whose pointer actually reached the backups (under
 	// injected mid-stream crashes this may lag prodTotal).
-	c.applyDelivered()
+	for _, b := range g.backups {
+		c.applyDelivered(b)
+	}
 	t.offs, t.lens, t.data = t.offs[:0], t.lens[:0], t.data[:0]
-	return nil
+	return ackErr
 }
 
 func (c *redoChannel) writeU32(acc *mem.Accessor, off int, v uint32) {
 	acc.WriteU32(c.ringIO.Base+uint64(off), v, mem.CatMeta)
 }
 
-// deliveredPtr reads the producer pointer as the backup sees it.
-func (c *redoChannel) deliveredPtr() uint64 {
-	var b [8]byte
-	c.bCtl.ReadRaw(0, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+// deliveredPtr reads the producer pointer as backup b sees it.
+func (c *redoChannel) deliveredPtr(b *backup) uint64 {
+	var buf [8]byte
+	b.bCtl.ReadRaw(0, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
 }
 
-// applyDelivered advances the backup's database copy through every
-// complete record the SAN has delivered. State-only: the backup CPU's
-// timing is modelled by sim.Ring.
-func (c *redoChannel) applyDelivered() {
-	target := c.deliveredPtr()
-	for c.appliedTotal < target {
-		off := int(c.appliedTotal % uint64(c.ringSize))
+// applyDelivered advances backup b's database copy through every complete
+// record the SAN has delivered to it. State-only: the backup CPU's timing
+// is modelled by its sim.Ring. A stale backup (paused at some point) has a
+// gap in its ring copy and stays frozen at its pre-pause prefix.
+func (c *redoChannel) applyDelivered(b *backup) {
+	if b.stale || b.crashed {
+		return
+	}
+	target := c.deliveredPtr(b)
+	for b.appliedTotal < target {
+		off := int(b.appliedTotal % uint64(c.ringSize))
 		var hdr [8]byte
-		c.bRing.ReadRaw(off, hdr[:])
+		b.bRing.ReadRaw(off, hdr[:])
 		nWrites := binary.LittleEndian.Uint32(hdr[0:4])
 		size := binary.LittleEndian.Uint32(hdr[4:8])
 		if nWrites == wrapMarker {
-			c.appliedTotal += uint64(size)
+			b.appliedTotal += uint64(size)
 			continue
 		}
-		c.applyRecord(off, int(nWrites), int(size))
-		c.appliedTotal += uint64(size)
-		c.appliedTxns++
+		c.applyRecord(b, off, int(nWrites), int(size))
+		b.appliedTotal += uint64(size)
+		b.appliedTxns++
 	}
 }
 
-// applyRecord replays one record's writes into the backup database.
-func (c *redoChannel) applyRecord(off, nWrites, size int) {
-	db := c.pair.backup.Space.ByName(vista.RegionDB)
+// applyRecord replays one record's writes into backup b's database.
+func (c *redoChannel) applyRecord(b *backup, off, nWrites, size int) {
+	db := b.node.Space.ByName(vista.RegionDB)
 	pos := off + 8
 	var buf []byte
 	for w := 0; w < nWrites; w++ {
 		var ent [6]byte
-		c.bRing.ReadRaw(pos, ent[:])
+		b.bRing.ReadRaw(pos, ent[:])
 		dbOff := int(binary.LittleEndian.Uint32(ent[0:4]))
 		n := int(binary.LittleEndian.Uint16(ent[4:6]))
 		if cap(buf) < n {
 			buf = make([]byte, n)
 		}
 		buf = buf[:n]
-		c.bRing.ReadRaw(pos+6, buf)
+		b.bRing.ReadRaw(pos+6, buf)
 		db.WriteRaw(dbOff, buf)
 		pos += 6 + n
 	}
@@ -294,19 +337,20 @@ func (c *redoChannel) applyRecord(off, nWrites, size int) {
 	}
 }
 
-// takeover finishes consumption and opens a fresh store over the backup's
-// database (paper: the active backup's copy is transaction-consistent, so
-// recovery is trivial — apply complete records, discard the partial tail).
-func (c *redoChannel) takeover(p *Pair) (*vista.Store, error) {
-	c.applyDelivered()
+// takeover finishes consumption on the promoted backup and opens a fresh
+// store over its database (paper: the active backup's copy is
+// transaction-consistent, so recovery is trivial — apply complete records,
+// discard the partial tail).
+func (c *redoChannel) takeover(g *Group, b *backup) (*vista.Store, error) {
+	c.applyDelivered(b)
 
 	// Seed the committed-transaction counter before the engine opens.
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], c.appliedTxns)
-	ctl := p.backup.Space.ByName(vista.RegionControl)
-	ctl.WriteRaw(0, b[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], b.appliedTxns)
+	ctl := b.node.Space.ByName(vista.RegionControl)
+	ctl.WriteRaw(0, buf[:])
 
-	return vista.Open(p.cfg.Store, p.backup.Acc, p.backup.Rio)
+	return vista.Open(g.cfg.Store, b.node.Acc, b.node.Rio)
 }
 
 func pad8(n int) int { return (n + 7) &^ 7 }

@@ -1,0 +1,785 @@
+package replication
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/mem"
+	"repro/internal/memchannel"
+	"repro/internal/sim"
+	"repro/internal/vista"
+)
+
+// Group is one deployment: a primary store plus (outside Standalone) K
+// backup nodes receiving its replicated state over the SAN's broadcast
+// mappings. With K == 1 it is exactly the paper's primary-backup pair;
+// larger K generalizes the same redo-shipping design into an N-replica
+// group with a configurable commit-safety level.
+//
+// After a failover the group rewires itself in place: the most-caught-up
+// surviving backup is promoted, the remaining survivors re-sync behind it,
+// and replication continues — the group tolerates sequential failures for
+// as long as replicas remain, and Repair re-enrolls fresh backups up to
+// the configured degree.
+type Group struct {
+	cfg    Config
+	params *sim.Params
+	link   *sim.Link
+
+	primary *Node
+	backups []*backup
+	store   *vista.Store
+
+	redo *redoChannel // active-era shipping lane, nil otherwise
+
+	crashed    bool
+	takeover   *vista.Store
+	generation int // bumped at every completed failover
+
+	measureStart sim.Time
+}
+
+// backup is one backup node plus its replication state.
+type backup struct {
+	node *Node
+	// off gates the broadcast receive mappings: true while the backup is
+	// paused (partitioned) or crashed. Referenced by memchannel targets.
+	off     bool
+	paused  bool
+	crashed bool
+	// stale marks a backup that missed traffic while paused: its applied
+	// prefix is frozen until a failover re-sync or Repair recopies it.
+	stale bool
+	// ackLag is the deterministic extra delivery/ack latency of this
+	// backup relative to backup 0 (commodity clusters are not uniform;
+	// the stagger is what separates quorum from 2-safe commit latency).
+	ackLag sim.Dur
+
+	// Active-mode consumer state.
+	ring         *sim.Ring
+	bRing, bCtl  *mem.Region
+	appliedTotal uint64 // bytes of the redo stream applied (monotonic)
+	appliedTxns  uint64
+}
+
+// alive reports whether the backup can be promoted at failover.
+func (b *backup) alive() bool { return !b.crashed }
+
+// acking reports whether the backup participates in commit acknowledgement.
+// A stale backup is excluded even after ResumeBackup: its receive mappings
+// stay gated until a re-sync, so an ack from it would vouch for data it
+// does not hold.
+func (b *backup) acking() bool { return !b.crashed && !b.paused && !b.stale }
+
+// ackStagger returns backup i's extra one-way latency. Backup 0 has none,
+// so a single-backup group reproduces the paper's pair timing exactly.
+func ackStagger(p *sim.Params, i int) sim.Dur {
+	return sim.Dur(i) * p.LinkLatency / 8
+}
+
+// NewGroup constructs and wires a deployment of cfg.Backups replicas.
+func NewGroup(cfg Config) (*Group, error) {
+	params := cfg.Params
+	if params == nil {
+		def := sim.Default()
+		params = &def
+	}
+	if cfg.TwoSafe && cfg.Safety == OneSafe {
+		cfg.Safety = TwoSafe
+	}
+	if !cfg.Safety.Valid() {
+		return nil, fmt.Errorf("replication: invalid safety level %d", int(cfg.Safety))
+	}
+	if cfg.Mode == Active && cfg.Store.Version != vista.V3InlineLog {
+		return nil, ErrActiveNeedV3
+	}
+	if cfg.Safety != OneSafe && cfg.Mode != Passive && cfg.Mode != Active {
+		return nil, ErrSafetyNeedsBackup
+	}
+	if cfg.Backups < 0 {
+		return nil, fmt.Errorf("replication: negative backup count %d", cfg.Backups)
+	}
+	switch cfg.Mode {
+	case Standalone:
+		cfg.Backups = 0
+	case Passive, Active:
+		if cfg.Backups == 0 {
+			cfg.Backups = 1
+		}
+	default:
+		return nil, fmt.Errorf("replication: invalid mode %d", int(cfg.Mode))
+	}
+
+	g := &Group{cfg: cfg, params: params}
+
+	specs, err := vista.Layout(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+
+	switch cfg.Mode {
+	case Standalone:
+		g.primary = NewNode("primary", params, nil)
+		if _, err := vista.PlaceRegions(g.primary.Space, specs, regionBase); err != nil {
+			return nil, err
+		}
+	case Passive:
+		if err := g.buildPassive(specs); err != nil {
+			return nil, err
+		}
+	case Active:
+		if err := g.buildActive(specs); err != nil {
+			return nil, err
+		}
+	}
+
+	store, err := vista.Open(cfg.Store, g.primary.Acc, g.primary.Rio)
+	if err != nil {
+		return nil, err
+	}
+	g.store = store
+	// Initialization traffic (heap formatting and the like) is not part
+	// of any measured interval.
+	g.ResetMeasurement()
+	return g, nil
+}
+
+// newBackupNodes constructs the K backup nodes with their vista regions.
+func (g *Group) newBackupNodes(specs []vista.RegionSpec) error {
+	for i := 0; i < g.cfg.Backups; i++ {
+		b := &backup{
+			node:   NewNode(backupName(0, i), g.params, nil),
+			ackLag: ackStagger(g.params, i),
+		}
+		if _, err := vista.PlaceRegions(b.node.Space, g.backupSpecs(specs), regionBase); err != nil {
+			return err
+		}
+		g.backups = append(g.backups, b)
+	}
+	return nil
+}
+
+func backupName(generation, i int) string {
+	if generation == 0 {
+		if i == 0 {
+			return "backup"
+		}
+		return fmt.Sprintf("backup-%d", i+1)
+	}
+	return fmt.Sprintf("backup-g%d-%d", generation, i+1)
+}
+
+func (g *Group) buildPassive(specs []vista.RegionSpec) error {
+	g.link = g.cfg.Link
+	if g.link == nil {
+		g.link = sim.NewLink(g.params)
+	}
+	g.primary = NewNode("primary", g.params, g.link)
+	if _, err := vista.PlaceRegions(g.primary.Space, specs, regionBase); err != nil {
+		return err
+	}
+	if err := g.newBackupNodes(specs); err != nil {
+		return err
+	}
+	return g.mapFanout()
+}
+
+// mapFanout maps every write-through (or I/O-only) region of the primary
+// onto the same-named region of every backup: one transmitted packet, K
+// receivers, each gated by its backup's partition flag.
+func (g *Group) mapFanout() error {
+	for _, r := range g.primary.Space.Regions() {
+		if !r.WriteThrough && !r.IOOnly {
+			continue
+		}
+		m := memchannel.Mapping{SrcBase: r.Base, Size: r.Size()}
+		for i, b := range g.backups {
+			d := b.node.Space.ByName(r.Name)
+			if d == nil {
+				return fmt.Errorf("replication: backup %q lacks region %q", b.node.Name, r.Name)
+			}
+			if d.Size() < r.Size() {
+				return fmt.Errorf("replication: backup region %q smaller than source", r.Name)
+			}
+			if i == 0 {
+				m.Dst, m.Down = d, &b.off
+			} else {
+				m.Fanout = append(m.Fanout, memchannel.Target{Dst: d, Down: &b.off})
+			}
+		}
+		if err := g.primary.MC.Map(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// backupSpecs optionally converts big regions to sparse backing.
+func (g *Group) backupSpecs(specs []vista.RegionSpec) []vista.RegionSpec {
+	out := make([]vista.RegionSpec, len(specs))
+	copy(out, specs)
+	if g.cfg.SparseBackup {
+		for i := range out {
+			if out[i].Size >= 1<<20 {
+				out[i].Sparse = true
+			}
+		}
+	}
+	return out
+}
+
+// Store returns the currently serving transaction server: the primary, or
+// the promoted survivor after a failover.
+func (g *Group) Store() *vista.Store { return g.store }
+
+// Primary exposes the serving node for instrumentation.
+func (g *Group) Primary() *Node { return g.primary }
+
+// Backup returns the first backup node, or nil in Standalone mode (the
+// paper's pair has exactly one).
+func (g *Group) Backup() *Node {
+	if len(g.backups) == 0 {
+		return nil
+	}
+	return g.backups[0].node
+}
+
+// BackupNode returns backup i's node for instrumentation.
+func (g *Group) BackupNode(i int) *Node {
+	if i < 0 || i >= len(g.backups) {
+		return nil
+	}
+	return g.backups[i].node
+}
+
+// Backups returns the current number of backup nodes (crashed ones
+// included until the next failover or repair drops them).
+func (g *Group) Backups() int { return len(g.backups) }
+
+// Degree returns the configured replication degree K.
+func (g *Group) Degree() int { return g.cfg.Backups }
+
+// Generation returns how many failovers the group has completed.
+func (g *Group) Generation() int { return g.generation }
+
+// Mode returns the deployment mode of the current era: groups that began
+// Active continue passively after a failover (like Repair, re-enrolling an
+// active backup would need a fresh redo ring).
+func (g *Group) Mode() Mode { return g.cfg.Mode }
+
+// Safety returns the configured commit discipline.
+func (g *Group) Safety() Safety { return g.cfg.Safety }
+
+// Params returns the simulation parameters in effect.
+func (g *Group) Params() *sim.Params { return g.params }
+
+// Link returns the SAN link, or nil in Standalone mode.
+func (g *Group) Link() *sim.Link { return g.link }
+
+// ackers returns the backups participating in commit acknowledgement.
+func (g *Group) ackers() []*backup {
+	out := make([]*backup, 0, len(g.backups))
+	for _, b := range g.backups {
+		if b.acking() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// safetyAvailable checks that enough backups are reachable to honor the
+// configured safety level before a transaction opens: commits must never
+// report an acknowledgement discipline they cannot deliver.
+func (g *Group) safetyAvailable() error {
+	if g.cfg.Safety == OneSafe {
+		return nil
+	}
+	acking := len(g.ackers())
+	switch g.cfg.Safety {
+	case TwoSafe:
+		// 2-safe means every live backup: a paused (partitioned) backup
+		// blocks a real 2-safe system, which here surfaces as an error.
+		for _, b := range g.backups {
+			if b.alive() && !b.acking() {
+				return ErrSafetyUnavailable
+			}
+		}
+		if acking == 0 {
+			return ErrSafetyUnavailable
+		}
+	case QuorumSafe:
+		// The quorum is defined over the configured degree, not the
+		// shrinking survivor set: fewer reachable ackers than
+		// ceil((K+1)/2) means the promised guarantee cannot be given.
+		if acking < QuorumAcks(g.cfg.Backups) {
+			return ErrSafetyUnavailable
+		}
+	}
+	return nil
+}
+
+// Begin opens a transaction on the serving store. In the active era the
+// returned handle captures the transaction's writes as redo records; under
+// TwoSafe or QuorumSafe it additionally holds Commit for the configured
+// acknowledgements.
+func (g *Group) Begin() (TxHandle, error) {
+	if g.crashed {
+		return nil, ErrCrashed
+	}
+	if err := g.safetyAvailable(); err != nil {
+		return nil, err
+	}
+	tx, err := g.store.Begin()
+	if err != nil {
+		return nil, err
+	}
+	if g.redo != nil {
+		return g.redo.wrap(tx), nil
+	}
+	if g.cfg.Safety != OneSafe && len(g.backups) > 0 {
+		return &safetyTx{g: g, tx: tx}, nil
+	}
+	return tx, nil
+}
+
+// safetyTx wraps a passive-era transaction with the commit-safety wait:
+// the doubled writes already carry the state, so closing the window only
+// needs the write buffers drained and the acknowledgement round trip.
+type safetyTx struct {
+	g  *Group
+	tx *vista.Tx
+}
+
+var _ TxHandle = (*safetyTx)(nil)
+
+func (t *safetyTx) SetRange(off, n int) error       { return t.tx.SetRange(off, n) }
+func (t *safetyTx) Write(off int, src []byte) error { return t.tx.Write(off, src) }
+func (t *safetyTx) Read(off int, dst []byte) error  { return t.tx.Read(off, dst) }
+func (t *safetyTx) Abort() error                    { return t.tx.Abort() }
+
+func (t *safetyTx) Commit() error {
+	if err := t.tx.Commit(); err != nil {
+		return err
+	}
+	g := t.g
+	// Everything the transaction doubled must leave the write buffers
+	// before any backup can acknowledge it.
+	g.primary.Acc.Fence()
+	delivered := g.primary.MC.LastDelivered()
+	acks := make([]sim.Time, 0, len(g.backups))
+	for _, b := range g.ackers() {
+		acks = append(acks, delivered+sim.Time(b.ackLag)+sim.Time(g.params.LinkLatency))
+	}
+	at, err := ackDeadline(acks, g.cfg.Safety, g.cfg.Backups)
+	if err != nil {
+		return err
+	}
+	g.primary.Clock.AdvanceTo(at)
+	return nil
+}
+
+// ackDeadline picks the commit-release instant from the per-backup ack
+// times: the slowest for TwoSafe, the quorum-th fastest for QuorumSafe.
+// Too few ackers for the discipline — possible only when backups failed
+// mid-transaction, since Begin gates on availability — is an error: the
+// transaction is locally committed but its durability promise cannot be
+// given, and the caller must not treat it as acknowledged.
+func ackDeadline(acks []sim.Time, s Safety, degree int) (sim.Time, error) {
+	sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })
+	switch s {
+	case TwoSafe:
+		if len(acks) == 0 {
+			return 0, ErrSafetyUnavailable
+		}
+		return acks[len(acks)-1], nil
+	case QuorumSafe:
+		need := QuorumAcks(degree)
+		if len(acks) < need {
+			return 0, ErrSafetyUnavailable
+		}
+		return acks[need-1], nil
+	}
+	return 0, nil
+}
+
+// Load installs initial database content on the primary and synchronizes
+// every backup's copies raw (the initial full-database transfer that
+// precedes failure-free operation).
+func (g *Group) Load(off int, data []byte) error {
+	if err := g.store.Load(off, data); err != nil {
+		return err
+	}
+	for _, name := range []string{vista.RegionDB, vista.RegionMirror} {
+		src := g.primary.Space.ByName(name)
+		if src == nil {
+			continue
+		}
+		for _, b := range g.backups {
+			dst := b.node.Space.ByName(name)
+			if dst == nil {
+				continue
+			}
+			dst.WriteRaw(off, readRaw(src, off, len(data)))
+		}
+	}
+	return nil
+}
+
+// ResetMeasurement starts a measured interval: statistics are zeroed and
+// the interval origin is pinned to the current simulated time. Simulated
+// time itself flows on — cache warmth, link queues and ring timelines keep
+// their state, exactly like starting a stopwatch mid-run.
+func (g *Group) ResetMeasurement() {
+	g.primary.Cache.ResetStats()
+	if g.primary.MC != nil {
+		g.primary.MC.ResetStats()
+	}
+	for _, b := range g.backups {
+		b.node.Cache.ResetStats()
+		if b.node.MC != nil {
+			b.node.MC.ResetStats()
+		}
+	}
+	if g.link != nil {
+		g.link.ResetStats()
+	}
+	g.measureStart = g.primary.Clock.Now()
+}
+
+// Elapsed returns the serving node's simulated time since the last
+// ResetMeasurement.
+func (g *Group) Elapsed() sim.Time {
+	return g.primary.Clock.Now() - g.measureStart
+}
+
+// NetBytes returns SAN payload bytes by category (paper Tables 2, 5, 7).
+func (g *Group) NetBytes() map[mem.Category]int64 {
+	if g.primary.MC == nil {
+		return map[mem.Category]int64{}
+	}
+	return g.primary.MC.CategoryBytes()
+}
+
+// Settle lets the deployment go idle for d of simulated time: pending
+// write buffers self-drain, so everything committed before Settle is on
+// every reachable backup afterwards. Demos use it to separate "crash right
+// now" (the 1-safe window applies) from "crash after a quiet moment".
+func (g *Group) Settle(d sim.Dur) {
+	if g.primary.MC != nil && !g.crashed {
+		g.primary.MC.Idle(d)
+	}
+	if g.redo != nil {
+		// Each backup's applier catches up on everything delivered
+		// during the quiet period.
+		for _, b := range g.backups {
+			g.redo.applyDelivered(b)
+		}
+	}
+}
+
+// Crash kills the primary: stores still coalescing in its write buffers
+// are lost (the 1-safe window); everything already emitted is delivered.
+func (g *Group) Crash() error {
+	if g.crashed {
+		return ErrCrashed
+	}
+	g.crashed = true
+	g.store.MarkCrashed()
+	if g.primary.MC != nil {
+		g.primary.MC.Crash()
+	}
+	return nil
+}
+
+// Crashed reports whether the serving primary has crashed.
+func (g *Group) Crashed() bool { return g.crashed }
+
+// backupAt validates a backup index.
+func (g *Group) backupAt(i int) (*backup, error) {
+	if i < 0 || i >= len(g.backups) {
+		return nil, ErrNoSuchBackup
+	}
+	return g.backups[i], nil
+}
+
+// PauseBackup partitions backup i away from the SAN: it stops receiving
+// (and acknowledging) until a failover re-sync or Repair recopies it. Its
+// applied prefix freezes at the pause point, which is how tests — and
+// commodity clusters — get replicas at unequal progress.
+func (g *Group) PauseBackup(i int) error {
+	b, err := g.backupAt(i)
+	if err != nil {
+		return err
+	}
+	if b.crashed || b.paused {
+		return nil
+	}
+	if g.redo != nil {
+		g.redo.applyDelivered(b) // capture the delivered prefix first
+	}
+	b.paused, b.stale, b.off = true, true, true
+	return nil
+}
+
+// ResumeBackup reconnects a paused backup. It remains stale — it missed
+// part of the stream — until the next failover re-sync or Repair, but it
+// counts as reachable again for repair accounting.
+func (g *Group) ResumeBackup(i int) error {
+	b, err := g.backupAt(i)
+	if err != nil {
+		return err
+	}
+	if b.crashed || !b.paused {
+		return nil
+	}
+	b.paused = false
+	// Still gated: a stale backup must not apply a stream with a gap.
+	b.off = true
+	return nil
+}
+
+// CrashBackup kills backup i: it stops receiving, never acknowledges, and
+// is not eligible for promotion.
+func (g *Group) CrashBackup(i int) error {
+	b, err := g.backupAt(i)
+	if err != nil {
+		return err
+	}
+	if b.crashed {
+		return nil
+	}
+	b.crashed, b.off = true, true
+	return nil
+}
+
+// AppliedTxns returns how many transactions backup i has applied (active
+// era; passive backups report the committed count in their control copy).
+func (g *Group) AppliedTxns(i int) uint64 {
+	b, err := g.backupAt(i)
+	if err != nil {
+		return 0
+	}
+	return g.backupProgress(b)
+}
+
+// backupProgress returns the backup's committed-prefix length.
+func (g *Group) backupProgress(b *backup) uint64 {
+	if g.redo != nil {
+		if !b.stale && !b.crashed {
+			g.redo.applyDelivered(b)
+		}
+		return b.appliedTxns
+	}
+	ctl := b.node.Space.ByName(vista.RegionControl)
+	if ctl == nil {
+		return 0
+	}
+	var buf [8]byte
+	ctl.ReadRaw(0, buf[:])
+	return binary.LittleEndian.Uint64(buf[:])
+}
+
+// Failover promotes the most-caught-up surviving backup (highest applied
+// commit sequence) and rewires the group in place: the promoted node
+// serves, the remaining survivors are re-synced behind it and replication
+// continues passively, so another Crash/Failover cycle works for as long
+// as replicas remain. Returns the recovered store, ready to serve.
+func (g *Group) Failover() (*vista.Store, error) {
+	switch {
+	case !g.crashed:
+		return nil, ErrNotCrashed
+	}
+	// Pick the most-caught-up survivor.
+	var best *backup
+	var bestProgress uint64
+	for _, b := range g.backups {
+		if !b.alive() {
+			continue
+		}
+		p := g.backupProgress(b)
+		if best == nil || p > bestProgress {
+			best, bestProgress = b, p
+		}
+	}
+	if best == nil {
+		return nil, ErrNoBackup
+	}
+
+	// Takeover: the promoted node starts cold — its cache is flushed
+	// before recovery so takeover time is charged fairly.
+	best.node.Cache.Flush()
+	var (
+		st  *vista.Store
+		err error
+	)
+	if g.redo != nil {
+		st, err = g.redo.takeover(g, best)
+	} else {
+		st, err = vista.Recover(g.cfg.Store, best.node.Acc, best.node.Rio, vista.RecoverBackup)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Era transition: the survivor serves, everyone else re-enrolls
+	// behind it.
+	survivors := make([]*backup, 0, len(g.backups))
+	for _, b := range g.backups {
+		if b != best && b.alive() {
+			survivors = append(survivors, b)
+		}
+	}
+	g.generation++
+	g.primary = best.node
+	g.store = st
+	g.takeover = st
+	g.crashed = false
+	g.redo = nil
+	if g.cfg.Mode == Active {
+		// Re-established replication uses the passive scheme: the
+		// promoted node's recoverable structures are simply mapped
+		// write-through again (a fresh redo ring would be needed to
+		// stay active).
+		g.cfg.Mode = Passive
+	}
+	if err := g.wireSurvivors(survivors); err != nil {
+		return nil, err
+	}
+	// The serving clock changed machines: re-pin the measured interval so
+	// Elapsed never mixes the old primary's timeline with the new one.
+	g.ResetMeasurement()
+	return st, nil
+}
+
+// wireSurvivors re-synchronizes the given backups behind the (new) primary
+// — the same whole-database enrollment transfer a fresh cluster member
+// pays — and maps the primary's recoverable regions onto them.
+func (g *Group) wireSurvivors(survivors []*backup) error {
+	g.backups = survivors
+	if len(survivors) == 0 {
+		g.link = nil
+		return nil
+	}
+	g.link = sim.NewLink(g.params)
+	g.primary.MC = memchannel.NewNode(g.params, g.primary.Clock, g.link)
+	g.primary.Acc.IO = g.primary.MC
+
+	for i, b := range g.backups {
+		b.ring, b.bRing, b.bCtl = nil, nil, nil
+		b.appliedTotal, b.appliedTxns = 0, 0
+		b.paused, b.stale = false, false
+		b.off = b.crashed
+		b.ackLag = ackStagger(g.params, i)
+		if err := g.resyncBackup(b); err != nil {
+			return err
+		}
+	}
+	return g.mapFanout()
+}
+
+// resyncBackup ships the primary's current recoverable state wholesale
+// (raw: enrollment happens outside the measured interval, like Load's
+// initial transfer).
+func (g *Group) resyncBackup(b *backup) error {
+	for _, src := range g.primary.Space.Regions() {
+		if src.IOOnly {
+			continue
+		}
+		dst := b.node.Space.ByName(src.Name)
+		if dst == nil {
+			// Regions with no counterpart on this backup (a promoted
+			// active backup's old redo ring) are not replicated.
+			continue
+		}
+		if err := copyRegion(dst, src); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Takeover returns the store recovered by the most recent failover, or nil.
+func (g *Group) Takeover() *vista.Store { return g.takeover }
+
+// Repair restores the group to its configured replication degree after a
+// failover: fresh backup nodes enroll behind the serving survivor (initial
+// full-state transfer included) — the direction the paper points at for "a
+// more full-fledged cluster, not restricted to a simple primary-backup
+// configuration" (Section 1). It returns the (rewired) group itself.
+func (g *Group) Repair() (*Group, error) {
+	if g.takeover == nil {
+		return nil, ErrNotRepairable
+	}
+	if g.crashed {
+		return nil, ErrCrashed
+	}
+
+	specs, err := vista.Layout(g.store.Config())
+	if err != nil {
+		return nil, err
+	}
+	members := make([]*backup, 0, g.cfg.Backups)
+	for _, b := range g.backups {
+		if b.alive() {
+			members = append(members, b)
+		}
+	}
+	for i := len(members); i < g.cfg.Backups; i++ {
+		b := &backup{node: NewNode(backupName(g.generation, i), g.params, nil)}
+		if _, err := vista.PlaceRegions(b.node.Space, g.backupSpecs(specs), regionBase); err != nil {
+			return nil, err
+		}
+		members = append(members, b)
+	}
+	if err := g.wireSurvivors(members); err != nil {
+		return nil, err
+	}
+	g.ResetMeasurement()
+	return g, nil
+}
+
+// BackupRead serves a read-only query from the first backup's database
+// copy — the paper's Section 1 asks "whether the backup can or should be
+// used to execute transactions itself"; with the active scheme its copy is
+// transaction-consistent at every applied commit, so read-only work can be
+// offloaded. The read observes the applied prefix (which trails the
+// primary by the 1-safe window) and charges the backup's own CPU.
+func (g *Group) BackupRead(off int, dst []byte) error {
+	if g.redo == nil {
+		return fmt.Errorf("replication: backup reads require the active backup (mode %s)", g.cfg.Mode)
+	}
+	b := g.backups[0]
+	db := b.node.Space.ByName(vista.RegionDB)
+	if db == nil || off < 0 || off+len(dst) > db.Size() {
+		return vista.ErrBounds
+	}
+	g.redo.applyDelivered(b) // serve the freshest applied prefix
+	b.node.Acc.Read(db.Base+uint64(off), dst)
+	return nil
+}
+
+// BackupApplied returns how many transactions the first active backup has
+// applied (trails the primary's commit count by the in-flight window).
+func (g *Group) BackupApplied() uint64 {
+	if g.redo == nil || len(g.backups) == 0 {
+		return 0
+	}
+	g.redo.applyDelivered(g.backups[0])
+	return g.backups[0].appliedTxns
+}
+
+// SetTrace attaches a trace recorder to the primary's SAN interactions for
+// the SMP capture runs; nil detaches. Redo-ring reserve and publish events
+// are recorded through the same node, so one recorder sees everything.
+func (g *Group) SetTrace(t *sim.Trace) {
+	if g.primary.MC != nil {
+		g.primary.MC.SetTrace(t)
+	}
+}
+
+func readRaw(r *mem.Region, off, n int) []byte {
+	buf := make([]byte, n)
+	r.ReadRaw(off, buf)
+	return buf
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 
-	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/vista"
 )
@@ -17,9 +16,9 @@ const (
 	// Standalone runs the server with no backup (paper Table 3).
 	Standalone Mode = iota + 1
 	// Passive replicates the engine's own structures by write-through
-	// doubling; the backup CPU idles (paper Section 5).
+	// doubling; the backup CPUs idle (paper Section 5).
 	Passive
-	// Active ships a redo log through a circular buffer that the backup
+	// Active ships a redo log through a circular buffer that each backup
 	// CPU applies to its database copy (paper Section 6). The primary
 	// runs the best local scheme, Version 3, for its own recoverability.
 	Active
@@ -39,6 +38,55 @@ func (m Mode) String() string {
 	}
 }
 
+// Safety selects the commit discipline of a replicated deployment (the
+// paper's Section 2.1 discusses 1-safe versus 2-safe; quorum commit is the
+// natural middle ground once a group has more than one backup).
+type Safety int
+
+// Safety levels.
+const (
+	// OneSafe returns from Commit at the local commit point; a crash in
+	// the next few microseconds may lose the transaction (paper default).
+	OneSafe Safety = iota
+	// TwoSafe holds Commit until every live backup has applied and
+	// acknowledged the transaction: the loss window closes at the price
+	// of a SAN round trip to the slowest backup per commit.
+	TwoSafe
+	// QuorumSafe holds Commit until ceil((K+1)/2) of the K backups have
+	// acknowledged: an acked transaction survives the simultaneous loss
+	// of the primary and any minority of the backups, and the commit
+	// latency is set by the median backup rather than the slowest.
+	QuorumSafe
+)
+
+// String names the safety level.
+func (s Safety) String() string {
+	switch s {
+	case OneSafe:
+		return "1-safe"
+	case TwoSafe:
+		return "2-safe"
+	case QuorumSafe:
+		return "quorum"
+	default:
+		return fmt.Sprintf("Safety(%d)", int(s))
+	}
+}
+
+// Valid reports whether s is a defined safety level.
+func (s Safety) Valid() bool { return s >= OneSafe && s <= QuorumSafe }
+
+// QuorumAcks returns the number of backup acknowledgements QuorumSafe
+// requires in a group of k backups: ceil((k+1)/2), capped at k. The
+// primary itself is the remaining member of the majority.
+func QuorumAcks(k int) int {
+	q := (k + 2) / 2
+	if q > k {
+		q = k
+	}
+	return q
+}
+
 // Config describes a replicated (or standalone) deployment.
 type Config struct {
 	Mode  Mode
@@ -46,22 +94,27 @@ type Config struct {
 	// Params defaults to sim.Default().
 	Params *sim.Params
 	// Link, when set, is a shared SAN link (the SMP experiments attach
-	// several pairs to one link via trace capture and replay). When nil,
-	// a replicated pair gets a private link.
+	// several groups to one link via trace capture and replay). When nil,
+	// a replicated group gets a private link.
 	Link *sim.Link
-	// SparseBackup backs the backup's large regions with page-on-demand
+	// SparseBackup backs the backups' large regions with page-on-demand
 	// storage (Table 8's 1 GB database without 3x host memory).
 	SparseBackup bool
-	// TwoSafe upgrades the active backup's commit to 2-safe (paper
-	// Section 2.1 discusses the choice): Commit returns only after the
-	// redo record has crossed the SAN, been applied by the backup CPU,
-	// and acknowledged — closing the lost-transaction window at the
-	// price of a round trip per commit. Active mode only.
+	// Backups is the replication degree K: the number of backup nodes fed
+	// by the primary. Zero means one backup for the replicated modes
+	// (the paper's pair); Standalone ignores it.
+	Backups int
+	// Safety selects the commit discipline (default OneSafe). Anything
+	// stronger than OneSafe requires a replicated mode.
+	Safety Safety
+	// TwoSafe is the legacy toggle for Safety == TwoSafe; setting it with
+	// Safety left at OneSafe upgrades the safety level.
 	TwoSafe bool
 }
 
 // TxHandle is the transactional surface shared by all modes; vista.Tx
-// satisfies it, and the active mode wraps it with redo capture.
+// satisfies it, and the replicated modes wrap it with redo capture and/or
+// the configured commit-safety wait.
 type TxHandle interface {
 	SetRange(off, n int) error
 	Write(off int, src []byte) error
@@ -72,314 +125,26 @@ type TxHandle interface {
 
 var _ TxHandle = (*vista.Tx)(nil)
 
-// Pair is one deployment: a primary store plus (outside Standalone) a
-// backup node receiving its replicated state.
-type Pair struct {
-	cfg    Config
-	params *sim.Params
-	link   *sim.Link
-
-	primary *Node
-	backup  *Node
-	store   *vista.Store
-
-	redo *redoChannel // active mode only
-
-	crashed      bool
-	failedOver   bool
-	takeover     *vista.Store
-	measureStart sim.Time
-}
-
-// Pair state errors.
+// Group state errors.
 var (
-	ErrCrashed            = errors.New("replication: primary has crashed")
-	ErrNotCrashed         = errors.New("replication: primary still alive")
-	ErrNoBackup           = errors.New("replication: deployment has no backup")
-	ErrFailedOver         = errors.New("replication: already failed over")
-	ErrActiveNeedV3       = errors.New("replication: active backup requires the Version 3 local scheme")
-	ErrTwoSafeNeedsActive = errors.New("replication: 2-safe commit requires the active backup")
+	ErrCrashed           = errors.New("replication: primary has crashed")
+	ErrNotCrashed        = errors.New("replication: primary still alive")
+	ErrNoBackup          = errors.New("replication: no surviving backup")
+	ErrActiveNeedV3      = errors.New("replication: active backup requires the Version 3 local scheme")
+	ErrSafetyNeedsBackup = errors.New("replication: 2-safe and quorum commit require a replicated mode")
+	ErrSafetyUnavailable = errors.New("replication: not enough reachable backups for the configured safety level")
+	ErrNoSuchBackup      = errors.New("replication: no such backup")
 )
 
-// NewPair constructs and wires a deployment.
-func NewPair(cfg Config) (*Pair, error) {
-	params := cfg.Params
-	if params == nil {
-		def := sim.Default()
-		params = &def
-	}
-	if cfg.Mode == Active && cfg.Store.Version != vista.V3InlineLog {
-		return nil, ErrActiveNeedV3
-	}
-	if cfg.TwoSafe && cfg.Mode != Active {
-		return nil, ErrTwoSafeNeedsActive
-	}
+// Pair is the historical name for a Group: the paper evaluates exactly one
+// primary and one backup, and every single-backup call site keeps working
+// through this alias.
+type Pair = Group
 
-	p := &Pair{cfg: cfg, params: params}
-
-	specs, err := vista.Layout(cfg.Store)
-	if err != nil {
-		return nil, err
-	}
-
-	switch cfg.Mode {
-	case Standalone:
-		p.primary = NewNode("primary", params, nil)
-		if _, err := vista.PlaceRegions(p.primary.Space, specs, regionBase); err != nil {
-			return nil, err
-		}
-	case Passive:
-		if err := p.buildPassive(specs); err != nil {
-			return nil, err
-		}
-	case Active:
-		if err := p.buildActive(specs); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("replication: invalid mode %d", int(cfg.Mode))
-	}
-
-	store, err := vista.Open(cfg.Store, p.primary.Acc, p.primary.Rio)
-	if err != nil {
-		return nil, err
-	}
-	p.store = store
-	// Initialization traffic (heap formatting and the like) is not part
-	// of any measured interval.
-	p.ResetMeasurement()
-	return p, nil
-}
+// NewPair constructs a deployment with the default replication degree
+// (one backup outside Standalone) — the paper's configuration.
+func NewPair(cfg Config) (*Pair, error) { return NewGroup(cfg) }
 
 // regionBase leaves the zero page unmapped so a zero address is always a
 // wild pointer.
 const regionBase = 8 << 20
-
-func (p *Pair) buildPassive(specs []vista.RegionSpec) error {
-	p.link = p.cfg.Link
-	if p.link == nil {
-		p.link = sim.NewLink(p.params)
-	}
-	p.primary = NewNode("primary", p.params, p.link)
-	p.backup = NewNode("backup", p.params, nil)
-
-	if _, err := vista.PlaceRegions(p.primary.Space, specs, regionBase); err != nil {
-		return err
-	}
-	bspecs := p.backupSpecs(specs)
-	if _, err := vista.PlaceRegions(p.backup.Space, bspecs, regionBase); err != nil {
-		return err
-	}
-	return p.primary.MapIdentity(p.backup.Space)
-}
-
-// backupSpecs optionally converts big regions to sparse backing.
-func (p *Pair) backupSpecs(specs []vista.RegionSpec) []vista.RegionSpec {
-	out := make([]vista.RegionSpec, len(specs))
-	copy(out, specs)
-	if p.cfg.SparseBackup {
-		for i := range out {
-			if out[i].Size >= 1<<20 {
-				out[i].Sparse = true
-			}
-		}
-	}
-	return out
-}
-
-// Store returns the primary transaction server (nil after failover).
-func (p *Pair) Store() *vista.Store { return p.store }
-
-// Primary and Backup expose the nodes for instrumentation.
-func (p *Pair) Primary() *Node { return p.primary }
-
-// Backup returns the backup node, or nil in Standalone mode.
-func (p *Pair) Backup() *Node { return p.backup }
-
-// Mode returns the deployment mode.
-func (p *Pair) Mode() Mode { return p.cfg.Mode }
-
-// Params returns the simulation parameters in effect.
-func (p *Pair) Params() *sim.Params { return p.params }
-
-// Link returns the SAN link, or nil in Standalone mode.
-func (p *Pair) Link() *sim.Link { return p.link }
-
-// Begin opens a transaction on the primary. In Active mode the returned
-// handle additionally captures the transaction's writes as redo records.
-func (p *Pair) Begin() (TxHandle, error) {
-	if p.crashed {
-		return nil, ErrCrashed
-	}
-	tx, err := p.store.Begin()
-	if err != nil {
-		return nil, err
-	}
-	if p.cfg.Mode == Active {
-		return p.redo.wrap(tx), nil
-	}
-	return tx, nil
-}
-
-// Load installs initial database content on the primary and, when a backup
-// exists, synchronizes the backup's copies raw (the initial full-database
-// transfer that precedes failure-free operation).
-func (p *Pair) Load(off int, data []byte) error {
-	if err := p.store.Load(off, data); err != nil {
-		return err
-	}
-	if p.backup == nil {
-		return nil
-	}
-	for _, name := range []string{vista.RegionDB, vista.RegionMirror} {
-		src := p.primary.Space.ByName(name)
-		dst := p.backup.Space.ByName(name)
-		if src == nil || dst == nil {
-			continue
-		}
-		dst.WriteRaw(off, readRaw(src, off, len(data)))
-	}
-	return nil
-}
-
-// ResetMeasurement starts a measured interval: statistics are zeroed and
-// the interval origin is pinned to the current simulated time. Simulated
-// time itself flows on — cache warmth, link queues and ring timelines keep
-// their state, exactly like starting a stopwatch mid-run.
-func (p *Pair) ResetMeasurement() {
-	nodes := []*Node{p.primary, p.backup}
-	for _, n := range nodes {
-		if n == nil {
-			continue
-		}
-		n.Cache.ResetStats()
-		if n.MC != nil {
-			n.MC.ResetStats()
-		}
-	}
-	if p.link != nil {
-		p.link.ResetStats()
-	}
-	p.measureStart = p.primary.Clock.Now()
-}
-
-// Elapsed returns the primary's simulated time since the last
-// ResetMeasurement.
-func (p *Pair) Elapsed() sim.Time {
-	return p.primary.Clock.Now() - p.measureStart
-}
-
-// NetBytes returns SAN payload bytes by category (paper Tables 2, 5, 7).
-func (p *Pair) NetBytes() map[mem.Category]int64 {
-	if p.primary.MC == nil {
-		return map[mem.Category]int64{}
-	}
-	return p.primary.MC.CategoryBytes()
-}
-
-// Settle lets the deployment go idle for d of simulated time: pending
-// write buffers self-drain, so everything committed before Settle is on
-// the backup afterwards. Demos use it to separate "crash right now" (the
-// 1-safe window applies) from "crash after a quiet moment" (no loss).
-func (p *Pair) Settle(d sim.Dur) {
-	if p.primary.MC != nil && !p.crashed {
-		p.primary.MC.Idle(d)
-	}
-	if p.redo != nil {
-		// The backup's applier catches up on everything delivered
-		// during the quiet period.
-		p.redo.applyDelivered()
-	}
-}
-
-// Crash kills the primary: stores still coalescing in its write buffers
-// are lost (the 1-safe window); everything already emitted is delivered.
-func (p *Pair) Crash() error {
-	if p.crashed {
-		return ErrCrashed
-	}
-	p.crashed = true
-	p.store.MarkCrashed()
-	if p.primary.MC != nil {
-		p.primary.MC.Crash()
-	}
-	return nil
-}
-
-// Failover performs takeover on the backup and returns the recovered
-// store, ready to serve transactions standalone. The backup starts cold:
-// its cache is flushed before recovery so takeover time is charged fairly.
-func (p *Pair) Failover() (*vista.Store, error) {
-	switch {
-	case p.backup == nil:
-		return nil, ErrNoBackup
-	case !p.crashed:
-		return nil, ErrNotCrashed
-	case p.failedOver:
-		return nil, ErrFailedOver
-	}
-	p.failedOver = true
-	p.backup.Cache.Flush()
-
-	var (
-		st  *vista.Store
-		err error
-	)
-	if p.cfg.Mode == Active {
-		st, err = p.redo.takeover(p)
-	} else {
-		st, err = vista.Recover(p.cfg.Store, p.backup.Acc, p.backup.Rio, vista.RecoverBackup)
-	}
-	if err != nil {
-		return nil, err
-	}
-	p.takeover = st
-	return st, nil
-}
-
-// Takeover returns the post-failover store, or nil.
-func (p *Pair) Takeover() *vista.Store { return p.takeover }
-
-// BackupRead serves a read-only query from the active backup's database
-// copy — the paper's Section 1 asks "whether the backup can or should be
-// used to execute transactions itself"; with the active scheme its copy is
-// transaction-consistent at every applied commit, so read-only work can be
-// offloaded. The read observes the applied prefix (which trails the
-// primary by the 1-safe window) and charges the backup's own CPU.
-func (p *Pair) BackupRead(off int, dst []byte) error {
-	if p.cfg.Mode != Active {
-		return fmt.Errorf("replication: backup reads require the active backup (mode %s)", p.cfg.Mode)
-	}
-	db := p.backup.Space.ByName(vista.RegionDB)
-	if db == nil || off < 0 || off+len(dst) > db.Size() {
-		return vista.ErrBounds
-	}
-	p.redo.applyDelivered() // serve the freshest applied prefix
-	p.backup.Acc.Read(db.Base+uint64(off), dst)
-	return nil
-}
-
-// BackupApplied returns how many transactions the active backup has
-// applied (trails the primary's commit count by the in-flight window).
-func (p *Pair) BackupApplied() uint64 {
-	if p.redo == nil {
-		return 0
-	}
-	p.redo.applyDelivered()
-	return p.redo.appliedTxns
-}
-
-// SetTrace attaches a trace recorder to the primary's SAN interactions for
-// the SMP capture runs; nil detaches. Redo-ring reserve and publish events
-// are recorded through the same node, so one recorder sees everything.
-func (p *Pair) SetTrace(t *sim.Trace) {
-	if p.primary.MC != nil {
-		p.primary.MC.SetTrace(t)
-	}
-}
-
-func readRaw(r *mem.Region, off, n int) []byte {
-	buf := make([]byte, n)
-	r.ReadRaw(off, buf)
-	return buf
-}

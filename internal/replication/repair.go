@@ -3,84 +3,13 @@ package replication
 import (
 	"errors"
 	"fmt"
-
-	"repro/internal/memchannel"
-	"repro/internal/sim"
-	"repro/internal/vista"
 )
 
 // ErrNotRepairable is returned by Repair before a completed failover.
 var ErrNotRepairable = errors.New("replication: repair requires a completed failover")
 
-// Repair restores redundancy after a failover: the takeover survivor keeps
-// serving while a fresh backup node is enrolled behind it — the direction
-// the paper points at for "a more full-fledged cluster, not restricted to
-// a simple primary-backup configuration" (Section 1).
-//
-// The new deployment replicates passively (the survivor's recoverable
-// structures are simply mapped write-through again; re-enrolling an active
-// backup would additionally need a fresh redo ring, which the returned
-// pair does not carry). Enrollment performs the initial full-state
-// transfer — the same whole-database copy a new cluster member always
-// pays — and returns a Pair whose primary is the survivor.
-func (p *Pair) Repair() (*Pair, error) {
-	if !p.failedOver || p.takeover == nil {
-		return nil, ErrNotRepairable
-	}
-
-	survivor := p.backup // the node now serving
-	store := p.takeover
-
-	np := &Pair{
-		cfg: Config{
-			Mode:         Passive,
-			Store:        store.Config(),
-			Params:       p.params,
-			SparseBackup: p.cfg.SparseBackup,
-		},
-		params:  p.params,
-		primary: survivor,
-		store:   store,
-	}
-	np.link = sim.NewLink(p.params)
-	np.backup = NewNode("backup-2", p.params, nil)
-
-	// Lay out the new backup identically to the survivor.
-	specs, err := vista.Layout(store.Config())
-	if err != nil {
-		return nil, err
-	}
-	if _, err := vista.PlaceRegions(np.backup.Space, np.backupSpecs(specs), regionBase); err != nil {
-		return nil, err
-	}
-
-	// The survivor was built as a receiving node: give it a Memory
-	// Channel attachment and route its doubled writes through it.
-	survivor.MC = memchannel.NewNode(p.params, survivor.Clock, np.link)
-	survivor.Acc.IO = survivor.MC
-
-	// Initial synchronization: ship the survivor's current recoverable
-	// state wholesale (the enrollment transfer).
-	for _, src := range survivor.Space.Regions() {
-		dst := np.backup.Space.ByName(src.Name)
-		if dst == nil {
-			// Active-era regions (redo ring) have no passive
-			// counterpart and are not part of the new deployment.
-			continue
-		}
-		if err := copyRegion(dst, src); err != nil {
-			return nil, err
-		}
-	}
-	if err := survivor.MapIdentity(np.backup.Space); err != nil {
-		return nil, err
-	}
-	np.ResetMeasurement()
-	return np, nil
-}
-
 // copyRegion moves a whole region's bytes (raw: enrollment happens outside
-// the measured interval, like Pair.Load's initial transfer).
+// the measured interval, like Group.Load's initial transfer).
 func copyRegion(dst, src interface {
 	Size() int
 	ReadRaw(int, []byte)

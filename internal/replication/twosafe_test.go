@@ -9,13 +9,20 @@ import (
 	"repro/internal/vista"
 )
 
-func TestTwoSafeRequiresActive(t *testing.T) {
+func TestTwoSafeRequiresBackup(t *testing.T) {
 	if _, err := replication.NewPair(replication.Config{
-		Mode:    replication.Passive,
+		Mode:    replication.Standalone,
 		Store:   vista.Config{Version: vista.V3InlineLog, DBSize: testDB},
 		TwoSafe: true,
-	}); !errors.Is(err, replication.ErrTwoSafeNeedsActive) {
-		t.Fatalf("2-safe passive accepted: %v", err)
+	}); !errors.Is(err, replication.ErrSafetyNeedsBackup) {
+		t.Fatalf("2-safe standalone accepted: %v", err)
+	}
+	if _, err := replication.NewPair(replication.Config{
+		Mode:   replication.Standalone,
+		Store:  vista.Config{Version: vista.V3InlineLog, DBSize: testDB},
+		Safety: replication.QuorumSafe,
+	}); !errors.Is(err, replication.ErrSafetyNeedsBackup) {
+		t.Fatalf("quorum standalone accepted: %v", err)
 	}
 }
 

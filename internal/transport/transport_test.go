@@ -25,13 +25,16 @@ type session struct {
 	serveErr error
 }
 
-func startSession(t *testing.T, cfg vista.Config) *session {
+// startSession wires a primary to a backup Serve goroutine. The heartbeat
+// timeout must be fixed before Serve starts reading it (the race detector
+// flags a later mutation), so it is a parameter.
+func startSession(t *testing.T, cfg vista.Config, timeout time.Duration) *session {
 	t.Helper()
 	backup, err := NewBackup(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	backup.Timeout = 2 * time.Second
+	backup.Timeout = timeout
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -93,7 +96,7 @@ func runDC(t *testing.T, store *PrimaryStore, txns int64) {
 
 func TestOrderlyShutdownReplicatesEverything(t *testing.T) {
 	cfg := vista.Config{Version: vista.V3InlineLog, DBSize: testDB}
-	s := startSession(t, cfg)
+	s := startSession(t, cfg, 2*time.Second)
 	runDC(t, s.store, 300)
 	if err := s.sink.Close(); err != nil {
 		t.Fatal(err)
@@ -123,8 +126,7 @@ func TestHardCrashRecoversCommittedPrefix(t *testing.T) {
 	for _, v := range []vista.Version{vista.V0Vista, vista.V1MirrorCopy, vista.V2MirrorDiff, vista.V3InlineLog} {
 		t.Run(v.String(), func(t *testing.T) {
 			cfg := vista.Config{Version: v, DBSize: testDB}
-			s := startSession(t, cfg)
-			s.backup.Timeout = 500 * time.Millisecond
+			s := startSession(t, cfg, 500*time.Millisecond)
 			runDC(t, s.store, 200)
 			// Die silently mid-stream: some frames of the next
 			// transactions never leave the process.
@@ -217,8 +219,7 @@ func TestLayoutChecksumDistinguishesConfigs(t *testing.T) {
 
 func TestHeartbeatTimeoutDetectsSilentPeer(t *testing.T) {
 	cfg := vista.Config{Version: vista.V3InlineLog, DBSize: testDB}
-	s := startSession(t, cfg)
-	s.backup.Timeout = 300 * time.Millisecond
+	s := startSession(t, cfg, 300*time.Millisecond)
 	runDC(t, s.store, 10)
 	// Silence everything, including heartbeats.
 	s.sink.FailAfterFrames(0)

@@ -1,13 +1,16 @@
 // Package repro is a from-scratch reproduction of "Data Replication
 // Strategies for Fault Tolerance and Availability on Commodity Clusters"
 // (Amza, Cox, Zwaenepoel — DSN 2000): a Vista-style in-memory transaction
-// server over reliable memory, replicated to a backup node either passively
-// (write-through doubling over a modelled Memory Channel SAN) or actively
-// (a redo-log circular buffer applied by the backup CPU), with crash
-// injection and failover.
+// server over reliable memory, replicated to K backup nodes either
+// passively (write-through doubling over a modelled Memory Channel SAN) or
+// actively (a redo-log circular buffer applied by each backup CPU), with
+// configurable commit safety (1-safe, 2-safe, quorum), crash injection,
+// most-caught-up failover and repair. NewSharded stripes a database across
+// N independent replica groups for throughput that scales with shard
+// count.
 //
 // The package is the public facade over the internal substrate packages.
-// State is real — crash the primary at any instant and the backup recovers
+// State is real — crash the primary at any instant and a backup recovers
 // the committed prefix — while time is simulated, so throughput numbers are
 // deterministic reproductions of the paper's tables rather than host
 // measurements. See DESIGN.md for the model and EXPERIMENTS.md for the
@@ -80,6 +83,28 @@ const (
 // String names the mode as the paper does.
 func (m BackupMode) String() string { return replication.Mode(m).String() }
 
+// Safety selects the commit discipline of a replicated cluster.
+type Safety int
+
+// Safety levels.
+const (
+	// OneSafe returns from Commit at the local commit point (the paper's
+	// choice): a crash in the next few microseconds may lose the
+	// transaction.
+	OneSafe Safety = Safety(replication.OneSafe)
+	// TwoSafe holds Commit until every live backup has applied and
+	// acknowledged the transaction.
+	TwoSafe Safety = Safety(replication.TwoSafe)
+	// QuorumSafe holds Commit until a majority of the replica group
+	// (primary included) has the transaction: with K backups,
+	// ceil((K+1)/2) acknowledgements. An acked commit survives the
+	// simultaneous loss of the primary and any minority of backups.
+	QuorumSafe Safety = Safety(replication.QuorumSafe)
+)
+
+// String names the safety level.
+func (s Safety) String() string { return replication.Safety(s).String() }
+
 // Config sizes a Cluster.
 type Config struct {
 	// Version is the engine design; see the Version constants.
@@ -93,11 +118,18 @@ type Config struct {
 	// UncheckedWrites disables set-range enforcement, matching Vista's
 	// raw memory interface.
 	UncheckedWrites bool
-	// TwoSafe upgrades the active backup's commit to 2-safe: Commit
-	// returns only after the backup has applied and acknowledged the
-	// transaction, closing the lost-transaction window at the price of
-	// a SAN round trip per commit. Requires ActiveBackup.
+	// TwoSafe upgrades the commit to 2-safe: Commit returns only after
+	// the backups have applied and acknowledged the transaction, closing
+	// the lost-transaction window at the price of a SAN round trip per
+	// commit. Legacy toggle for Safety: TwoSafe.
 	TwoSafe bool
+	// Backups is the replication degree K: how many backup nodes the
+	// primary feeds. Zero means one backup for the replicated modes —
+	// the paper's pair.
+	Backups int
+	// Safety selects the commit discipline (default OneSafe); stronger
+	// levels require a replicated mode.
+	Safety Safety
 }
 
 // Tx is one open transaction: the paper's RVM-style API (Section 2.1).
@@ -154,7 +186,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Backup == 0 {
 		cfg.Backup = Standalone
 	}
-	pair, err := replication.NewPair(replication.Config{
+	pair, err := replication.NewGroup(replication.Config{
 		Mode: replication.Mode(cfg.Backup),
 		Store: vista.Config{
 			Version:         vista.Version(cfg.Version),
@@ -164,6 +196,8 @@ func New(cfg Config) (*Cluster, error) {
 		},
 		SparseBackup: cfg.SparseDB,
 		TwoSafe:      cfg.TwoSafe,
+		Backups:      cfg.Backups,
+		Safety:       replication.Safety(cfg.Safety),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
@@ -213,8 +247,9 @@ func (c *Cluster) Settle() { c.pair.Settle(10 * sim.Microsecond) }
 // packets already posted reach the backup.
 func (c *Cluster) CrashPrimary() error { return c.pair.Crash() }
 
-// Failover performs takeover on the backup: the engine's recovery code
-// runs over the replicated bytes and the backup starts serving. Returns
+// Failover performs takeover: the most-caught-up surviving backup recovers
+// from its replicated bytes and starts serving, with any remaining
+// survivors re-synced behind it (replication continues). Returns
 // ErrNoBackup on standalone clusters.
 func (c *Cluster) Failover() error {
 	st, err := c.pair.Failover()
@@ -228,10 +263,11 @@ func (c *Cluster) Failover() error {
 	return nil
 }
 
-// Repair restores redundancy after Failover: a fresh backup node enrolls
-// behind the surviving server (initial full-state transfer included), so
-// the cluster tolerates another failure. The repaired deployment
-// replicates passively; CrashPrimary and Failover work again afterwards.
+// Repair restores redundancy after Failover: fresh backup nodes enroll
+// behind the surviving server (initial full-state transfer included) until
+// the cluster is back at its configured replication degree. The repaired
+// deployment replicates passively; CrashPrimary and Failover work again
+// afterwards.
 func (c *Cluster) Repair() error {
 	np, err := c.pair.Repair()
 	if err != nil {
@@ -241,6 +277,22 @@ func (c *Cluster) Repair() error {
 	c.serving = np.Store()
 	return nil
 }
+
+// Backups returns the current number of backup nodes.
+func (c *Cluster) Backups() int { return c.pair.Backups() }
+
+// CrashBackup kills backup i: it stops receiving and acknowledging and is
+// never promoted. With QuorumSafe, acked commits survive the loss of the
+// primary plus any minority of the backups.
+func (c *Cluster) CrashBackup(i int) error { return c.pair.CrashBackup(i) }
+
+// PauseBackup partitions backup i away from the cluster; it rejoins (via a
+// full re-sync) at the next Failover or Repair.
+func (c *Cluster) PauseBackup(i int) error { return c.pair.PauseBackup(i) }
+
+// ResumeBackup reconnects a paused backup (still stale until the next
+// Failover or Repair re-syncs it).
+func (c *Cluster) ResumeBackup(i int) error { return c.pair.ResumeBackup(i) }
 
 // Elapsed returns the simulated time consumed on the primary since the
 // cluster was built (or since the last measurement reset).

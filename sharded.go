@@ -1,0 +1,312 @@
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ShardedCluster stripes a database across N independent replica groups by
+// offset range: shard i owns database offsets [i*ShardSize, (i+1)*ShardSize).
+// Each shard is a full Cluster — its own primary, backups, SAN link and
+// simulated clocks — so the shards progress in parallel and aggregate
+// throughput scales with the shard count (the ROADMAP's sharding lever).
+//
+// Operations are routed by offset; ranges spanning a shard boundary are
+// split. A transaction that touches several shards commits on each touched
+// shard independently, in shard order — there is no cross-shard atomic
+// commit (the paper's API leaves concurrency control, and a fortiori
+// distributed commit, to a separate layer).
+type ShardedCluster struct {
+	cfg       Config
+	shards    []*Cluster
+	shardSize int
+	dbSize    int
+}
+
+// Sharded-cluster errors.
+var (
+	// ErrShardCount is returned for a non-positive shard count.
+	ErrShardCount = errors.New("repro: shard count must be at least 1")
+	// ErrNoSuchShard is returned for an out-of-range shard index.
+	ErrNoSuchShard = errors.New("repro: no such shard")
+)
+
+// shardAlign keeps shard sizes page-friendly.
+const shardAlign = 4096
+
+// NewSharded builds a cluster of shards independent replica groups, each
+// configured per cfg with a DBSize slice of the total. cfg.DBSize is the
+// total database size across all shards.
+func NewSharded(cfg Config, shards int) (*ShardedCluster, error) {
+	if shards < 1 {
+		return nil, ErrShardCount
+	}
+	if cfg.DBSize <= 0 {
+		return nil, fmt.Errorf("repro: invalid database size %d", cfg.DBSize)
+	}
+	size := (cfg.DBSize + shards - 1) / shards
+	size = (size + shardAlign - 1) &^ (shardAlign - 1)
+	sc := &ShardedCluster{cfg: cfg, shardSize: size, dbSize: cfg.DBSize}
+	for i := 0; i < shards; i++ {
+		scfg := cfg
+		scfg.DBSize = size
+		c, err := New(scfg)
+		if err != nil {
+			return nil, fmt.Errorf("repro: shard %d: %w", i, err)
+		}
+		sc.shards = append(sc.shards, c)
+	}
+	return sc, nil
+}
+
+// Shards returns the shard count.
+func (s *ShardedCluster) Shards() int { return len(s.shards) }
+
+// ShardSize returns the per-shard database size in bytes.
+func (s *ShardedCluster) ShardSize() int { return s.shardSize }
+
+// DBSize returns the total database size across all shards.
+func (s *ShardedCluster) DBSize() int { return s.shardSize * len(s.shards) }
+
+// ShardFor returns the shard owning database offset off.
+func (s *ShardedCluster) ShardFor(off int) int { return off / s.shardSize }
+
+// Shard exposes one shard's cluster (crash injection, traffic inspection).
+func (s *ShardedCluster) Shard(i int) *Cluster {
+	if i < 0 || i >= len(s.shards) {
+		return nil
+	}
+	return s.shards[i]
+}
+
+// split walks [off, off+n) shard by shard.
+func (s *ShardedCluster) split(off, n int, f func(shard, shardOff, n int) error) error {
+	if off < 0 || n < 0 || off+n > s.DBSize() {
+		return fmt.Errorf("repro: range [%d,+%d) outside the sharded database", off, n)
+	}
+	for n > 0 {
+		i := off / s.shardSize
+		so := off % s.shardSize
+		cnt := s.shardSize - so
+		if cnt > n {
+			cnt = n
+		}
+		if err := f(i, so, cnt); err != nil {
+			return err
+		}
+		off += cnt
+		n -= cnt
+	}
+	return nil
+}
+
+// Load installs initial content across the owning shards.
+func (s *ShardedCluster) Load(off int, data []byte) error {
+	pos := 0
+	return s.split(off, len(data), func(i, so, n int) error {
+		err := s.shards[i].Load(so, data[pos:pos+n])
+		pos += n
+		return err
+	})
+}
+
+// Read performs a charged read across the owning shards.
+func (s *ShardedCluster) Read(off int, dst []byte) error {
+	pos := 0
+	return s.split(off, len(dst), func(i, so, n int) error {
+		err := s.shards[i].Read(so, dst[pos:pos+n])
+		pos += n
+		return err
+	})
+}
+
+// ReadRaw copies database bytes without charging simulated time.
+func (s *ShardedCluster) ReadRaw(off int, dst []byte) {
+	pos := 0
+	_ = s.split(off, len(dst), func(i, so, n int) error {
+		s.shards[i].ReadRaw(so, dst[pos:pos+n])
+		pos += n
+		return nil
+	})
+}
+
+// Begin opens a sharded transaction: per-shard transactions open lazily on
+// first touch and all touched shards commit (or abort) together — though
+// not atomically across shards.
+func (s *ShardedCluster) Begin() (Tx, error) {
+	return &shardedTx{s: s, open: make([]Tx, len(s.shards))}, nil
+}
+
+// shardedTx routes transactional operations by offset.
+type shardedTx struct {
+	s    *ShardedCluster
+	open []Tx
+	done bool
+}
+
+var _ Tx = (*shardedTx)(nil)
+
+func (t *shardedTx) at(i int) (Tx, error) {
+	if t.open[i] == nil {
+		tx, err := t.s.shards[i].Begin()
+		if err != nil {
+			return nil, fmt.Errorf("repro: shard %d: %w", i, err)
+		}
+		t.open[i] = tx
+	}
+	return t.open[i], nil
+}
+
+func (t *shardedTx) SetRange(off, n int) error {
+	return t.s.split(off, n, func(i, so, cnt int) error {
+		tx, err := t.at(i)
+		if err != nil {
+			return err
+		}
+		return tx.SetRange(so, cnt)
+	})
+}
+
+func (t *shardedTx) Write(off int, src []byte) error {
+	pos := 0
+	return t.s.split(off, len(src), func(i, so, cnt int) error {
+		tx, err := t.at(i)
+		if err != nil {
+			return err
+		}
+		err = tx.Write(so, src[pos:pos+cnt])
+		pos += cnt
+		return err
+	})
+}
+
+func (t *shardedTx) Read(off int, dst []byte) error {
+	pos := 0
+	return t.s.split(off, len(dst), func(i, so, cnt int) error {
+		tx, err := t.at(i)
+		if err != nil {
+			return err
+		}
+		err = tx.Read(so, dst[pos:pos+cnt])
+		pos += cnt
+		return err
+	})
+}
+
+// Commit commits every touched shard in shard order. An error leaves
+// earlier shards committed and later ones aborted: cross-shard atomicity
+// is out of scope (see the type comment).
+func (t *shardedTx) Commit() error { return t.finish(true) }
+
+// Abort rolls every touched shard back.
+func (t *shardedTx) Abort() error { return t.finish(false) }
+
+func (t *shardedTx) finish(commit bool) error {
+	if t.done {
+		return fmt.Errorf("repro: sharded transaction already completed")
+	}
+	t.done = true
+	var firstErr error
+	for i, tx := range t.open {
+		if tx == nil {
+			continue
+		}
+		var err error
+		if commit && firstErr == nil {
+			err = tx.Commit()
+		} else {
+			err = tx.Abort()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("repro: shard %d: %w", i, err)
+		}
+		t.open[i] = nil
+	}
+	return firstErr
+}
+
+// Settle lets every shard's pending write buffers drain.
+func (s *ShardedCluster) Settle() {
+	for _, c := range s.shards {
+		c.Settle()
+	}
+}
+
+// CrashPrimary kills shard i's primary; the other shards keep serving.
+func (s *ShardedCluster) CrashPrimary(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return ErrNoSuchShard
+	}
+	return s.shards[i].CrashPrimary()
+}
+
+// Failover performs takeover on shard i.
+func (s *ShardedCluster) Failover(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return ErrNoSuchShard
+	}
+	return s.shards[i].Failover()
+}
+
+// Repair restores shard i to its configured replication degree.
+func (s *ShardedCluster) Repair(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return ErrNoSuchShard
+	}
+	return s.shards[i].Repair()
+}
+
+// Committed returns the committed-transaction total across all shards.
+func (s *ShardedCluster) Committed() uint64 {
+	var total uint64
+	for _, c := range s.shards {
+		total += c.Committed()
+	}
+	return total
+}
+
+// Stats aggregates the per-shard transaction counters.
+func (s *ShardedCluster) Stats() Stats {
+	var out Stats
+	for _, c := range s.shards {
+		st := c.Stats()
+		out.Begins += st.Begins
+		out.Commits += st.Commits
+		out.Aborts += st.Aborts
+	}
+	return out
+}
+
+// NetTraffic aggregates SAN traffic across all shards' links.
+func (s *ShardedCluster) NetTraffic() Traffic {
+	var out Traffic
+	for _, c := range s.shards {
+		tr := c.NetTraffic()
+		out.ModifiedBytes += tr.ModifiedBytes
+		out.UndoBytes += tr.UndoBytes
+		out.MetaBytes += tr.MetaBytes
+	}
+	return out
+}
+
+// Elapsed returns the wall-clock of the sharded deployment: the slowest
+// shard's simulated time since the last measurement reset. Shards run in
+// parallel on disjoint hardware, so aggregate throughput is total commits
+// divided by this maximum — which is why it grows with the shard count.
+func (s *ShardedCluster) Elapsed() time.Duration {
+	var max time.Duration
+	for _, c := range s.shards {
+		if e := c.Elapsed(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// ResetMeasurement starts a fresh measured interval on every shard.
+func (s *ShardedCluster) ResetMeasurement() {
+	for _, c := range s.shards {
+		c.ResetMeasurement()
+	}
+}

@@ -1,0 +1,234 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro"
+)
+
+func newSharded(t *testing.T, shards int) *repro.ShardedCluster {
+	t.Helper()
+	sc, err := repro.NewSharded(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  testDB,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := repro.NewSharded(repro.Config{Version: repro.V3InlineLog, DBSize: testDB}, 0); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	sc := newSharded(t, 4)
+	if sc.Shards() != 4 {
+		t.Fatalf("Shards() = %d", sc.Shards())
+	}
+	if sc.DBSize() < testDB {
+		t.Fatalf("sharded capacity %d below requested %d", sc.DBSize(), testDB)
+	}
+	if sc.Shard(4) != nil || sc.Shard(-1) != nil {
+		t.Fatal("out-of-range Shard() not nil")
+	}
+	if got := sc.ShardFor(sc.ShardSize() + 1); got != 1 {
+		t.Fatalf("ShardFor = %d", got)
+	}
+}
+
+// TestShardedRouting: writes and reads spanning shard boundaries land on
+// the right shards' databases.
+func TestShardedRouting(t *testing.T) {
+	sc := newSharded(t, 4)
+	boundary := sc.ShardSize() // straddles shards 0 and 1
+	payload := bytes.Repeat([]byte{0xAB}, 128)
+
+	tx, err := sc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, tx.SetRange(boundary-64, 128))
+	must(t, tx.Write(boundary-64, payload))
+	must(t, tx.Commit())
+
+	got := make([]byte, 128)
+	sc.ReadRaw(boundary-64, got)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("spanning write not readable back")
+	}
+	// Each side is on its own shard.
+	half := make([]byte, 64)
+	sc.Shard(0).ReadRaw(sc.ShardSize()-64, half)
+	if !bytes.Equal(half, payload[:64]) {
+		t.Fatal("left half missing on shard 0")
+	}
+	sc.Shard(1).ReadRaw(0, half)
+	if !bytes.Equal(half, payload[64:]) {
+		t.Fatal("right half missing on shard 1")
+	}
+	// Both touched shards committed; untouched shards did not.
+	if sc.Shard(0).Committed() != 1 || sc.Shard(1).Committed() != 1 {
+		t.Fatal("touched shards did not commit")
+	}
+	if sc.Shard(2).Committed() != 0 || sc.Shard(3).Committed() != 0 {
+		t.Fatal("untouched shards committed")
+	}
+	if sc.Committed() != 2 {
+		t.Fatalf("Committed() = %d", sc.Committed())
+	}
+	s := sc.Stats()
+	if s.Commits != 2 || s.Begins != 2 {
+		t.Fatalf("stats %+v", s)
+	}
+	// Charged read across the boundary.
+	must(t, sc.Read(boundary-64, got))
+	if !bytes.Equal(got, payload) {
+		t.Fatal("charged read mismatch")
+	}
+}
+
+func TestShardedAbort(t *testing.T) {
+	sc := newSharded(t, 2)
+	tx, err := sc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, tx.SetRange(0, 8))
+	must(t, tx.Write(0, []byte("garbage!")))
+	must(t, tx.Abort())
+	got := make([]byte, 8)
+	sc.ReadRaw(0, got)
+	if !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatal("aborted write visible")
+	}
+	if sc.Stats().Aborts != 1 {
+		t.Fatalf("stats %+v", sc.Stats())
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit after abort accepted")
+	}
+}
+
+// TestShardedThroughputScales: the same total work finishes in less
+// simulated wall-clock on more shards, so aggregate txn/s goes up.
+func TestShardedThroughputScales(t *testing.T) {
+	const txns = 400
+	run := func(shards int) float64 {
+		sc := newSharded(t, shards)
+		sc.ResetMeasurement()
+		// Spread single-shard transactions round-robin across shards.
+		for i := 0; i < txns; i++ {
+			shard := i % shards
+			off := shard*sc.ShardSize() + (i/shards)*64
+			tx, err := sc.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			must(t, tx.SetRange(off, 64))
+			must(t, tx.Write(off, bytes.Repeat([]byte{byte(i + 1)}, 64)))
+			must(t, tx.Commit())
+		}
+		elapsed := sc.Elapsed().Seconds()
+		if elapsed <= 0 {
+			t.Fatal("no simulated time elapsed")
+		}
+		return txns / elapsed
+	}
+	one, four := run(1), run(4)
+	if four < 2*one {
+		t.Fatalf("4 shards at %.0f txn/s, not clearly above 1 shard at %.0f", four, one)
+	}
+}
+
+// TestShardedFailoverIsolation: a crash takes down one shard; the others
+// keep serving, and failover brings the crashed shard back with all its
+// committed data.
+func TestShardedFailoverIsolation(t *testing.T) {
+	sc := newSharded(t, 3)
+	write := func(shard, slot int, fill byte) {
+		off := shard*sc.ShardSize() + slot*64
+		tx, err := sc.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		must(t, tx.SetRange(off, 64))
+		must(t, tx.Write(off, bytes.Repeat([]byte{fill}, 64)))
+		must(t, tx.Commit())
+	}
+	for i := 0; i < 10; i++ {
+		for shard := 0; shard < 3; shard++ {
+			write(shard, i, byte(i+1))
+		}
+	}
+	sc.Settle()
+	must(t, sc.CrashPrimary(1))
+	if err := sc.CrashPrimary(7); err == nil {
+		t.Fatal("bogus shard crash accepted")
+	}
+
+	// Shard 1 refuses, others serve.
+	tx, err := sc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(sc.ShardSize()+2048, 8); err == nil {
+		t.Fatal("crashed shard served a transaction")
+	}
+	must(t, tx.Abort())
+	write(0, 20, 99)
+	write(2, 20, 99)
+
+	must(t, sc.Failover(1))
+	buf := make([]byte, 64)
+	for i := 0; i < 10; i++ {
+		sc.ReadRaw(sc.ShardSize()+i*64, buf)
+		if !bytes.Equal(buf, bytes.Repeat([]byte{byte(i + 1)}, 64)) {
+			t.Fatalf("shard 1 slot %d lost after failover", i)
+		}
+	}
+	write(1, 20, 99) // the failed-over shard serves again
+	must(t, sc.Repair(1))
+	write(1, 21, 100)
+}
+
+// TestFacadeQuorumGroup drives the N-replica group through the public
+// API: 3 backups, quorum commit, primary plus one backup die, nothing
+// acked is lost.
+func TestFacadeQuorumGroup(t *testing.T) {
+	c, err := repro.New(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  testDB,
+		Backups: 3,
+		Safety:  repro.QuorumSafe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Backups() != 3 {
+		t.Fatalf("Backups() = %d", c.Backups())
+	}
+	for i := 0; i < 40; i++ {
+		tx, err := c.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		must(t, tx.SetRange(i*64, 64))
+		must(t, tx.Write(i*64, bytes.Repeat([]byte{byte(i + 1)}, 64)))
+		must(t, tx.Commit())
+	}
+	must(t, c.CrashPrimary()) // no Settle: quorum acks are the guarantee
+	must(t, c.CrashBackup(1))
+	must(t, c.Failover())
+	if got := c.Committed(); got != 40 {
+		t.Fatalf("quorum group lost commits: %d of 40", got)
+	}
+	buf := make([]byte, 64)
+	c.ReadRaw(39*64, buf)
+	if !bytes.Equal(buf, bytes.Repeat([]byte{40}, 64)) {
+		t.Fatal("last acked commit's data lost")
+	}
+}
