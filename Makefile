@@ -2,12 +2,13 @@
 #
 #   make check   - everything CI runs: gofmt, vet, build, race tests (-short)
 #   make test    - full test suite without the race detector
-#   make bench   - exhibit-regeneration and throughput benchmarks
+#   make bench   - throughput benchmarks -> BENCH_parallel.json (perf trajectory)
+#   make bench-all - every benchmark including exhibit regeneration
 #   make tables  - regenerate the paper's tables and the extension cells
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test test-race bench tables
+.PHONY: check fmt-check vet build test test-race bench bench-all tables
 
 check: fmt-check vet build test-race
 
@@ -30,7 +31,19 @@ test:
 test-race:
 	$(GO) test -race -short ./...
 
+# The perf-trajectory benchmarks: wall-clock parallel shards, per-config
+# throughput, replication degree and sharded sim throughput. Results land
+# in BENCH_parallel.json (parsed + raw benchstat-compatible lines; compare
+# runs with: jq -r '.raw[]' BENCH_parallel.json | benchstat old.txt -).
+# The run goes through a temp file, not a pipe, so a failing benchmark
+# fails the target instead of silently writing an empty JSON.
 bench:
+	$(GO) test -bench 'ParallelShards|Throughput|ReplicationDegree|ShardedCluster' \
+		-benchtime 2000x -run XXX -count 1 . > bench.out.tmp || { cat bench.out.tmp; rm -f bench.out.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_parallel.json < bench.out.tmp
+	@rm -f bench.out.tmp
+
+bench-all:
 	$(GO) test -bench . -benchtime 2000x -run XXX ./...
 
 tables:

@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document for the perf trajectory (BENCH_parallel.json): each benchmark
+// line is parsed into its name, iteration count, ns/op and custom metrics
+// (sim-tps, wall-txn/s, ...), and the raw lines are preserved verbatim —
+// extract them (jq -r '.raw[]') to feed benchstat, which consumes the
+// standard text format.
+//
+// Usage:
+//
+//	go test -bench ParallelShards -run XXX . | go run ./cmd/benchjson -o BENCH_parallel.json
+//
+// The input is echoed to stdout so the run stays readable in the terminal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name string `json:"name"`
+	// N is the iteration count.
+	N int64 `json:"n"`
+	// NsPerOp is the wall-clock cost per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics holds every "<value> <unit>" pair after ns/op (custom
+	// b.ReportMetric units, B/op, allocs/op).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	// Context lines: goos/goarch/pkg/cpu headers from the bench run.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks are the parsed results, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw preserves every benchmark-format line verbatim (benchstat
+	// input).
+	Raw []string `json:"raw"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_parallel.json", "output JSON path")
+	flag.Parse()
+
+	doc := Doc{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				doc.Context[k] = strings.TrimSpace(v)
+			}
+			doc.Raw = append(doc.Raw, line)
+		case strings.HasPrefix(line, "Benchmark"):
+			doc.Raw = append(doc.Raw, line)
+			if b, ok := parseLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// parseLine parses "BenchmarkX-8  1000  123 ns/op  456 sim-tps ...".
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], N: n, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		if fields[i+1] == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[fields[i+1]] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}

@@ -5,10 +5,10 @@
 //
 // Usage:
 //
-//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling]
+//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling|parallel-shards|group-commit]
 //	          [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
-//	          [-backups K] [-shards N] [-safety 1safe|2safe|quorum]
-//	          [-full] [-csv]
+//	          [-backups K] [-shards N] [-clients C] [-commit-batch B]
+//	          [-safety 1safe|2safe|quorum] [-full] [-csv]
 //
 // Examples:
 //
@@ -17,6 +17,8 @@
 //	replbench -experiment ablations     # beyond-the-paper sensitivity studies
 //	replbench -shards 4                 # sharded front-end scaling to 4 shards
 //	replbench -backups 3 -safety quorum # quorum-commit replica groups
+//	replbench -experiment parallel-shards -shards 4 -clients 4  # wall-clock scaling
+//	replbench -experiment group-commit -commit-batch 32         # batched commit sweep
 package main
 
 import (
@@ -43,7 +45,9 @@ func run() int {
 		warmup     = flag.Int64("warmup", 0, "warmup transactions per cell (0 = default)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
 		backups    = flag.Int("backups", 3, "replication degree K for the extension experiments")
-		shards     = flag.Int("shards", 4, "largest shard count the shard-scaling experiment sweeps to")
+		shards     = flag.Int("shards", 4, "largest shard count the shard-scaling experiments sweep to")
+		clients    = flag.Int("clients", 0, "concurrent client goroutines for parallel-shards (0 = one per shard)")
+		batch      = flag.Int("commit-batch", 0, "extra group-commit batch size for the group-commit experiment")
 		safety     = flag.String("safety", "1safe", "commit discipline for shard-scaling (1safe, 2safe, quorum)")
 		full       = flag.Bool("full", false, "paper-scale transaction counts (slow)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -56,6 +60,8 @@ func run() int {
 	cfg.Seed = *seed
 	cfg.Backups = *backups
 	cfg.Shards = *shards
+	cfg.Clients = *clients
+	cfg.CommitBatch = *batch
 	switch *safety {
 	case "1safe", "1-safe":
 		cfg.Safety = replication.OneSafe

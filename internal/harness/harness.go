@@ -149,6 +149,12 @@ type RunConfig struct {
 	// Safety is the commit discipline the shard-scaling experiment runs
 	// under (default 1-safe).
 	Safety replication.Safety
+	// Clients is the concurrent client-goroutine count for the
+	// parallel-shards experiment (0 = one client per shard).
+	Clients int
+	// CommitBatch is the group-commit batch size for the group-commit
+	// experiment cell (0 = its default sweep).
+	CommitBatch int
 }
 
 // DefaultRunConfig returns the scaled-down default configuration.

@@ -36,6 +36,12 @@ type Accessor struct {
 
 	stats      AccessStats
 	scratchBuf []byte
+	// wordBuf stages fixed-width loads and stores. Routing a stack array
+	// through the IOSink interface would force a heap allocation per call;
+	// the accessor is single-stream and both the backing store and the
+	// sink copy the bytes before returning, so one shared buffer keeps the
+	// word helpers allocation-free on the commit hot path.
+	wordBuf [8]byte
 }
 
 // AccessStats counts local traffic issued through the accessor.
@@ -204,30 +210,26 @@ func (a *Accessor) Fence() {
 
 // ReadU64 loads a little-endian 64-bit word.
 func (a *Accessor) ReadU64(addr uint64) uint64 {
-	var b [8]byte
-	a.Read(addr, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	a.Read(addr, a.wordBuf[:8])
+	return binary.LittleEndian.Uint64(a.wordBuf[:8])
 }
 
 // WriteU64 stores a little-endian 64-bit word.
 func (a *Accessor) WriteU64(addr uint64, v uint64, cat Category) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	a.Write(addr, b[:], cat)
+	binary.LittleEndian.PutUint64(a.wordBuf[:8], v)
+	a.Write(addr, a.wordBuf[:8], cat)
 }
 
 // ReadU32 loads a little-endian 32-bit word.
 func (a *Accessor) ReadU32(addr uint64) uint32 {
-	var b [4]byte
-	a.Read(addr, b[:])
-	return binary.LittleEndian.Uint32(b[:])
+	a.Read(addr, a.wordBuf[:4])
+	return binary.LittleEndian.Uint32(a.wordBuf[:4])
 }
 
 // WriteU32 stores a little-endian 32-bit word.
 func (a *Accessor) WriteU32(addr uint64, v uint32, cat Category) {
-	var b [4]byte
-	binary.LittleEndian.PutUint32(b[:], v)
-	a.Write(addr, b[:], cat)
+	binary.LittleEndian.PutUint32(a.wordBuf[:4], v)
+	a.Write(addr, a.wordBuf[:4], cat)
 }
 
 func (a *Accessor) chargeLoad(addr uint64, n int) {

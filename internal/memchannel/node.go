@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/sim"
@@ -68,6 +69,10 @@ type Node struct {
 
 	bufs    []wbuf // allocation (FIFO) order, len <= params.WriteBuffers
 	nextSeq uint64
+	// emitScratch stages the buffer being flushed in emit: a stack copy
+	// would escape through the Backing interface and charge the allocator
+	// one wbuf per emitted packet.
+	emitScratch wbuf
 
 	trace    *sim.Trace
 	lastMark sim.Time
@@ -78,8 +83,11 @@ type Node struct {
 	crashAfter    int64 // fail after this many packets (0 = disabled)
 	emitted       int64
 
-	catBytes [mem.NumCategories]int64
-	lost     [mem.NumCategories]int64
+	// catBytes and lost are atomic so aggregate-traffic readers (a
+	// sharded front-end summing NetTraffic across running shards) can
+	// sample them without synchronizing with the emitting stream.
+	catBytes [mem.NumCategories]atomic.Int64
+	lost     [mem.NumCategories]atomic.Int64
 }
 
 // wbuf is one pending 32-byte coalescing buffer.
@@ -194,9 +202,9 @@ func (n *Node) removeBuf(block uint64) {
 
 // emit flushes the buffer at index i (in FIFO order bookkeeping).
 func (n *Node) emit(i int, sync bool) {
-	b := n.bufs[i]
+	n.emitScratch = n.bufs[i]
 	n.bufs = append(n.bufs[:i], n.bufs[i+1:]...)
-	n.emitBuf(&b, sync)
+	n.emitBuf(&n.emitScratch, sync)
 }
 
 // emitBuf turns one buffer into a SAN packet: it charges the link, applies
@@ -215,7 +223,7 @@ func (n *Node) emitBuf(b *wbuf, sync bool) {
 	if n.crashed {
 		for i := 0; i < blockSize; i++ {
 			if b.mask&(1<<uint(i)) != 0 {
-				n.lost[b.cats[i]]++
+				n.lost[b.cats[i]].Add(1)
 			}
 		}
 		return
@@ -255,9 +263,17 @@ func (n *Node) emitBuf(b *wbuf, sync bool) {
 	}
 
 	n.apply(b)
+	// Tally per category locally, then publish with one atomic add each:
+	// per-byte atomic increments would put 32 RMWs on the hot path.
+	var tally [mem.NumCategories]int64
 	for i := 0; i < blockSize; i++ {
 		if b.mask&(1<<uint(i)) != 0 {
-			n.catBytes[b.cats[i]]++
+			tally[b.cats[i]]++
+		}
+	}
+	for c, v := range tally {
+		if v != 0 {
+			n.catBytes[c].Add(v)
 		}
 	}
 }
@@ -342,7 +358,7 @@ func (n *Node) Crash() {
 		b := &n.bufs[i]
 		for j := 0; j < blockSize; j++ {
 			if b.mask&(1<<uint(j)) != 0 {
-				n.lost[b.cats[j]]++
+				n.lost[b.cats[j]].Add(1)
 			}
 		}
 	}
@@ -406,27 +422,31 @@ func (n *Node) RingPublish(r *sim.Ring, bytes int) {
 // CategoryBytes returns the bytes actually sent over the SAN, by category.
 // Because accounting happens at packet emission, bytes overwritten while
 // still coalescing in a buffer are counted once, like on the real wire.
+// Safe for concurrent use with the emitting stream.
 func (n *Node) CategoryBytes() map[mem.Category]int64 {
 	out := make(map[mem.Category]int64, 3)
 	for c := mem.CatModified; c <= mem.CatMeta; c++ {
-		out[c] = n.catBytes[c]
+		out[c] = n.catBytes[c].Load()
 	}
 	return out
 }
 
-// TotalBytes returns the total payload bytes sent over the SAN.
+// TotalBytes returns the total payload bytes sent over the SAN. Safe for
+// concurrent use with the emitting stream.
 func (n *Node) TotalBytes() int64 {
 	var t int64
-	for _, v := range n.catBytes {
-		t += v
+	for i := range n.catBytes {
+		t += n.catBytes[i].Load()
 	}
 	return t
 }
 
 // ResetStats clears the per-category counters (measurement phases).
 func (n *Node) ResetStats() {
-	n.catBytes = [mem.NumCategories]int64{}
-	n.lost = [mem.NumCategories]int64{}
+	for i := range n.catBytes {
+		n.catBytes[i].Store(0)
+		n.lost[i].Store(0)
+	}
 }
 
 var _ mem.IOSink = (*Node)(nil)

@@ -42,8 +42,25 @@ type redoChannel struct {
 
 	ringSize  int
 	prodTotal uint64 // bytes produced (monotonic, includes pads)
+	// pubTotal is the producer-pointer value the backups have been told:
+	// with group commit enabled it trails prodTotal by the open batch and
+	// catches up at each flush.
+	pubTotal uint64
 
-	cur activeTx
+	// free is the recycled transaction handle (one transaction is open at
+	// a time). Recycled only after a clean Commit/Abort — a handle
+	// orphaned by a crash keeps its value, so it can never alias a newer
+	// transaction.
+	free *activeTx
+
+	// Reusable scratch for the zero-alloc commit/apply path. Stack arrays
+	// would escape through the Backing/IOSink interfaces and charge the
+	// allocator per record; the channel is single-stream under the group
+	// mutex, so shared buffers are safe.
+	hdrBuf   [8]byte
+	entBuf   [6]byte
+	ptrBuf   [8]byte
+	applyBuf []byte
 }
 
 func (g *Group) buildActive(specs []vista.RegionSpec) error {
@@ -99,26 +116,42 @@ func (g *Group) buildActive(specs []vista.RegionSpec) error {
 
 // activeTx wraps a vista transaction with redo capture. One transaction is
 // open at a time, so the channel reuses a single value and its buffers.
+// Commit/Abort release the group mutex taken at Begin.
 type activeTx struct {
 	ch   *redoChannel
 	tx   *vista.Tx
 	offs []int
 	lens []int
 	data []byte // concatenated payloads, entries indexed via offs/lens
+	done bool
 }
 
 var _ TxHandle = (*activeTx)(nil)
 
 func (c *redoChannel) wrap(tx *vista.Tx) *activeTx {
-	c.cur = activeTx{ch: c, tx: tx, offs: c.cur.offs[:0], lens: c.cur.lens[:0], data: c.cur.data[:0]}
-	return &c.cur
+	t := c.free
+	if t == nil {
+		t = &activeTx{}
+	}
+	c.free = nil
+	t.ch, t.tx, t.done = c, tx, false
+	t.offs, t.lens, t.data = t.offs[:0], t.lens[:0], t.data[:0]
+	return t
 }
 
 // SetRange delegates to the local engine (undo capture).
-func (t *activeTx) SetRange(off, n int) error { return t.tx.SetRange(off, n) }
+func (t *activeTx) SetRange(off, n int) error {
+	t.ch.g.mu.Lock()
+	defer t.ch.g.mu.Unlock()
+	return t.tx.SetRange(off, n)
+}
 
 // Read delegates to the local engine.
-func (t *activeTx) Read(off int, dst []byte) error { return t.tx.Read(off, dst) }
+func (t *activeTx) Read(off int, dst []byte) error {
+	t.ch.g.mu.Lock()
+	defer t.ch.g.mu.Unlock()
+	return t.tx.Read(off, dst)
+}
 
 // maxEntryLen is the largest single redo entry (16-bit length field);
 // larger application writes are staged as several entries.
@@ -127,6 +160,8 @@ const maxEntryLen = 1<<16 - 1
 // Write performs the local in-place write and stages the bytes for the
 // commit-time redo record.
 func (t *activeTx) Write(off int, src []byte) error {
+	t.ch.g.mu.Lock()
+	defer t.ch.g.mu.Unlock()
 	if err := t.tx.Write(off, src); err != nil {
 		return err
 	}
@@ -146,22 +181,63 @@ func (t *activeTx) Write(off int, src []byte) error {
 
 // Abort rolls back locally; nothing was shipped yet.
 func (t *activeTx) Abort() error {
+	g := t.ch.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t.done {
+		return vista.ErrTxDone
+	}
+	if g.orphanedLocked(t) {
+		t.done = true
+		return ErrCrashed
+	}
 	t.offs, t.lens, t.data = t.offs[:0], t.lens[:0], t.data[:0]
-	return t.tx.Abort()
+	err := t.tx.Abort()
+	t.done = true
+	g.finishTxLocked(t)
+	t.ch.free = t
+	return err
 }
 
-// Commit writes the redo record through the SAN, commits locally (the
-// 1-safe commit point), then advances the producer pointer so the backups
-// may consume the record. Under TwoSafe/QuorumSafe it additionally holds
-// the commit for the configured number of backup acknowledgements.
+// Commit writes the redo record through the SAN and commits locally (the
+// 1-safe commit point). The producer-pointer publish — which is what lets
+// the backups consume the record — and the TwoSafe/QuorumSafe
+// acknowledgement wait happen in the batch flush: immediately when group
+// commit is off, once per CommitBatch/CommitWindow batch when it is on.
 func (t *activeTx) Commit() error {
 	c := t.ch
 	g := c.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t.done {
+		return vista.ErrTxDone
+	}
+	if g.orphanedLocked(t) || g.crashed {
+		// The node died mid-transaction: nothing to ship, and the handle
+		// must not touch ring or clock state that may already belong to
+		// a successor era.
+		t.done = true
+		g.finishTxLocked(t)
+		return ErrCrashed
+	}
 	size := 8
 	for _, n := range t.lens {
 		size += 6 + n
 	}
 	size = pad8(size)
+
+	// Reserved-but-unpublished bytes are not reclaimable: the consumer
+	// only advances past published records, so an open batch that grew to
+	// the ring's capacity would deadlock the reservation below. Seal the
+	// batch early when this record would push the unpublished span past
+	// half the ring (half, so the consumer retains room to drain while
+	// the next batch fills). Large records or small rings therefore cap
+	// the effective batch size instead of panicking.
+	var preErr error
+	if c.prodTotal != c.pubTotal &&
+		int(c.prodTotal-c.pubTotal)+size+c.ringSize/8 > c.ringSize/2 {
+		preErr = g.flushLocked()
+	}
 
 	// Reserve ring space, accounting for a wrap pad. Every reachable
 	// backup's ring must have room: the slowest consumer back-pressures
@@ -199,19 +275,18 @@ func (t *activeTx) Commit() error {
 	c.writeU32(acc, off+4, uint32(size))
 	pos := off + 8
 	cursor := 0
-	var hdr [6]byte
 	for i, n := range t.lens {
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(t.offs[i]))
-		binary.LittleEndian.PutUint16(hdr[4:6], uint16(n))
-		acc.Write(c.ringIO.Base+uint64(pos), hdr[:], mem.CatMeta)
+		binary.LittleEndian.PutUint32(c.hdrBuf[0:4], uint32(t.offs[i]))
+		binary.LittleEndian.PutUint16(c.hdrBuf[4:6], uint16(n))
+		acc.Write(c.ringIO.Base+uint64(pos), c.hdrBuf[:6], mem.CatMeta)
 		acc.Write(c.ringIO.Base+uint64(pos+6), t.data[cursor:cursor+n], mem.CatModified)
 		pos += 6 + n
 		cursor += n
 	}
 	if tail := off + size - pos; tail > 0 {
 		// Zero the alignment pad so the stream stays gapless.
-		var zeros [8]byte
-		acc.Write(c.ringIO.Base+uint64(pos), zeros[:tail], mem.CatMeta)
+		c.hdrBuf = [8]byte{}
+		acc.Write(c.ringIO.Base+uint64(pos), c.hdrBuf[:tail], mem.CatMeta)
 	}
 	c.prodTotal += uint64(size)
 
@@ -223,46 +298,79 @@ func (t *activeTx) Commit() error {
 	// Local commit: the 1-safe commit point. A crash between here and
 	// the pointer's delivery loses this transaction on the backups.
 	if err := t.tx.Commit(); err != nil {
+		t.done = true
+		g.finishTxLocked(t)
+		t.ch.free = t
 		return err
 	}
 
+	// Join the group-commit batch; the flush (inside joinBatchLocked when
+	// the batch seals) publishes the pointer and pays the ack wait.
+	ackErr := g.joinBatchLocked()
+	if ackErr == nil {
+		// Surface an ack failure from the early capacity flush above:
+		// those batch members' degradation would otherwise be silent.
+		ackErr = preErr
+	}
+	t.offs, t.lens, t.data = t.offs[:0], t.lens[:0], t.data[:0]
+	t.done = true
+	g.finishTxLocked(t)
+	t.ch.free = t
+	return ackErr
+}
+
+// flush publishes the producer pointer covering every record written since
+// the last flush, waits for the batch's acknowledgements under
+// TwoSafe/QuorumSafe, and lets the backups apply the delivered stream. One
+// pointer packet and one ack round trip amortize over the whole batch —
+// the group-commit lever.
+func (c *redoChannel) flush() error {
+	g := c.g
+	if c.prodTotal == c.pubTotal {
+		return nil
+	}
+	bytes := int(c.prodTotal - c.pubTotal)
+	acc := g.primary.Acc
+
 	// The pointer store needs no fence of its own: its buffer was
-	// (re)allocated after the fence above, and both natural fills and
-	// evictions leave the node in allocation order, so by the time any
-	// pointer value reaches a backup, every record it names has been
+	// (re)allocated after the last record's fence, and both natural fills
+	// and evictions leave the node in allocation order, so by the time
+	// any pointer value reaches a backup, every record it names has been
 	// drained by an earlier commit's fence. Letting it linger coalesces
-	// consecutive transactions' pointer updates into one packet.
+	// consecutive flushes' pointer updates into one packet.
 	acc.WriteU64(c.ctlIO.Base, c.prodTotal, mem.CatMeta)
-	first = true
+	first := true
 	for _, b := range g.backups {
 		if !b.acking() {
 			continue
 		}
 		if first {
-			g.primary.MC.RingPublish(b.ring, size+pad)
+			g.primary.MC.RingPublish(b.ring, bytes)
 			first = false
 		} else {
-			b.ring.Publish(g.primary.MC.LastDelivered()+sim.Time(b.ackLag), size+pad)
+			b.ring.Publish(g.primary.MC.LastDelivered()+sim.Time(b.ackLag), bytes)
 		}
 	}
+	c.pubTotal = c.prodTotal
 
 	var ackErr error
 	if g.cfg.Safety != OneSafe {
-		// Hold the commit until enough backups have applied the record
+		// Hold the commit until enough backups have applied the batch
 		// and their acknowledgements have crossed back — the pointer
 		// must actually leave the write buffers first.
 		acc.Fence()
-		acks := make([]sim.Time, 0, len(g.backups))
+		acks := g.ackBuf[:0]
 		for _, b := range g.backups {
 			if b.acking() {
 				acks = append(acks, b.ring.ConsumerDone()+sim.Time(g.params.LinkLatency)+sim.Time(b.ackLag))
 			}
 		}
+		g.ackBuf = acks[:0]
 		at, err := ackDeadline(acks, g.cfg.Safety, g.cfg.Backups)
 		if err != nil {
-			// Backups failed mid-transaction (Begin gates on
-			// availability): the transaction is committed locally but
-			// the acknowledgement discipline cannot be honored.
+			// Backups failed mid-batch (Begin gates on availability):
+			// the transactions are committed locally but the
+			// acknowledgement discipline cannot be honored.
 			ackErr = err
 		} else {
 			g.primary.Clock.AdvanceTo(at)
@@ -274,7 +382,6 @@ func (t *activeTx) Commit() error {
 	for _, b := range g.backups {
 		c.applyDelivered(b)
 	}
-	t.offs, t.lens, t.data = t.offs[:0], t.lens[:0], t.data[:0]
 	return ackErr
 }
 
@@ -284,9 +391,8 @@ func (c *redoChannel) writeU32(acc *mem.Accessor, off int, v uint32) {
 
 // deliveredPtr reads the producer pointer as backup b sees it.
 func (c *redoChannel) deliveredPtr(b *backup) uint64 {
-	var buf [8]byte
-	b.bCtl.ReadRaw(0, buf[:])
-	return binary.LittleEndian.Uint64(buf[:])
+	b.bCtl.ReadRaw(0, c.ptrBuf[:])
+	return binary.LittleEndian.Uint64(c.ptrBuf[:])
 }
 
 // applyDelivered advances backup b's database copy through every complete
@@ -300,10 +406,9 @@ func (c *redoChannel) applyDelivered(b *backup) {
 	target := c.deliveredPtr(b)
 	for b.appliedTotal < target {
 		off := int(b.appliedTotal % uint64(c.ringSize))
-		var hdr [8]byte
-		b.bRing.ReadRaw(off, hdr[:])
-		nWrites := binary.LittleEndian.Uint32(hdr[0:4])
-		size := binary.LittleEndian.Uint32(hdr[4:8])
+		b.bRing.ReadRaw(off, c.ptrBuf[:])
+		nWrites := binary.LittleEndian.Uint32(c.ptrBuf[0:4])
+		size := binary.LittleEndian.Uint32(c.ptrBuf[4:8])
 		if nWrites == wrapMarker {
 			b.appliedTotal += uint64(size)
 			continue
@@ -318,16 +423,14 @@ func (c *redoChannel) applyDelivered(b *backup) {
 func (c *redoChannel) applyRecord(b *backup, off, nWrites, size int) {
 	db := b.node.Space.ByName(vista.RegionDB)
 	pos := off + 8
-	var buf []byte
 	for w := 0; w < nWrites; w++ {
-		var ent [6]byte
-		b.bRing.ReadRaw(pos, ent[:])
-		dbOff := int(binary.LittleEndian.Uint32(ent[0:4]))
-		n := int(binary.LittleEndian.Uint16(ent[4:6]))
-		if cap(buf) < n {
-			buf = make([]byte, n)
+		b.bRing.ReadRaw(pos, c.entBuf[:])
+		dbOff := int(binary.LittleEndian.Uint32(c.entBuf[0:4]))
+		n := int(binary.LittleEndian.Uint16(c.entBuf[4:6]))
+		if cap(c.applyBuf) < n {
+			c.applyBuf = make([]byte, n)
 		}
-		buf = buf[:n]
+		buf := c.applyBuf[:n]
 		b.bRing.ReadRaw(pos+6, buf)
 		db.WriteRaw(dbOff, buf)
 		pos += 6 + n

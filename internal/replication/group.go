@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/memchannel"
@@ -22,10 +24,33 @@ import (
 // and replication continues — the group tolerates sequential failures for
 // as long as replicas remain, and Repair re-enrolls fresh backups up to
 // the configured degree.
+//
+// # Concurrency
+//
+// A Group is safe for concurrent use under one discipline: every
+// operation — each transaction-handle call and each management call —
+// briefly holds a single per-group mutex. At most one transaction is open
+// per group (the paper's single-stream engine): Begin blocks until the
+// previous transaction commits or aborts, while independent groups — the
+// shards of a ShardedCluster — proceed in parallel on independent
+// goroutines. Management operations (Crash, Failover, Repair, Settle,
+// fault injection) interleave between individual transaction operations,
+// so a crash can land in the middle of an open transaction exactly as on
+// real hardware — the survivor rolls the in-flight transaction back, and
+// the dead transaction's remaining calls fail with ErrCrashed. The
+// statistics readers Stats, Committed and Elapsed never take the mutex:
+// they read atomic counters and pointers, so aggregate monitoring across
+// running shards neither blocks nor races.
 type Group struct {
 	cfg    Config
 	params *sim.Params
 	link   *sim.Link
+
+	// mu serializes all operations; txFree signals Begin waiters when the
+	// open transaction finishes (or dies with a crashed primary).
+	mu        sync.Mutex
+	txFree    *sync.Cond
+	curHandle TxHandle // the open transaction's handle, nil when idle
 
 	primary *Node
 	backups []*backup
@@ -37,7 +62,33 @@ type Group struct {
 	takeover   *vista.Store
 	generation int // bumped at every completed failover
 
-	measureStart sim.Time
+	// servingRef and servingStore shadow the serving node and store for
+	// the lock-free statistics readers. The node and its measured-
+	// interval origin live in one atomically-swapped value so Elapsed can
+	// never mix one node's clock with another's origin mid-failover.
+	servingRef   atomic.Pointer[measureRef]
+	servingStore atomic.Pointer[vista.Store]
+
+	// Group-commit state (see Config.CommitBatch/CommitWindow): commits
+	// joined to the open batch since the last flush, and the simulated
+	// time the batch opened.
+	batchCount int
+	batchStart sim.Time
+
+	// Recycled scratch for the commit path (all under mu). Handles are
+	// recycled only after a clean Commit/Abort: a handle orphaned by a
+	// mid-transaction crash keeps sole ownership of its value forever, so
+	// a stale holder can never alias a newer transaction.
+	ackBuf     []sim.Time
+	freePlain  *plainTx
+	freeSafety *safetyTx
+}
+
+// measureRef pairs the serving node with the origin of its measured
+// interval; Elapsed loads both in one atomic read.
+type measureRef struct {
+	node   *Node
+	origin sim.Time
 }
 
 // backup is one backup node plus its replication state.
@@ -100,6 +151,12 @@ func NewGroup(cfg Config) (*Group, error) {
 	if cfg.Backups < 0 {
 		return nil, fmt.Errorf("replication: negative backup count %d", cfg.Backups)
 	}
+	if cfg.CommitBatch < 0 {
+		return nil, fmt.Errorf("replication: negative commit batch %d", cfg.CommitBatch)
+	}
+	if cfg.CommitWindow < 0 {
+		return nil, fmt.Errorf("replication: negative commit window %d", cfg.CommitWindow)
+	}
 	switch cfg.Mode {
 	case Standalone:
 		cfg.Backups = 0
@@ -112,6 +169,7 @@ func NewGroup(cfg Config) (*Group, error) {
 	}
 
 	g := &Group{cfg: cfg, params: params}
+	g.txFree = sync.NewCond(&g.mu)
 
 	specs, err := vista.Layout(cfg.Store)
 	if err != nil {
@@ -139,9 +197,10 @@ func NewGroup(cfg Config) (*Group, error) {
 		return nil, err
 	}
 	g.store = store
+	g.servingStore.Store(store)
 	// Initialization traffic (heap formatting and the like) is not part
 	// of any measured interval.
-	g.ResetMeasurement()
+	g.resetMeasurementLocked()
 	return g, nil
 }
 
@@ -230,15 +289,18 @@ func (g *Group) backupSpecs(specs []vista.RegionSpec) []vista.RegionSpec {
 }
 
 // Store returns the currently serving transaction server: the primary, or
-// the promoted survivor after a failover.
-func (g *Group) Store() *vista.Store { return g.store }
+// the promoted survivor after a failover. Safe for concurrent use.
+func (g *Group) Store() *vista.Store { return g.servingStore.Load() }
 
-// Primary exposes the serving node for instrumentation.
-func (g *Group) Primary() *Node { return g.primary }
+// Primary exposes the serving node for instrumentation. Safe for
+// concurrent use; the node's own structures follow the group discipline.
+func (g *Group) Primary() *Node { return g.servingRef.Load().node }
 
 // Backup returns the first backup node, or nil in Standalone mode (the
 // paper's pair has exactly one).
 func (g *Group) Backup() *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if len(g.backups) == 0 {
 		return nil
 	}
@@ -247,6 +309,8 @@ func (g *Group) Backup() *Node {
 
 // BackupNode returns backup i's node for instrumentation.
 func (g *Group) BackupNode(i int) *Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if i < 0 || i >= len(g.backups) {
 		return nil
 	}
@@ -255,18 +319,30 @@ func (g *Group) BackupNode(i int) *Node {
 
 // Backups returns the current number of backup nodes (crashed ones
 // included until the next failover or repair drops them).
-func (g *Group) Backups() int { return len(g.backups) }
+func (g *Group) Backups() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.backups)
+}
 
 // Degree returns the configured replication degree K.
 func (g *Group) Degree() int { return g.cfg.Backups }
 
 // Generation returns how many failovers the group has completed.
-func (g *Group) Generation() int { return g.generation }
+func (g *Group) Generation() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.generation
+}
 
 // Mode returns the deployment mode of the current era: groups that began
 // Active continue passively after a failover (like Repair, re-enrolling an
 // active backup would need a fresh redo ring).
-func (g *Group) Mode() Mode { return g.cfg.Mode }
+func (g *Group) Mode() Mode {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg.Mode
+}
 
 // Safety returns the configured commit discipline.
 func (g *Group) Safety() Safety { return g.cfg.Safety }
@@ -275,17 +351,21 @@ func (g *Group) Safety() Safety { return g.cfg.Safety }
 func (g *Group) Params() *sim.Params { return g.params }
 
 // Link returns the SAN link, or nil in Standalone mode.
-func (g *Group) Link() *sim.Link { return g.link }
+func (g *Group) Link() *sim.Link {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.link
+}
 
-// ackers returns the backups participating in commit acknowledgement.
-func (g *Group) ackers() []*backup {
-	out := make([]*backup, 0, len(g.backups))
+// ackingCount returns how many backups participate in acknowledgement.
+func (g *Group) ackingCount() int {
+	n := 0
 	for _, b := range g.backups {
 		if b.acking() {
-			out = append(out, b)
+			n++
 		}
 	}
-	return out
+	return n
 }
 
 // safetyAvailable checks that enough backups are reachable to honor the
@@ -295,7 +375,7 @@ func (g *Group) safetyAvailable() error {
 	if g.cfg.Safety == OneSafe {
 		return nil
 	}
-	acking := len(g.ackers())
+	acking := g.ackingCount()
 	switch g.cfg.Safety {
 	case TwoSafe:
 		// 2-safe means every live backup: a paused (partitioned) backup
@@ -319,11 +399,17 @@ func (g *Group) safetyAvailable() error {
 	return nil
 }
 
-// Begin opens a transaction on the serving store. In the active era the
-// returned handle captures the transaction's writes as redo records; under
-// TwoSafe or QuorumSafe it additionally holds Commit for the configured
-// acknowledgements.
+// Begin opens a transaction on the serving store, blocking while another
+// transaction is open on this group (the engine runs one at a time). In
+// the active era the handle captures the transaction's writes as redo
+// records; under TwoSafe or QuorumSafe it additionally holds Commit for
+// the configured acknowledgements (per flush when group commit is on).
 func (g *Group) Begin() (TxHandle, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.curHandle != nil && !g.crashed {
+		g.txFree.Wait()
+	}
 	if g.crashed {
 		return nil, ErrCrashed
 	}
@@ -334,43 +420,260 @@ func (g *Group) Begin() (TxHandle, error) {
 	if err != nil {
 		return nil, err
 	}
-	if g.redo != nil {
-		return g.redo.wrap(tx), nil
+	var h TxHandle
+	switch {
+	case g.redo != nil:
+		h = g.redo.wrap(tx)
+	case g.cfg.Safety != OneSafe && len(g.backups) > 0:
+		st := g.freeSafety
+		if st == nil {
+			st = &safetyTx{}
+		}
+		g.freeSafety = nil
+		*st = safetyTx{g: g, tx: tx}
+		h = st
+	default:
+		pt := g.freePlain
+		if pt == nil {
+			pt = &plainTx{}
+		}
+		g.freePlain = nil
+		*pt = plainTx{g: g, tx: tx}
+		h = pt
 	}
-	if g.cfg.Safety != OneSafe && len(g.backups) > 0 {
-		return &safetyTx{g: g, tx: tx}, nil
+	g.curHandle = h
+	return h, nil
+}
+
+// finishTxLocked releases the open-transaction slot (h is known to own
+// it) and wakes one Begin waiter.
+func (g *Group) finishTxLocked(h TxHandle) {
+	if g.curHandle == h {
+		g.curHandle = nil
+		g.txFree.Signal()
 	}
-	return tx, nil
+}
+
+// orphanedLocked reports whether h lost the open-transaction slot to a
+// crash: its node died under it, so the handle must refuse further work
+// without touching state that may meanwhile belong to a fresh
+// transaction. An orphaned handle is never recycled.
+func (g *Group) orphanedLocked(h TxHandle) bool { return g.curHandle != h }
+
+// plainTx is the standalone / passive-1-safe handle: it only adds the
+// per-operation locking and the open-slot release at the end of the
+// transaction. One value is recycled per group (a single transaction is
+// open at a time), so a handle must not be used after Commit/Abort.
+type plainTx struct {
+	g    *Group
+	tx   *vista.Tx
+	done bool
+}
+
+var _ TxHandle = (*plainTx)(nil)
+
+func (t *plainTx) SetRange(off, n int) error {
+	t.g.mu.Lock()
+	defer t.g.mu.Unlock()
+	return t.tx.SetRange(off, n)
+}
+
+func (t *plainTx) Write(off int, src []byte) error {
+	t.g.mu.Lock()
+	defer t.g.mu.Unlock()
+	return t.tx.Write(off, src)
+}
+
+func (t *plainTx) Read(off int, dst []byte) error {
+	t.g.mu.Lock()
+	defer t.g.mu.Unlock()
+	return t.tx.Read(off, dst)
+}
+
+func (t *plainTx) Commit() error {
+	g := t.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t.done {
+		return vista.ErrTxDone
+	}
+	if g.orphanedLocked(t) {
+		t.done = true
+		return ErrCrashed
+	}
+	err := t.tx.Commit()
+	t.done = true
+	g.finishTxLocked(t)
+	g.freePlain = t
+	return err
+}
+
+func (t *plainTx) Abort() error {
+	g := t.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t.done {
+		return vista.ErrTxDone
+	}
+	if g.orphanedLocked(t) {
+		t.done = true
+		return ErrCrashed
+	}
+	err := t.tx.Abort()
+	t.done = true
+	g.finishTxLocked(t)
+	g.freePlain = t
+	return err
 }
 
 // safetyTx wraps a passive-era transaction with the commit-safety wait:
 // the doubled writes already carry the state, so closing the window only
-// needs the write buffers drained and the acknowledgement round trip.
+// needs the write buffers drained and the acknowledgement round trip. With
+// group commit enabled the drain and the round trip are paid once per
+// batch instead of once per transaction.
 type safetyTx struct {
-	g  *Group
-	tx *vista.Tx
+	g    *Group
+	tx   *vista.Tx
+	done bool
 }
 
 var _ TxHandle = (*safetyTx)(nil)
 
-func (t *safetyTx) SetRange(off, n int) error       { return t.tx.SetRange(off, n) }
-func (t *safetyTx) Write(off int, src []byte) error { return t.tx.Write(off, src) }
-func (t *safetyTx) Read(off int, dst []byte) error  { return t.tx.Read(off, dst) }
-func (t *safetyTx) Abort() error                    { return t.tx.Abort() }
+func (t *safetyTx) SetRange(off, n int) error {
+	t.g.mu.Lock()
+	defer t.g.mu.Unlock()
+	return t.tx.SetRange(off, n)
+}
+
+func (t *safetyTx) Write(off int, src []byte) error {
+	t.g.mu.Lock()
+	defer t.g.mu.Unlock()
+	return t.tx.Write(off, src)
+}
+
+func (t *safetyTx) Read(off int, dst []byte) error {
+	t.g.mu.Lock()
+	defer t.g.mu.Unlock()
+	return t.tx.Read(off, dst)
+}
+
+func (t *safetyTx) Abort() error {
+	g := t.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t.done {
+		return vista.ErrTxDone
+	}
+	if g.orphanedLocked(t) {
+		t.done = true
+		return ErrCrashed
+	}
+	err := t.tx.Abort()
+	t.done = true
+	g.finishTxLocked(t)
+	g.freeSafety = t
+	return err
+}
 
 func (t *safetyTx) Commit() error {
+	g := t.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t.done {
+		return vista.ErrTxDone
+	}
+	if g.orphanedLocked(t) {
+		t.done = true
+		return ErrCrashed
+	}
 	if err := t.tx.Commit(); err != nil {
+		t.done = true
+		g.finishTxLocked(t)
+		g.freeSafety = t
 		return err
 	}
-	g := t.g
-	// Everything the transaction doubled must leave the write buffers
-	// before any backup can acknowledge it.
+	err := g.joinBatchLocked()
+	t.done = true
+	g.finishTxLocked(t)
+	g.freeSafety = t
+	return err
+}
+
+// batchLimit returns the commit count that seals a batch: 1 when group
+// commit is off (flush every commit), CommitBatch when set, otherwise
+// unbounded (window- or Flush-driven sealing).
+func (g *Group) batchLimit() int {
+	if g.cfg.CommitBatch > 1 {
+		return g.cfg.CommitBatch
+	}
+	if g.cfg.CommitBatch <= 1 && g.cfg.CommitWindow <= 0 {
+		return 1
+	}
+	return int(^uint(0) >> 1) // window-only batching: no count cap
+}
+
+// joinBatchLocked adds the just-committed transaction to the open batch
+// and flushes when the batch seals: at the CommitBatch-th member, or when
+// this commit landed CommitWindow past the batch's opening instant. With
+// group commit off the batch seals at every commit, reproducing the
+// unbatched pipeline exactly.
+func (g *Group) joinBatchLocked() error {
+	now := g.primary.Clock.Now()
+	if g.batchCount == 0 {
+		g.batchStart = now
+	}
+	g.batchCount++
+	if g.batchCount >= g.batchLimit() ||
+		(g.cfg.CommitWindow > 0 && sim.Dur(now-g.batchStart) >= g.cfg.CommitWindow) {
+		return g.flushLocked()
+	}
+	return nil
+}
+
+// Flush seals and ships the open group-commit batch: the redo-ring
+// producer pointer is published (active era) or the write buffers fenced
+// (passive era), and under TwoSafe/QuorumSafe the batch's single
+// acknowledgement wait is charged. A no-op when no commits are pending.
+func (g *Group) Flush() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.flushLocked()
+}
+
+// flushLocked ships the pending batch. Commits left in an unflushed batch
+// at a primary crash are lost exactly like the paper's 1-safe window —
+// Crash deliberately does not flush.
+func (g *Group) flushLocked() error {
+	if g.batchCount == 0 {
+		return nil
+	}
+	g.batchCount = 0
+	g.batchStart = 0
+	if g.redo != nil {
+		return g.redo.flush()
+	}
+	return g.flushPassiveLocked()
+}
+
+// flushPassiveLocked closes the passive-era batch: one buffer drain and
+// one acknowledgement round trip cover every commit in the batch.
+func (g *Group) flushPassiveLocked() error {
+	if g.cfg.Safety == OneSafe || len(g.backups) == 0 {
+		// 1-safe passive commits carry no deferred work: the doubled
+		// stores drain on their own.
+		return nil
+	}
+	// Everything the batch doubled must leave the write buffers before
+	// any backup can acknowledge it.
 	g.primary.Acc.Fence()
 	delivered := g.primary.MC.LastDelivered()
-	acks := make([]sim.Time, 0, len(g.backups))
-	for _, b := range g.ackers() {
-		acks = append(acks, delivered+sim.Time(b.ackLag)+sim.Time(g.params.LinkLatency))
+	acks := g.ackBuf[:0]
+	for _, b := range g.backups {
+		if b.acking() {
+			acks = append(acks, delivered+sim.Time(b.ackLag)+sim.Time(g.params.LinkLatency))
+		}
 	}
+	g.ackBuf = acks[:0]
 	at, err := ackDeadline(acks, g.cfg.Safety, g.cfg.Backups)
 	if err != nil {
 		return err
@@ -407,6 +710,8 @@ func ackDeadline(acks []sim.Time, s Safety, degree int) (sim.Time, error) {
 // every backup's copies raw (the initial full-database transfer that
 // precedes failure-free operation).
 func (g *Group) Load(off int, data []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if err := g.store.Load(off, data); err != nil {
 		return err
 	}
@@ -431,6 +736,12 @@ func (g *Group) Load(off int, data []byte) error {
 // time itself flows on — cache warmth, link queues and ring timelines keep
 // their state, exactly like starting a stopwatch mid-run.
 func (g *Group) ResetMeasurement() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.resetMeasurementLocked()
+}
+
+func (g *Group) resetMeasurementLocked() {
 	g.primary.Cache.ResetStats()
 	if g.primary.MC != nil {
 		g.primary.MC.ResetStats()
@@ -444,28 +755,65 @@ func (g *Group) ResetMeasurement() {
 	if g.link != nil {
 		g.link.ResetStats()
 	}
-	g.measureStart = g.primary.Clock.Now()
+	g.servingRef.Store(&measureRef{node: g.primary, origin: g.primary.Clock.Now()})
 }
 
 // Elapsed returns the serving node's simulated time since the last
-// ResetMeasurement.
+// ResetMeasurement. Lock-free: safe to sample while transactions run —
+// the node and interval origin are read as one atomic pair, so a
+// concurrent failover can never mix two timelines.
 func (g *Group) Elapsed() sim.Time {
-	return g.primary.Clock.Now() - g.measureStart
+	r := g.servingRef.Load()
+	return r.node.Clock.Now() - r.origin
 }
+
+// Stats returns the serving store's transaction counters. Lock-free.
+func (g *Group) Stats() vista.Stats { return g.servingStore.Load().Stats() }
+
+// Committed returns the serving store's committed-transaction count.
+// Lock-free.
+func (g *Group) Committed() uint64 { return g.servingStore.Load().Committed() }
 
 // NetBytes returns SAN payload bytes by category (paper Tables 2, 5, 7).
+// The byte counters themselves are atomic; the brief lock here only pins
+// the Memory Channel attachment, which failover replaces.
 func (g *Group) NetBytes() map[mem.Category]int64 {
-	if g.primary.MC == nil {
+	g.mu.Lock()
+	mc := g.primary.MC
+	g.mu.Unlock()
+	if mc == nil {
 		return map[mem.Category]int64{}
 	}
-	return g.primary.MC.CategoryBytes()
+	return mc.CategoryBytes()
 }
 
-// Settle lets the deployment go idle for d of simulated time: pending
-// write buffers self-drain, so everything committed before Settle is on
-// every reachable backup afterwards. Demos use it to separate "crash right
-// now" (the 1-safe window applies) from "crash after a quiet moment".
+// Read performs a charged, non-transactional read on the serving store,
+// serialized with the group's transactions.
+func (g *Group) Read(off int, dst []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.store.Read(off, dst)
+}
+
+// ReadRaw copies database bytes without charging simulated time,
+// serialized with the group's transactions.
+func (g *Group) ReadRaw(off int, dst []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.store.ReadRaw(off, dst)
+}
+
+// Settle lets the deployment go idle for d of simulated time: any open
+// group-commit batch is flushed, then pending write buffers self-drain, so
+// everything committed before Settle is on every reachable backup
+// afterwards. Demos use it to separate "crash right now" (the 1-safe
+// window applies) from "crash after a quiet moment".
 func (g *Group) Settle(d sim.Dur) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.crashed {
+		_ = g.flushLocked()
+	}
 	if g.primary.MC != nil && !g.crashed {
 		g.primary.MC.Idle(d)
 	}
@@ -480,11 +828,24 @@ func (g *Group) Settle(d sim.Dur) {
 
 // Crash kills the primary: stores still coalescing in its write buffers
 // are lost (the 1-safe window); everything already emitted is delivered.
+// An open transaction dies with the node — its remaining operations fail
+// with ErrCrashed and the survivor rolls it back at takeover. An open
+// group-commit batch dies too: its commits were never named by a
+// delivered producer pointer, the batched generalization of the same
+// window.
 func (g *Group) Crash() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.crashed {
 		return ErrCrashed
 	}
 	g.crashed = true
+	g.batchCount = 0
+	g.batchStart = 0
+	// The open transaction (if any) died with the node: free the slot so
+	// post-failover Begins are not blocked by a ghost.
+	g.curHandle = nil
+	g.txFree.Broadcast()
 	g.store.MarkCrashed()
 	if g.primary.MC != nil {
 		g.primary.MC.Crash()
@@ -493,7 +854,11 @@ func (g *Group) Crash() error {
 }
 
 // Crashed reports whether the serving primary has crashed.
-func (g *Group) Crashed() bool { return g.crashed }
+func (g *Group) Crashed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.crashed
+}
 
 // backupAt validates a backup index.
 func (g *Group) backupAt(i int) (*backup, error) {
@@ -508,6 +873,8 @@ func (g *Group) backupAt(i int) (*backup, error) {
 // applied prefix freezes at the pause point, which is how tests — and
 // commodity clusters — get replicas at unequal progress.
 func (g *Group) PauseBackup(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	b, err := g.backupAt(i)
 	if err != nil {
 		return err
@@ -526,6 +893,8 @@ func (g *Group) PauseBackup(i int) error {
 // part of the stream — until the next failover re-sync or Repair, but it
 // counts as reachable again for repair accounting.
 func (g *Group) ResumeBackup(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	b, err := g.backupAt(i)
 	if err != nil {
 		return err
@@ -542,6 +911,8 @@ func (g *Group) ResumeBackup(i int) error {
 // CrashBackup kills backup i: it stops receiving, never acknowledges, and
 // is not eligible for promotion.
 func (g *Group) CrashBackup(i int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	b, err := g.backupAt(i)
 	if err != nil {
 		return err
@@ -556,6 +927,8 @@ func (g *Group) CrashBackup(i int) error {
 // AppliedTxns returns how many transactions backup i has applied (active
 // era; passive backups report the committed count in their control copy).
 func (g *Group) AppliedTxns(i int) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	b, err := g.backupAt(i)
 	if err != nil {
 		return 0
@@ -586,6 +959,8 @@ func (g *Group) backupProgress(b *backup) uint64 {
 // continues passively, so another Crash/Failover cycle works for as long
 // as replicas remain. Returns the recovered store, ready to serve.
 func (g *Group) Failover() (*vista.Store, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	switch {
 	case !g.crashed:
 		return nil, ErrNotCrashed
@@ -636,6 +1011,10 @@ func (g *Group) Failover() (*vista.Store, error) {
 	g.takeover = st
 	g.crashed = false
 	g.redo = nil
+	// servingRef (node + interval origin) is swapped as one value by
+	// resetMeasurementLocked below; until then lock-free readers keep a
+	// consistent view of the old era.
+	g.servingStore.Store(st)
 	if g.cfg.Mode == Active {
 		// Re-established replication uses the passive scheme: the
 		// promoted node's recoverable structures are simply mapped
@@ -648,7 +1027,7 @@ func (g *Group) Failover() (*vista.Store, error) {
 	}
 	// The serving clock changed machines: re-pin the measured interval so
 	// Elapsed never mixes the old primary's timeline with the new one.
-	g.ResetMeasurement()
+	g.resetMeasurementLocked()
 	return st, nil
 }
 
@@ -700,7 +1079,11 @@ func (g *Group) resyncBackup(b *backup) error {
 }
 
 // Takeover returns the store recovered by the most recent failover, or nil.
-func (g *Group) Takeover() *vista.Store { return g.takeover }
+func (g *Group) Takeover() *vista.Store {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.takeover
+}
 
 // Repair restores the group to its configured replication degree after a
 // failover: fresh backup nodes enroll behind the serving survivor (initial
@@ -708,11 +1091,18 @@ func (g *Group) Takeover() *vista.Store { return g.takeover }
 // more full-fledged cluster, not restricted to a simple primary-backup
 // configuration" (Section 1). It returns the (rewired) group itself.
 func (g *Group) Repair() (*Group, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.takeover == nil {
 		return nil, ErrNotRepairable
 	}
 	if g.crashed {
 		return nil, ErrCrashed
+	}
+	// Rewiring resets the redo rings and ack staggers: ship any open
+	// batch under the old wiring first.
+	if err := g.flushLocked(); err != nil {
+		return nil, err
 	}
 
 	specs, err := vista.Layout(g.store.Config())
@@ -735,7 +1125,7 @@ func (g *Group) Repair() (*Group, error) {
 	if err := g.wireSurvivors(members); err != nil {
 		return nil, err
 	}
-	g.ResetMeasurement()
+	g.resetMeasurementLocked()
 	return g, nil
 }
 
@@ -746,6 +1136,8 @@ func (g *Group) Repair() (*Group, error) {
 // offloaded. The read observes the applied prefix (which trails the
 // primary by the 1-safe window) and charges the backup's own CPU.
 func (g *Group) BackupRead(off int, dst []byte) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.redo == nil {
 		return fmt.Errorf("replication: backup reads require the active backup (mode %s)", g.cfg.Mode)
 	}
@@ -762,6 +1154,8 @@ func (g *Group) BackupRead(off int, dst []byte) error {
 // BackupApplied returns how many transactions the first active backup has
 // applied (trails the primary's commit count by the in-flight window).
 func (g *Group) BackupApplied() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.redo == nil || len(g.backups) == 0 {
 		return 0
 	}
@@ -773,6 +1167,8 @@ func (g *Group) BackupApplied() uint64 {
 // the SMP capture runs; nil detaches. Redo-ring reserve and publish events
 // are recorded through the same node, so one recorder sees everything.
 func (g *Group) SetTrace(t *sim.Trace) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.primary.MC != nil {
 		g.primary.MC.SetTrace(t)
 	}

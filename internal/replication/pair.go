@@ -110,6 +110,20 @@ type Config struct {
 	// TwoSafe is the legacy toggle for Safety == TwoSafe; setting it with
 	// Safety left at OneSafe upgrades the safety level.
 	TwoSafe bool
+	// CommitBatch enables group commit: up to CommitBatch transactions
+	// committing back to back coalesce into one producer-pointer publish
+	// and (under TwoSafe/QuorumSafe) one acknowledgement wait. 0 or 1
+	// disables batching, reproducing the per-commit pipeline exactly.
+	// Commits sitting in an unflushed batch at a primary crash are lost —
+	// the batched generalization of the paper's 1-safe window.
+	CommitBatch int
+	// CommitWindow bounds, in simulated time, how long a commit may wait
+	// in an open batch: a commit landing CommitWindow or more after the
+	// batch opened seals and flushes it (itself included). Setting only
+	// CommitWindow (CommitBatch 0) gives pure window-based batching;
+	// setting neither disables group commit. Settle and Flush always ship
+	// the open batch.
+	CommitWindow sim.Dur
 }
 
 // TxHandle is the transactional surface shared by all modes; vista.Tx

@@ -15,6 +15,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -63,33 +64,36 @@ func DurOf(ns float64) Dur { return Dur(ns*1000 + 0.5) }
 // Clock is a simulated clock owned by exactly one execution stream (one
 // simulated CPU). The zero value is a clock at time zero, ready to use.
 //
-// A Clock is not safe for concurrent use; each simulated processor owns its
-// own clock, mirroring the paper's configuration where every transaction
-// stream runs on a dedicated CPU.
+// Exactly one goroutine may advance a Clock at any time — each simulated
+// processor owns its clock, mirroring the paper's configuration where
+// every transaction stream runs on a dedicated CPU — but Now may be called
+// from any goroutine: the timestamp is stored atomically so monitoring
+// code (aggregate throughput, Elapsed) can sample a running stream's clock
+// without synchronizing with it.
 type Clock struct {
-	now Time
+	now atomic.Int64 // Time in picoseconds
 }
 
-// Now returns the current simulated time.
-func (c *Clock) Now() Time { return c.now }
+// Now returns the current simulated time. Safe for concurrent use.
+func (c *Clock) Now() Time { return Time(c.now.Load()) }
 
 // Advance moves the clock forward by d. Negative durations are ignored so
 // that cost expressions built from differences can never move time
-// backwards.
+// backwards. Only the owning stream may call Advance.
 func (c *Clock) Advance(d Dur) {
 	if d > 0 {
-		c.now += Time(d)
+		c.now.Store(c.now.Load() + int64(d))
 	}
 }
 
 // AdvanceTo moves the clock forward to t if t is in the future; a stall
-// until an earlier time is a no-op.
+// until an earlier time is a no-op. Only the owning stream may call it.
 func (c *Clock) AdvanceTo(t Time) {
-	if t > c.now {
-		c.now = t
+	if int64(t) > c.now.Load() {
+		c.now.Store(int64(t))
 	}
 }
 
 // Reset rewinds the clock to time zero. Used between measurement phases so
 // that warm-up work is excluded from the reported interval.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.now.Store(0) }

@@ -82,7 +82,11 @@ func (l *Link) Submit(now Time, size int, sync bool) (readyAt, deliveredAt Time)
 		}
 	} else if len(l.window) >= l.params.PostedDepth {
 		oldest := l.window[0]
-		l.window = l.window[1:]
+		// Pop by shifting in place: re-slicing forward and re-appending
+		// would walk the backing array and allocate on every PostedDepth
+		// packets, putting the allocator on the steady-state commit path.
+		copy(l.window, l.window[1:])
+		l.window = l.window[:len(l.window)-1]
 		if oldest > readyAt {
 			l.stats.StallTime += Dur(oldest - readyAt)
 			readyAt = oldest

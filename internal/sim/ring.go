@@ -47,7 +47,8 @@ func (r *Ring) Reserve(now Time, bytes int) Time {
 			panic("sim: ring reservation deadlock")
 		}
 		seg := r.pending[0]
-		r.pending = r.pending[1:]
+		copy(r.pending, r.pending[1:])
+		r.pending = r.pending[:len(r.pending)-1]
 		r.inFlight -= seg.bytes
 		if seg.freeAt > now {
 			now = seg.freeAt
@@ -86,10 +87,15 @@ func (r *Ring) Publish(deliveredAt Time, bytes int) {
 func (r *Ring) ConsumerDone() Time { return r.consDone }
 
 // collect releases every published segment already freed by time now.
+// Freed segments are dropped by shifting the queue in place so the backing
+// array is reused instead of leaking forward (see Reserve).
 func (r *Ring) collect(now Time) {
 	i := 0
 	for ; i < len(r.pending) && r.pending[i].freeAt <= now; i++ {
 		r.inFlight -= r.pending[i].bytes
 	}
-	r.pending = r.pending[i:]
+	if i > 0 {
+		n := copy(r.pending, r.pending[i:])
+		r.pending = r.pending[:n]
+	}
 }

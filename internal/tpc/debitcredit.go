@@ -42,6 +42,10 @@ type DebitCredit struct {
 	histCap     int64
 
 	buf [dcHistRecSize]byte
+	// bal stages the balance read-modify-write. A stack array would
+	// escape through the TxHandle interface and cost one allocation per
+	// record update; workloads are single-stream, so a field is safe.
+	bal [4]byte
 }
 
 var _ Workload = (*DebitCredit)(nil)
@@ -142,11 +146,10 @@ func (w *DebitCredit) updateBalance(tx replication.TxHandle, off int, delta int3
 	if err := tx.SetRange(off, dcRangeSize); err != nil {
 		return err
 	}
-	var cur [4]byte
-	if err := tx.Read(off, cur[:]); err != nil {
+	if err := tx.Read(off, w.bal[:]); err != nil {
 		return err
 	}
-	bal := int32(binary.LittleEndian.Uint32(cur[:])) + delta
-	binary.LittleEndian.PutUint32(cur[:], uint32(bal))
-	return tx.Write(off, cur[:])
+	bal := int32(binary.LittleEndian.Uint32(w.bal[:])) + delta
+	binary.LittleEndian.PutUint32(w.bal[:], uint32(bal))
+	return tx.Write(off, w.bal[:])
 }

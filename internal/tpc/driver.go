@@ -3,6 +3,7 @@ package tpc
 import (
 	"fmt"
 	"math/rand/v2"
+	"time"
 
 	"repro/internal/mem"
 	"repro/internal/replication"
@@ -18,6 +19,16 @@ type Result struct {
 	// TPS is transactions per simulated second — the paper's headline
 	// metric.
 	TPS float64
+	// WallElapsed and WallTPS report the host's real clock for the
+	// multi-client sharded runs (RunSharded): how fast the simulator
+	// itself executes when shards are driven from parallel goroutines.
+	// Zero for single-stream runs, where wall time measures nothing but
+	// the host.
+	WallElapsed time.Duration
+	WallTPS     float64
+	// Clients is the number of concurrent client goroutines that drove
+	// the run (1 for single-stream runs).
+	Clients int
 	// Net is the SAN payload broken down as in paper Tables 2/5/7
 	// (zero-valued in standalone runs).
 	Net map[mem.Category]int64
@@ -66,6 +77,10 @@ type Options struct {
 	// their wall-clock cost. Measured intervals start after a reset, so
 	// the sweep itself is never charged.
 	WarmCache bool
+	// Clients is the number of concurrent client goroutines RunSharded
+	// drives (capped at the shard count; 0 means one client per shard).
+	// Ignored by the single-stream Run.
+	Clients int
 }
 
 // Run populates the workload's database, warms up, and drives the measured

@@ -172,6 +172,7 @@ func (p *Primary) Close() error {
 		}
 	}
 	err := p.conn.Close()
+	p.w.Release()
 	p.mu.Unlock()
 	return err
 }
@@ -223,6 +224,7 @@ func (b *Backup) Applied() int64 { return b.applied }
 // caller then typically invokes Recover.
 func (b *Backup) Serve(conn net.Conn) error {
 	r := wire.NewReader(conn)
+	defer r.Release()
 
 	if err := conn.SetReadDeadline(time.Now().Add(b.Timeout)); err != nil {
 		return err

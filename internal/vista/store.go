@@ -2,6 +2,7 @@ package vista
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/rio"
@@ -39,9 +40,13 @@ type engine interface {
 // Store is one transaction server instance: an engine over a database held
 // in reliable memory, accessed through an instrumented accessor.
 //
-// A Store is not safe for concurrent use. The paper's API assumes
-// concurrency control in a separate layer (Section 2.1); the multiprocessor
-// experiments run one Store per simulated CPU on disjoint data.
+// A Store's transactional operations are not safe for concurrent use: the
+// paper's API assumes concurrency control in a separate layer (Section
+// 2.1), and the replication.Group above it serializes all access on one
+// per-group mutex. The counter accessors Stats and Committed are the
+// exception — they read atomic shadows and may be called from any
+// goroutine while a transaction runs (aggregate monitoring over live
+// shards).
 type Store struct {
 	cfg Config
 	acc *mem.Accessor
@@ -54,7 +59,20 @@ type Store struct {
 	tx      *Tx
 	crashed bool
 
-	stats Stats
+	// freeTx is the recycled transaction handle: exactly one transaction
+	// is open at a time, so one cached value keeps Begin allocation-free.
+	// The usual pool hazard applies — a handle must not be touched after
+	// Commit/Abort — and is enforced for the stale holder only until the
+	// handle is reissued.
+	freeTx *Tx
+
+	// API counters, atomic so monitors can snapshot them mid-transaction.
+	begins  atomic.Int64
+	commits atomic.Int64
+	aborts  atomic.Int64
+	// committed shadows the ctlCommitSeq word in reliable memory: reading
+	// the region's bytes would race with the owning stream's writes.
+	committed atomic.Uint64
 }
 
 // Stats counts API-level activity.
@@ -79,6 +97,7 @@ func Open(cfg Config, acc *mem.Accessor, rm *rio.Memory) (*Store, error) {
 	if err := s.makeEngine(true); err != nil {
 		return nil, err
 	}
+	s.committed.Store(s.committedRaw())
 	return s, nil
 }
 
@@ -122,6 +141,7 @@ func Recover(cfg Config, acc *mem.Accessor, rm *rio.Memory, mode RecoverMode) (*
 		return nil, fmt.Errorf("vista: recovery failed: %w", err)
 	}
 	s.acc.Fence()
+	s.committed.Store(s.committedRaw())
 	return s, nil
 }
 
@@ -176,8 +196,14 @@ func (s *Store) Accessor() *mem.Accessor { return s.acc }
 // DBSize returns the database size in bytes.
 func (s *Store) DBSize() int { return s.cfg.DBSize }
 
-// Stats returns API activity counters.
-func (s *Store) Stats() Stats { return s.stats }
+// Stats returns API activity counters. Safe for concurrent use.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Begins:  s.begins.Load(),
+		Commits: s.commits.Load(),
+		Aborts:  s.aborts.Load(),
+	}
+}
 
 // Load installs initial database content without charging simulated time
 // (database population happens before the measured interval). It keeps the
@@ -211,8 +237,14 @@ func (s *Store) Read(off int, dst []byte) error {
 func (s *Store) ReadRaw(off int, dst []byte) { s.db.ReadRaw(off, dst) }
 
 // Committed returns the number of committed transactions recorded in
-// reliable memory, without charging simulated time.
-func (s *Store) Committed() uint64 {
+// reliable memory, without charging simulated time. It reads an atomic
+// shadow of the control word, so it is safe to call from any goroutine
+// while a transaction runs.
+func (s *Store) Committed() uint64 { return s.committed.Load() }
+
+// committedRaw reads the committed count from the control region's bytes
+// (used to seed the shadow when a store opens over existing memory).
+func (s *Store) committedRaw() uint64 {
 	var b [8]byte
 	s.control.ReadRaw(ctlCommitSeq, b[:])
 	return leU64(b[:])
@@ -223,7 +255,9 @@ func (s *Store) Committed() uint64 {
 func (s *Store) MarkCrashed() { s.crashed = true }
 
 // Begin opens a transaction. Exactly one transaction may be open at a time
-// (concurrency control is a separate layer in the paper's design).
+// (concurrency control is a separate layer in the paper's design). The
+// returned handle is recycled once Commit or Abort completes; holding it
+// past that point is a use-after-finish bug.
 func (s *Store) Begin() (*Tx, error) {
 	if s.crashed {
 		return nil, ErrCrashed
@@ -232,8 +266,15 @@ func (s *Store) Begin() (*Tx, error) {
 		return nil, ErrTxActive
 	}
 	s.acc.Charge(s.acc.Params.TxBegin)
-	s.stats.Begins++
-	tx := &Tx{s: s}
+	s.begins.Add(1)
+	tx := s.freeTx
+	if tx == nil {
+		tx = &Tx{}
+	}
+	s.freeTx = nil
+	tx.s = s
+	tx.done = false
+	tx.ranges = tx.ranges[:0]
 	s.tx = tx
 	s.eng.begin(s)
 	return tx, nil
@@ -309,7 +350,7 @@ func (t *Tx) Commit() error {
 		return err
 	}
 	t.finish()
-	s.stats.Commits++
+	s.commits.Add(1)
 	return nil
 }
 
@@ -324,7 +365,7 @@ func (t *Tx) Abort() error {
 		return err
 	}
 	t.finish()
-	s.stats.Aborts++
+	s.aborts.Add(1)
 	return nil
 }
 
@@ -350,13 +391,15 @@ func (t *Tx) covered(off, n int) bool {
 func (t *Tx) finish() {
 	t.done = true
 	t.s.tx = nil
+	t.s.freeTx = t
 }
 
 // bumpCommitSeq advances the committed-transaction counter in reliable
-// memory (metadata, replicated).
+// memory (metadata, replicated) and its atomic shadow.
 func (s *Store) bumpCommitSeq() {
 	seq := s.acc.ReadU64(s.control.Base + ctlCommitSeq)
 	s.acc.WriteU64(s.control.Base+ctlCommitSeq, seq+1, mem.CatMeta)
+	s.committed.Store(seq + 1)
 }
 
 // dbAddr translates a database offset to a simulated address.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 )
 
 // FrameType discriminates wire frames.
@@ -58,15 +59,39 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 const headerLen = 1 + 8 + 4
 
+// encBufPool recycles frame scratch buffers across Writers and Readers:
+// replication sessions come and go (failover reconnects, repair enrolls a
+// fresh node), and per-connection buffers would otherwise be re-grown to
+// the steady-state frame size each time. Buffers start at 4 KB and grow in
+// place when a larger frame passes through; oversized ones are still
+// returned to the pool (the GC trims the pool under pressure).
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 4<<10)
+		return &b
+	},
+}
+
 // Writer frames onto a buffered writer. Not safe for concurrent use.
 type Writer struct {
 	w   *bufio.Writer
-	buf []byte
+	buf *[]byte
 }
 
 // NewWriter returns a frame writer over w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{w: bufio.NewWriterSize(w, 64<<10)}
+	return &Writer{w: bufio.NewWriterSize(w, 64<<10), buf: encBufPool.Get().(*[]byte)}
+}
+
+// Release returns the writer's encode buffer to the shared pool; the
+// Writer must not be used afterwards. Optional — a dropped Writer is
+// simply collected — but long-running transports that open many sessions
+// should release on close.
+func (w *Writer) Release() {
+	if w.buf != nil {
+		encBufPool.Put(w.buf)
+		w.buf = nil
+	}
 }
 
 // Write frames f. Data is copied before return.
@@ -75,10 +100,13 @@ func (w *Writer) Write(f Frame) error {
 		return ErrTooLarge
 	}
 	need := headerLen + len(f.Data) + 4
-	if cap(w.buf) < need {
-		w.buf = make([]byte, need)
+	if w.buf == nil {
+		w.buf = encBufPool.Get().(*[]byte)
 	}
-	b := w.buf[:need]
+	if cap(*w.buf) < need {
+		*w.buf = make([]byte, need)
+	}
+	b := (*w.buf)[:need]
 	b[0] = byte(f.Type)
 	binary.LittleEndian.PutUint64(b[1:], f.Addr)
 	binary.LittleEndian.PutUint32(b[9:], uint32(len(f.Data)))
@@ -99,12 +127,22 @@ func (w *Writer) Buffered() int { return w.w.Buffered() }
 // Reader decodes frames. Not safe for concurrent use.
 type Reader struct {
 	r   *bufio.Reader
-	buf []byte
+	buf *[]byte
 }
 
 // NewReader returns a frame reader over r.
 func NewReader(r io.Reader) *Reader {
-	return &Reader{r: bufio.NewReaderSize(r, 64<<10)}
+	return &Reader{r: bufio.NewReaderSize(r, 64<<10), buf: encBufPool.Get().(*[]byte)}
+}
+
+// Release returns the reader's decode buffer to the shared pool; the
+// Reader (and any Frame.Data aliasing the buffer) must not be used
+// afterwards.
+func (r *Reader) Release() {
+	if r.buf != nil {
+		encBufPool.Put(r.buf)
+		r.buf = nil
+	}
 }
 
 // Read decodes the next frame. The returned frame's Data aliases an
@@ -123,10 +161,13 @@ func (r *Reader) Read() (Frame, error) {
 		return Frame{}, ErrTooLarge
 	}
 	need := int(n) + 4
-	if cap(r.buf) < headerLen+need {
-		r.buf = make([]byte, headerLen+need)
+	if r.buf == nil {
+		r.buf = encBufPool.Get().(*[]byte)
 	}
-	b := r.buf[:headerLen+need]
+	if cap(*r.buf) < headerLen+need {
+		*r.buf = make([]byte, headerLen+need)
+	}
+	b := (*r.buf)[:headerLen+need]
 	copy(b, hdr[:])
 	if _, err := io.ReadFull(r.r, b[headerLen:]); err != nil {
 		return Frame{}, err

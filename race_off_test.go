@@ -1,0 +1,8 @@
+//go:build !race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build (it inflates allocation counts, so the alloc-regression guard
+// skips itself under -race).
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package repro_test
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build.
+const raceEnabled = true

@@ -130,6 +130,17 @@ type Config struct {
 	// Safety selects the commit discipline (default OneSafe); stronger
 	// levels require a replicated mode.
 	Safety Safety
+	// CommitBatch enables group commit: up to CommitBatch transactions
+	// committing back to back share one redo-ring pointer publish and one
+	// acknowledgement wait. 0 or 1 disables batching (the default,
+	// preserving per-commit behavior exactly). Commits in an unflushed
+	// batch at a crash are lost — the batched 1-safe window; Settle
+	// flushes.
+	CommitBatch int
+	// CommitWindow bounds how long (in simulated time) a commit may sit
+	// in an open batch before a later commit seals it. Zero means no
+	// window; see CommitBatch.
+	CommitWindow time.Duration
 }
 
 // Tx is one open transaction: the paper's RVM-style API (Section 2.1).
@@ -161,16 +172,28 @@ type Traffic struct {
 func (t Traffic) Total() int64 { return t.ModifiedBytes + t.UndoBytes + t.MetaBytes }
 
 // Cluster is one deployment: a primary transaction server and, unless
-// standalone, a backup node fed through the modelled SAN. A Cluster is not
-// safe for concurrent use (the paper's API defers concurrency control to a
-// separate layer).
+// standalone, a backup node fed through the modelled SAN.
+//
+// A Cluster is safe for concurrent use: every transaction-handle call and
+// every management call briefly holds the underlying replica group's
+// mutex. Begin blocks until the previous transaction commits or aborts
+// (one transaction is in flight per cluster — the paper's single-stream
+// engine), while CrashPrimary may land in the middle of an open
+// transaction exactly as on real hardware: the dead transaction's
+// remaining calls fail with ErrCrashed and failover rolls it back. Stats,
+// Committed, NetTraffic and Elapsed sample atomic counters without
+// blocking. Real parallelism comes from driving independent shards (see
+// ShardedCluster).
 type Cluster struct {
-	cfg  Config
+	cfg Config
+	// pair is set once at construction: Failover and Repair rewire the
+	// group in place, so the pointer never changes and every operation
+	// simply delegates (the group's own mutex provides the locking).
 	pair *replication.Pair
-	// serving is the store answering Begin: the primary, or the backup
-	// after Failover.
-	serving *vista.Store
 }
+
+// group returns the underlying replica group.
+func (c *Cluster) group() *replication.Pair { return c.pair }
 
 // Cluster state errors.
 var (
@@ -179,6 +202,12 @@ var (
 	ErrCrashed = errors.New("repro: primary crashed; call Failover")
 	// ErrNoBackup is returned by Failover on a standalone cluster.
 	ErrNoBackup = errors.New("repro: cluster has no backup")
+	// ErrSafetyUnavailable is returned when too few backups are
+	// reachable for the configured safety level: by Begin before a
+	// transaction opens, or by Commit when backups failed mid-flight —
+	// in the latter case the transaction is committed locally but its
+	// acknowledgement discipline was not met.
+	ErrSafetyUnavailable = replication.ErrSafetyUnavailable
 )
 
 // New builds a cluster per the configuration.
@@ -198,25 +227,21 @@ func New(cfg Config) (*Cluster, error) {
 		TwoSafe:      cfg.TwoSafe,
 		Backups:      cfg.Backups,
 		Safety:       replication.Safety(cfg.Safety),
+		CommitBatch:  cfg.CommitBatch,
+		CommitWindow: sim.Dur(cfg.CommitWindow.Nanoseconds()) * sim.Nanosecond,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	return &Cluster{cfg: cfg, pair: pair, serving: pair.Store()}, nil
+	return &Cluster{cfg: cfg, pair: pair}, nil
 }
 
-// Begin opens a transaction on the currently serving node.
+// Begin opens a transaction on the currently serving node. The transaction
+// holds the cluster's serialization until Commit or Abort.
 func (c *Cluster) Begin() (Tx, error) {
-	if c.serving == c.pair.Store() {
-		tx, err := c.pair.Begin()
-		if err != nil {
-			return nil, mapErr(err)
-		}
-		return tx, nil
-	}
-	tx, err := c.serving.Begin()
+	tx, err := c.group().Begin()
 	if err != nil {
-		return nil, err
+		return nil, mapErr(err)
 	}
 	return tx, nil
 }
@@ -224,42 +249,49 @@ func (c *Cluster) Begin() (Tx, error) {
 // Load installs initial database content without charging simulated time,
 // keeping the backup's copies in sync (the initial transfer that precedes
 // failure-free operation).
-func (c *Cluster) Load(off int, data []byte) error { return c.pair.Load(off, data) }
+func (c *Cluster) Load(off int, data []byte) error { return c.group().Load(off, data) }
 
-// Read performs a charged, non-transactional read on the serving node.
-func (c *Cluster) Read(off int, dst []byte) error { return c.serving.Read(off, dst) }
+// Read performs a charged, non-transactional read on the serving node,
+// serialized with the cluster's transactions.
+func (c *Cluster) Read(off int, dst []byte) error { return c.group().Read(off, dst) }
 
-// ReadRaw copies database bytes without charging simulated time.
-func (c *Cluster) ReadRaw(off int, dst []byte) { c.serving.ReadRaw(off, dst) }
+// ReadRaw copies database bytes without charging simulated time,
+// serialized with the cluster's transactions.
+func (c *Cluster) ReadRaw(off int, dst []byte) { c.group().ReadRaw(off, dst) }
 
 // Committed returns the number of committed transactions recorded in the
-// serving node's reliable memory.
-func (c *Cluster) Committed() uint64 { return c.serving.Committed() }
+// serving node's reliable memory. Never blocks: the count is an atomic
+// shadow, safe to sample while transactions run.
+func (c *Cluster) Committed() uint64 { return c.group().Committed() }
 
-// Settle lets the cluster sit idle for a few simulated microseconds so
-// pending write buffers drain to the backup; a crash after Settle loses
-// nothing. Without it, a crash immediately after a commit may lose that
-// commit — the paper's 1-safe window.
-func (c *Cluster) Settle() { c.pair.Settle(10 * sim.Microsecond) }
+// Flush seals and ships the open group-commit batch (see
+// Config.CommitBatch); a no-op when group commit is off or nothing is
+// pending.
+func (c *Cluster) Flush() error { return c.group().Flush() }
+
+// Settle lets the cluster sit idle for a few simulated microseconds so any
+// open group-commit batch flushes and pending write buffers drain to the
+// backup; a crash after Settle loses nothing. Without it, a crash
+// immediately after a commit may lose that commit — the paper's 1-safe
+// window.
+func (c *Cluster) Settle() { c.group().Settle(10 * sim.Microsecond) }
 
 // CrashPrimary kills the primary mid-flight: doubled stores still sitting
 // in its write buffers are lost (the paper's 1-safe vulnerability window);
 // packets already posted reach the backup.
-func (c *Cluster) CrashPrimary() error { return c.pair.Crash() }
+func (c *Cluster) CrashPrimary() error { return c.group().Crash() }
 
 // Failover performs takeover: the most-caught-up surviving backup recovers
 // from its replicated bytes and starts serving, with any remaining
 // survivors re-synced behind it (replication continues). Returns
 // ErrNoBackup on standalone clusters.
 func (c *Cluster) Failover() error {
-	st, err := c.pair.Failover()
-	if err != nil {
+	if _, err := c.group().Failover(); err != nil {
 		if errors.Is(err, replication.ErrNoBackup) {
 			return ErrNoBackup
 		}
 		return fmt.Errorf("repro: failover: %w", err)
 	}
-	c.serving = st
 	return nil
 }
 
@@ -269,43 +301,43 @@ func (c *Cluster) Failover() error {
 // deployment replicates passively; CrashPrimary and Failover work again
 // afterwards.
 func (c *Cluster) Repair() error {
-	np, err := c.pair.Repair()
-	if err != nil {
+	// Repair rewires the group in place and returns the same pointer.
+	if _, err := c.group().Repair(); err != nil {
 		return fmt.Errorf("repro: repair: %w", err)
 	}
-	c.pair = np
-	c.serving = np.Store()
 	return nil
 }
 
 // Backups returns the current number of backup nodes.
-func (c *Cluster) Backups() int { return c.pair.Backups() }
+func (c *Cluster) Backups() int { return c.group().Backups() }
 
 // CrashBackup kills backup i: it stops receiving and acknowledging and is
 // never promoted. With QuorumSafe, acked commits survive the loss of the
 // primary plus any minority of the backups.
-func (c *Cluster) CrashBackup(i int) error { return c.pair.CrashBackup(i) }
+func (c *Cluster) CrashBackup(i int) error { return c.group().CrashBackup(i) }
 
 // PauseBackup partitions backup i away from the cluster; it rejoins (via a
 // full re-sync) at the next Failover or Repair.
-func (c *Cluster) PauseBackup(i int) error { return c.pair.PauseBackup(i) }
+func (c *Cluster) PauseBackup(i int) error { return c.group().PauseBackup(i) }
 
 // ResumeBackup reconnects a paused backup (still stale until the next
 // Failover or Repair re-syncs it).
-func (c *Cluster) ResumeBackup(i int) error { return c.pair.ResumeBackup(i) }
+func (c *Cluster) ResumeBackup(i int) error { return c.group().ResumeBackup(i) }
 
 // Elapsed returns the simulated time consumed on the primary since the
-// cluster was built (or since the last measurement reset).
-func (c *Cluster) Elapsed() time.Duration { return c.pair.Elapsed().Duration() }
+// cluster was built (or since the last measurement reset). Never blocks:
+// the serving clock is sampled atomically.
+func (c *Cluster) Elapsed() time.Duration { return c.group().Elapsed().Duration() }
 
 // ResetMeasurement starts a fresh measured interval (statistics zeroed,
 // cache and link state preserved).
-func (c *Cluster) ResetMeasurement() { c.pair.ResetMeasurement() }
+func (c *Cluster) ResetMeasurement() { c.group().ResetMeasurement() }
 
 // NetTraffic returns the bytes shipped to the backup since the last
-// measurement reset, in the paper's three categories.
+// measurement reset, in the paper's three categories. The counters are
+// atomic: sampling while transactions run is safe.
 func (c *Cluster) NetTraffic() Traffic {
-	n := c.pair.NetBytes()
+	n := c.group().NetBytes()
 	return Traffic{
 		ModifiedBytes: n[mem.CatModified],
 		UndoBytes:     n[mem.CatUndo],
@@ -320,9 +352,10 @@ type Stats struct {
 	Aborts  int64
 }
 
-// Stats returns the serving store's transaction counters.
+// Stats returns the serving store's transaction counters. Never blocks:
+// the counters are atomic, safe to sample while transactions run.
 func (c *Cluster) Stats() Stats {
-	s := c.serving.Stats()
+	s := c.group().Stats()
 	return Stats{Begins: s.Begins, Commits: s.Commits, Aborts: s.Aborts}
 }
 

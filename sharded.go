@@ -3,6 +3,8 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"strings"
+	"sync"
 	"time"
 )
 
@@ -16,12 +18,31 @@ import (
 // split. A transaction that touches several shards commits on each touched
 // shard independently, in shard order — there is no cross-shard atomic
 // commit (the paper's API leaves concurrency control, and a fortiori
-// distributed commit, to a separate layer).
+// distributed commit, to a separate layer); a mid-commit failure surfaces
+// as a *PartialCommitError naming the shards that did and did not commit.
+//
+// # Concurrency
+//
+// A ShardedCluster may be driven from many goroutines at once: each shard
+// serializes its own transactions on its per-shard lock, and transactions
+// on different shards run genuinely in parallel — wall-clock throughput
+// scales with min(shards, GOMAXPROCS). A sharded transaction holds every
+// shard it has touched until Commit/Abort, acquiring shards in the order
+// it first touches them; concurrent multi-shard transactions must touch
+// shards in a consistent (ascending) order or risk deadlock, exactly like
+// any ordered-locking scheme. Aggregate readers (Stats, Committed,
+// NetTraffic, Elapsed) sample atomic counters and never block the shards.
 type ShardedCluster struct {
 	cfg       Config
 	shards    []*Cluster
 	shardSize int
 	dbSize    int
+
+	// txPool recycles shardedTx values (with their per-shard open tables)
+	// across Begin/Commit cycles so the steady-state transaction path
+	// allocates nothing. The usual pool hazard applies: a Tx must not be
+	// used after Commit/Abort.
+	txPool sync.Pool
 }
 
 // Sharded-cluster errors.
@@ -32,12 +53,44 @@ var (
 	ErrNoSuchShard = errors.New("repro: no such shard")
 )
 
+// PartialCommitError reports a sharded commit that failed part-way: the
+// shards in Committed had already committed when shard Failed's commit
+// returned Err, and the remaining touched shards were rolled back
+// (Aborted). Cross-shard atomicity is out of scope by design, so callers
+// that span shards must be prepared to observe — and, if needed,
+// compensate — the committed subset.
+type PartialCommitError struct {
+	// Committed lists shard indices whose commit completed, in commit
+	// order.
+	Committed []int
+	// Failed is the shard whose commit returned Err.
+	Failed int
+	// Aborted lists shard indices rolled back after the failure.
+	Aborted []int
+	// Err is the underlying commit failure on shard Failed.
+	Err error
+}
+
+// Error implements error.
+func (e *PartialCommitError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "repro: partial sharded commit: shard %d failed: %v", e.Failed, e.Err)
+	fmt.Fprintf(&b, " (committed %v, aborted %v)", e.Committed, e.Aborted)
+	return b.String()
+}
+
+// Unwrap exposes the underlying shard failure to errors.Is/As.
+func (e *PartialCommitError) Unwrap() error { return e.Err }
+
 // shardAlign keeps shard sizes page-friendly.
 const shardAlign = 4096
 
 // NewSharded builds a cluster of shards independent replica groups, each
 // configured per cfg with a DBSize slice of the total. cfg.DBSize is the
-// total database size across all shards.
+// total database size across all shards; the per-shard slice is rounded up
+// to a 4 KB multiple, so the deployment's Capacity may exceed DBSize —
+// offsets are validated against the configured DBSize, and the rounding
+// tail of the last shard is unused.
 func NewSharded(cfg Config, shards int) (*ShardedCluster, error) {
 	if shards < 1 {
 		return nil, ErrShardCount
@@ -57,6 +110,9 @@ func NewSharded(cfg Config, shards int) (*ShardedCluster, error) {
 		}
 		sc.shards = append(sc.shards, c)
 	}
+	sc.txPool.New = func() any {
+		return &shardedTx{s: sc, open: make([]Tx, shards)}
+	}
 	return sc, nil
 }
 
@@ -66,13 +122,19 @@ func (s *ShardedCluster) Shards() int { return len(s.shards) }
 // ShardSize returns the per-shard database size in bytes.
 func (s *ShardedCluster) ShardSize() int { return s.shardSize }
 
-// DBSize returns the total database size across all shards.
-func (s *ShardedCluster) DBSize() int { return s.shardSize * len(s.shards) }
+// DBSize returns the configured total database size — the bound all
+// offsets are validated against.
+func (s *ShardedCluster) DBSize() int { return s.dbSize }
+
+// Capacity returns the allocated size across all shards: ShardSize times
+// Shards, at least DBSize (per-shard sizes are rounded up to 4 KB).
+func (s *ShardedCluster) Capacity() int { return s.shardSize * len(s.shards) }
 
 // ShardFor returns the shard owning database offset off.
 func (s *ShardedCluster) ShardFor(off int) int { return off / s.shardSize }
 
-// Shard exposes one shard's cluster (crash injection, traffic inspection).
+// Shard exposes one shard's cluster (crash injection, traffic inspection,
+// or single-shard transaction streams that skip the routing layer).
 func (s *ShardedCluster) Shard(i int) *Cluster {
 	if i < 0 || i >= len(s.shards) {
 		return nil
@@ -80,10 +142,18 @@ func (s *ShardedCluster) Shard(i int) *Cluster {
 	return s.shards[i]
 }
 
+// checkRange validates [off, off+n) against the configured database size.
+func (s *ShardedCluster) checkRange(off, n int) error {
+	if off < 0 || n < 0 || off+n > s.dbSize {
+		return fmt.Errorf("repro: range [%d,+%d) outside the sharded database of %d bytes", off, n, s.dbSize)
+	}
+	return nil
+}
+
 // split walks [off, off+n) shard by shard.
 func (s *ShardedCluster) split(off, n int, f func(shard, shardOff, n int) error) error {
-	if off < 0 || n < 0 || off+n > s.DBSize() {
-		return fmt.Errorf("repro: range [%d,+%d) outside the sharded database", off, n)
+	if err := s.checkRange(off, n); err != nil {
+		return err
 	}
 	for n > 0 {
 		i := off / s.shardSize
@@ -132,13 +202,19 @@ func (s *ShardedCluster) ReadRaw(off int, dst []byte) {
 }
 
 // Begin opens a sharded transaction: per-shard transactions open lazily on
-// first touch and all touched shards commit (or abort) together — though
-// not atomically across shards.
+// first touch — taking that shard's lock until the sharded transaction
+// completes — and all touched shards commit (or abort) together, though
+// not atomically across shards. The returned handle is recycled after
+// Commit/Abort and must not be used past that point.
 func (s *ShardedCluster) Begin() (Tx, error) {
-	return &shardedTx{s: s, open: make([]Tx, len(s.shards))}, nil
+	t := s.txPool.Get().(*shardedTx)
+	t.done = false
+	return t, nil
 }
 
-// shardedTx routes transactional operations by offset.
+// shardedTx routes transactional operations by offset. The hot-path
+// methods walk the shard split inline (closure-free) so a warmed
+// transaction performs no allocation.
 type shardedTx struct {
 	s    *ShardedCluster
 	open []Tx
@@ -159,44 +235,86 @@ func (t *shardedTx) at(i int) (Tx, error) {
 }
 
 func (t *shardedTx) SetRange(off, n int) error {
-	return t.s.split(off, n, func(i, so, cnt int) error {
+	s := t.s
+	if err := s.checkRange(off, n); err != nil {
+		return err
+	}
+	for n > 0 {
+		i := off / s.shardSize
+		so := off % s.shardSize
+		cnt := s.shardSize - so
+		if cnt > n {
+			cnt = n
+		}
 		tx, err := t.at(i)
 		if err != nil {
 			return err
 		}
-		return tx.SetRange(so, cnt)
-	})
+		if err := tx.SetRange(so, cnt); err != nil {
+			return err
+		}
+		off += cnt
+		n -= cnt
+	}
+	return nil
 }
 
 func (t *shardedTx) Write(off int, src []byte) error {
+	s := t.s
+	if err := s.checkRange(off, len(src)); err != nil {
+		return err
+	}
 	pos := 0
-	return t.s.split(off, len(src), func(i, so, cnt int) error {
+	for pos < len(src) {
+		i := off / s.shardSize
+		so := off % s.shardSize
+		cnt := s.shardSize - so
+		if cnt > len(src)-pos {
+			cnt = len(src) - pos
+		}
 		tx, err := t.at(i)
 		if err != nil {
 			return err
 		}
-		err = tx.Write(so, src[pos:pos+cnt])
+		if err := tx.Write(so, src[pos:pos+cnt]); err != nil {
+			return err
+		}
+		off += cnt
 		pos += cnt
-		return err
-	})
+	}
+	return nil
 }
 
 func (t *shardedTx) Read(off int, dst []byte) error {
+	s := t.s
+	if err := s.checkRange(off, len(dst)); err != nil {
+		return err
+	}
 	pos := 0
-	return t.s.split(off, len(dst), func(i, so, cnt int) error {
+	for pos < len(dst) {
+		i := off / s.shardSize
+		so := off % s.shardSize
+		cnt := s.shardSize - so
+		if cnt > len(dst)-pos {
+			cnt = len(dst) - pos
+		}
 		tx, err := t.at(i)
 		if err != nil {
 			return err
 		}
-		err = tx.Read(so, dst[pos:pos+cnt])
+		if err := tx.Read(so, dst[pos:pos+cnt]); err != nil {
+			return err
+		}
+		off += cnt
 		pos += cnt
-		return err
-	})
+	}
+	return nil
 }
 
-// Commit commits every touched shard in shard order. An error leaves
-// earlier shards committed and later ones aborted: cross-shard atomicity
-// is out of scope (see the type comment).
+// Commit commits every touched shard in shard order. A mid-list failure
+// leaves earlier shards committed and later ones aborted — cross-shard
+// atomicity is out of scope (see the type comment) — and is reported as a
+// *PartialCommitError naming both sets.
 func (t *shardedTx) Commit() error { return t.finish(true) }
 
 // Abort rolls every touched shard back.
@@ -207,30 +325,74 @@ func (t *shardedTx) finish(commit bool) error {
 		return fmt.Errorf("repro: sharded transaction already completed")
 	}
 	t.done = true
-	var firstErr error
+	var firstErr, ackErr error
+	var pce *PartialCommitError
 	for i, tx := range t.open {
 		if tx == nil {
 			continue
 		}
-		var err error
-		if commit && firstErr == nil {
-			err = tx.Commit()
-		} else {
-			err = tx.Abort()
+		switch {
+		case commit && firstErr == nil:
+			err := tx.Commit()
+			switch {
+			case err == nil:
+			case errors.Is(err, ErrSafetyUnavailable):
+				// The shard committed locally but could not collect the
+				// configured acknowledgements (backups failed
+				// mid-transaction): its data is durable and visible, so
+				// it belongs to the committed set. Keep committing the
+				// remaining shards and surface the degradation.
+				if ackErr == nil {
+					ackErr = fmt.Errorf("repro: shard %d: %w", i, err)
+				}
+			default:
+				// Build the partial-commit report only on the failure
+				// path: the clean path stays allocation-free.
+				pce = &PartialCommitError{Failed: i, Err: err}
+				for j := 0; j < i; j++ {
+					if t.open[j] != nil {
+						pce.Committed = append(pce.Committed, j)
+					}
+				}
+				firstErr = pce
+			}
+		default:
+			err := tx.Abort()
+			if pce != nil {
+				pce.Aborted = append(pce.Aborted, i)
+			}
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("repro: shard %d: %w", i, err)
+			}
 		}
-		if err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("repro: shard %d: %w", i, err)
-		}
+	}
+	for i := range t.open {
 		t.open[i] = nil
+	}
+	t.s.txPool.Put(t)
+	if firstErr == nil {
+		firstErr = ackErr
 	}
 	return firstErr
 }
 
-// Settle lets every shard's pending write buffers drain.
+// Settle lets every shard's pending write buffers (and any open
+// group-commit batches) drain.
 func (s *ShardedCluster) Settle() {
 	for _, c := range s.shards {
 		c.Settle()
 	}
+}
+
+// Flush seals and ships every shard's open group-commit batch.
+func (s *ShardedCluster) Flush() error {
+	var firstErr error
+	for i, c := range s.shards {
+		if err := c.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("repro: shard %d: %w", i, err)
+		}
+	}
+	return firstErr
 }
 
 // CrashPrimary kills shard i's primary; the other shards keep serving.
@@ -258,6 +420,7 @@ func (s *ShardedCluster) Repair(i int) error {
 }
 
 // Committed returns the committed-transaction total across all shards.
+// Never blocks the shards: per-shard counts are atomic.
 func (s *ShardedCluster) Committed() uint64 {
 	var total uint64
 	for _, c := range s.shards {
@@ -266,7 +429,8 @@ func (s *ShardedCluster) Committed() uint64 {
 	return total
 }
 
-// Stats aggregates the per-shard transaction counters.
+// Stats aggregates the per-shard transaction counters. Never blocks the
+// shards.
 func (s *ShardedCluster) Stats() Stats {
 	var out Stats
 	for _, c := range s.shards {
@@ -294,6 +458,7 @@ func (s *ShardedCluster) NetTraffic() Traffic {
 // shard's simulated time since the last measurement reset. Shards run in
 // parallel on disjoint hardware, so aggregate throughput is total commits
 // divided by this maximum — which is why it grows with the shard count.
+// Never blocks the shards.
 func (s *ShardedCluster) Elapsed() time.Duration {
 	var max time.Duration
 	for _, c := range s.shards {

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro"
@@ -28,14 +29,151 @@ func TestShardedValidation(t *testing.T) {
 	if sc.Shards() != 4 {
 		t.Fatalf("Shards() = %d", sc.Shards())
 	}
-	if sc.DBSize() < testDB {
-		t.Fatalf("sharded capacity %d below requested %d", sc.DBSize(), testDB)
+	if sc.DBSize() != testDB {
+		t.Fatalf("DBSize() = %d, want the configured %d", sc.DBSize(), testDB)
+	}
+	if sc.Capacity() < sc.DBSize() {
+		t.Fatalf("Capacity() %d below DBSize() %d", sc.Capacity(), sc.DBSize())
 	}
 	if sc.Shard(4) != nil || sc.Shard(-1) != nil {
 		t.Fatal("out-of-range Shard() not nil")
 	}
 	if got := sc.ShardFor(sc.ShardSize() + 1); got != 1 {
 		t.Fatalf("ShardFor = %d", got)
+	}
+}
+
+// TestShardedDBSizeBound: per-shard sizes round up to 4 KB, so the
+// allocated capacity can exceed the configured size — but offsets are
+// validated against the configured DBSize, never the rounding tail.
+func TestShardedDBSizeBound(t *testing.T) {
+	// 3 shards of a 4 MB database: 1398101.33.. rounds up to 1400832,
+	// so Capacity (4202496) exceeds DBSize (4194304).
+	sc, err := repro.NewSharded(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  testDB,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.DBSize() != testDB {
+		t.Fatalf("DBSize() = %d, want %d", sc.DBSize(), testDB)
+	}
+	if sc.Capacity() <= testDB {
+		t.Fatalf("Capacity() = %d, expected rounding above %d", sc.Capacity(), testDB)
+	}
+	// The last configured byte is writable...
+	tx, err := sc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(t, tx.SetRange(testDB-8, 8))
+	must(t, tx.Write(testDB-8, []byte("lastbyte")))
+	must(t, tx.Commit())
+	// ...but the rounding tail past DBSize is not addressable.
+	tx, err = sc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(testDB, 8); err == nil {
+		t.Fatal("write into the rounding tail accepted")
+	}
+	must(t, tx.Abort())
+	if err := sc.Read(testDB-8, make([]byte, 16)); err == nil {
+		t.Fatal("read across the configured end accepted")
+	}
+}
+
+// TestShardedPartialCommit: a shard crashing between a multi-shard
+// transaction's writes and its commit leaves the earlier shards
+// committed; the failure surfaces as a *PartialCommitError naming the
+// committed and aborted shards.
+func TestShardedPartialCommit(t *testing.T) {
+	sc := newSharded(t, 3)
+	tx, err := sc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch all three shards in order.
+	for shard := 0; shard < 3; shard++ {
+		off := shard * sc.ShardSize()
+		must(t, tx.SetRange(off, 8))
+		must(t, tx.Write(off, []byte("spanning")))
+	}
+	// Shard 1 dies before the commit fan-out reaches it.
+	must(t, sc.CrashPrimary(1))
+	err = tx.Commit()
+	var pce *repro.PartialCommitError
+	if !errors.As(err, &pce) {
+		t.Fatalf("commit error %v (%T), want *PartialCommitError", err, err)
+	}
+	if pce.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", pce.Failed)
+	}
+	if len(pce.Committed) != 1 || pce.Committed[0] != 0 {
+		t.Fatalf("Committed = %v, want [0]", pce.Committed)
+	}
+	if len(pce.Aborted) != 1 || pce.Aborted[0] != 2 {
+		t.Fatalf("Aborted = %v, want [2]", pce.Aborted)
+	}
+	// The committed shard's write is visible; the aborted shard's is not.
+	got := make([]byte, 8)
+	sc.Shard(0).ReadRaw(0, got)
+	if !bytes.Equal(got, []byte("spanning")) {
+		t.Fatal("committed shard 0 lost its write")
+	}
+	sc.Shard(2).ReadRaw(0, got)
+	if !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatal("aborted shard 2 kept the write")
+	}
+	if sc.Shard(0).Committed() != 1 || sc.Shard(2).Committed() != 0 {
+		t.Fatal("per-shard commit counts wrong after partial commit")
+	}
+}
+
+// TestShardedAckDegradation: a shard that commits locally but cannot
+// collect its configured acknowledgements (backups died mid-transaction)
+// is NOT a failed shard — its data is durable and visible, later shards
+// still commit, and the degradation surfaces as ErrSafetyUnavailable
+// rather than a PartialCommitError.
+func TestShardedAckDegradation(t *testing.T) {
+	sc, err := repro.NewSharded(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  testDB,
+		Backups: 3,
+		Safety:  repro.QuorumSafe,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := sc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard := 0; shard < 3; shard++ {
+		off := shard * sc.ShardSize()
+		must(t, tx.SetRange(off, 8))
+		must(t, tx.Write(off, []byte("spanning")))
+	}
+	// Kill a majority of shard 1's backups mid-transaction: its local
+	// commit succeeds but the quorum cannot acknowledge.
+	must(t, sc.Shard(1).CrashBackup(0))
+	must(t, sc.Shard(1).CrashBackup(1))
+	err = tx.Commit()
+	if !errors.Is(err, repro.ErrSafetyUnavailable) {
+		t.Fatalf("commit error %v, want ErrSafetyUnavailable", err)
+	}
+	var pce *repro.PartialCommitError
+	if errors.As(err, &pce) {
+		t.Fatalf("ack degradation misreported as partial commit: %v", pce)
+	}
+	// Every shard committed, the degraded one included.
+	for shard := 0; shard < 3; shard++ {
+		if got := sc.Shard(shard).Committed(); got != 1 {
+			t.Fatalf("shard %d Committed() = %d, want 1", shard, got)
+		}
 	}
 }
 
