@@ -35,13 +35,18 @@ test-race:
 # throughput, replication degree and sharded sim throughput. Results land
 # in BENCH_parallel.json (parsed + raw benchstat-compatible lines; compare
 # runs with: jq -r '.raw[]' BENCH_parallel.json | benchstat old.txt -).
-# The run goes through a temp file, not a pipe, so a failing benchmark
+# The availability run lands separately in BENCH_availability.json (repair
+# duration/bytes, min-window tps, time-to-restored-quorum).
+# The runs go through temp files, not pipes, so a failing benchmark
 # fails the target instead of silently writing an empty JSON.
 bench:
 	$(GO) test -bench 'ParallelShards|Throughput|ReplicationDegree|ShardedCluster' \
 		-benchtime 2000x -run XXX -count 1 . > bench.out.tmp || { cat bench.out.tmp; rm -f bench.out.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -o BENCH_parallel.json < bench.out.tmp
 	@rm -f bench.out.tmp
+	$(GO) test -bench 'Availability' -benchtime 1x -run XXX -count 1 . > bench.avail.tmp || { cat bench.avail.tmp; rm -f bench.avail.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_availability.json < bench.avail.tmp
+	@rm -f bench.avail.tmp
 
 bench-all:
 	$(GO) test -bench . -benchtime 2000x -run XXX ./...

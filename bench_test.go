@@ -273,6 +273,39 @@ func BenchmarkParallelShards(b *testing.B) {
 	}
 }
 
+// BenchmarkAvailability runs the crash→failover→online-repair timeline
+// and reports the availability metrics of the recovering cluster: repair
+// duration and bytes shipped, the worst throughput window while the state
+// transfer shares the SAN with the commit stream, and the time back to
+// full redundancy. `make bench` parses these into BENCH_availability.json.
+func BenchmarkAvailability(b *testing.B) {
+	const db = 8 << 20
+	var res tpc.AvailabilityResult
+	for b.Loop() {
+		c, err := repro.New(repro.Config{
+			Version: repro.V3InlineLog,
+			Backup:  repro.ActiveBackup,
+			DBSize:  db,
+			Backups: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := tpc.NewDebitCredit(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = tpc.RunAvailability(c, w, tpc.AvailabilityOptions{Warmup: 300, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.RepairDur.Seconds()*1e3, "sim-ms-repair")
+	b.ReportMetric(float64(res.RepairBytes), "repair-bytes")
+	b.ReportMetric(res.MinTPS, "min-window-tps")
+	b.ReportMetric((res.RestoredAt-res.CrashAt).Seconds()*1e3, "sim-ms-to-restored")
+}
+
 // BenchmarkFailover measures takeover cost: crash after a burst of
 // transactions and time the backup's recovery, reporting the simulated
 // takeover latency.

@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling|parallel-shards|group-commit]
-//	          [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
+//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling|parallel-shards|group-commit|availability]
+//	          [-repair] [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
 //	          [-backups K] [-shards N] [-clients C] [-commit-batch B]
 //	          [-safety 1safe|2safe|quorum] [-full] [-csv]
 //
@@ -19,6 +19,7 @@
 //	replbench -backups 3 -safety quorum # quorum-commit replica groups
 //	replbench -experiment parallel-shards -shards 4 -clients 4  # wall-clock scaling
 //	replbench -experiment group-commit -commit-batch 32         # batched commit sweep
+//	replbench -repair                   # crash→failover→online-repair availability timeline
 package main
 
 import (
@@ -49,6 +50,7 @@ func run() int {
 		clients    = flag.Int("clients", 0, "concurrent client goroutines for parallel-shards (0 = one per shard)")
 		batch      = flag.Int("commit-batch", 0, "extra group-commit batch size for the group-commit experiment")
 		safety     = flag.String("safety", "1safe", "commit discipline for shard-scaling (1safe, 2safe, quorum)")
+		repair     = flag.Bool("repair", false, "run the crash→failover→online-repair availability timeline (windowed txn/s + repair duration/bytes)")
 		full       = flag.Bool("full", false, "paper-scale transaction counts (slow)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet      = flag.Bool("q", false, "suppress progress output")
@@ -87,26 +89,18 @@ func run() int {
 	}
 
 	var exps []harness.Experiment
-	switch *experiment {
-	case "all":
-		exps = append(harness.All(), harness.Extensions()...)
-	case "paper":
-		exps = harness.All()
-	case "ablations":
-		exps = harness.Ablations()
-	case "extensions":
-		exps = harness.Extensions()
-	case "everything":
-		exps = append(harness.All(), harness.Ablations()...)
-		exps = append(exps, harness.Extensions()...)
-	default:
-		for _, id := range strings.Split(*experiment, ",") {
-			e, ok := harness.Lookup(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "replbench: unknown experiment %q\n", id)
-				return 2
-			}
-			exps = append(exps, e)
+	if *repair {
+		// -repair runs the availability timeline alone.
+		e, ok := harness.Lookup("availability")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "replbench: availability experiment not registered")
+			return 2
+		}
+		exps = append(exps, e)
+	} else {
+		exps = selectExperiments(*experiment)
+		if exps == nil {
+			return 2
 		}
 	}
 
@@ -127,4 +121,33 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// selectExperiments resolves the -experiment selector, or nil (after
+// printing the error) for an unknown id.
+func selectExperiments(experiment string) []harness.Experiment {
+	var exps []harness.Experiment
+	switch experiment {
+	case "all":
+		exps = append(harness.All(), harness.Extensions()...)
+	case "paper":
+		exps = harness.All()
+	case "ablations":
+		exps = harness.Ablations()
+	case "extensions":
+		exps = harness.Extensions()
+	case "everything":
+		exps = append(harness.All(), harness.Ablations()...)
+		exps = append(exps, harness.Extensions()...)
+	default:
+		for _, id := range strings.Split(experiment, ",") {
+			e, ok := harness.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "replbench: unknown experiment %q\n", id)
+				return nil
+			}
+			exps = append(exps, e)
+		}
+	}
+	return exps
 }

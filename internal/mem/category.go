@@ -16,10 +16,15 @@ const (
 	// CatMeta is everything else: allocator and list bookkeeping, log
 	// record headers, array indices, commit flags and log pointers.
 	CatMeta
+	// CatSync is state-transfer traffic: the chunked background copy that
+	// enrolls (or delta-resyncs) a backup while transactions keep
+	// committing. Kept separate from the paper's three categories so the
+	// recovery cost is visible next to the steady-state numbers.
+	CatSync
 
 	// NumCategories is the number of valid categories plus one, for
 	// dense per-category arrays indexed by Category.
-	NumCategories = 4
+	NumCategories = 5
 )
 
 // String returns the table label used in the paper.
@@ -31,10 +36,12 @@ func (c Category) String() string {
 		return "Undo data"
 	case CatMeta:
 		return "Meta-data"
+	case CatSync:
+		return "Sync data"
 	default:
 		return "unknown"
 	}
 }
 
 // Valid reports whether c is one of the defined categories.
-func (c Category) Valid() bool { return c >= CatModified && c <= CatMeta }
+func (c Category) Valid() bool { return c >= CatModified && c <= CatSync }

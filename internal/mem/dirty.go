@@ -1,0 +1,76 @@
+package mem
+
+// DirtyLog tracks which pages of a region have been written, and when, on a
+// private logical clock: every mark advances the log's sequence number and
+// stamps the covered pages with it. A replica that loses contact with the
+// stream snapshots the sequence at the gating instant (its epoch); when it
+// rejoins, the pages stamped after that epoch are exactly the delta it
+// missed, so re-enrollment ships those pages instead of the whole region.
+//
+// A DirtyLog is owned by the single stream that writes its region (marks
+// happen under the region owner's serialization); it is not safe for
+// concurrent use.
+type DirtyLog struct {
+	pageSize int
+	seq      uint64
+	pages    []uint64 // last-mark sequence per page; 0 = never written
+}
+
+// NewDirtyLog returns a tracker for a region of size bytes at the given
+// page granularity.
+func NewDirtyLog(size, pageSize int) *DirtyLog {
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	n := (size + pageSize - 1) / pageSize
+	return &DirtyLog{pageSize: pageSize, pages: make([]uint64, n)}
+}
+
+// PageSize returns the tracking granularity in bytes.
+func (d *DirtyLog) PageSize() int { return d.pageSize }
+
+// Pages returns the number of tracked pages.
+func (d *DirtyLog) Pages() int { return len(d.pages) }
+
+// Seq returns the current mark sequence; a replica records it as its epoch
+// at the instant it stops receiving the stream.
+func (d *DirtyLog) Seq() uint64 { return d.seq }
+
+// Mark records a write covering [off, off+n).
+func (d *DirtyLog) Mark(off, n int) {
+	if n <= 0 {
+		return
+	}
+	d.seq++
+	last := (off + n - 1) / d.pageSize
+	if last >= len(d.pages) {
+		last = len(d.pages) - 1
+	}
+	for p := off / d.pageSize; p <= last; p++ {
+		d.pages[p] = d.seq
+	}
+}
+
+// NextDirty returns the first page index >= from stamped after epoch, or -1
+// when no such page remains. Epoch 0 walks every page ever written; a full
+// (enrollment) transfer does not consult the log at all.
+func (d *DirtyLog) NextDirty(from int, epoch uint64) int {
+	for p := from; p < len(d.pages); p++ {
+		if d.pages[p] > epoch {
+			return p
+		}
+	}
+	return -1
+}
+
+// BytesSince returns the total size of the pages stamped after epoch — the
+// delta a replica gated at that epoch must receive to catch up.
+func (d *DirtyLog) BytesSince(epoch uint64) int64 {
+	var n int64
+	for _, s := range d.pages {
+		if s > epoch {
+			n += int64(d.pageSize)
+		}
+	}
+	return n
+}

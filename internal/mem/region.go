@@ -123,6 +123,10 @@ type Region struct {
 	// (the active backup's redo ring as seen by the primary): stores are
 	// not applied locally and the backing may be nil.
 	IOOnly bool
+	// Dirty, when non-nil, records every write to the region at page
+	// granularity so a re-enrolling replica can ship only the pages that
+	// changed while it was away (see DirtyLog).
+	Dirty *DirtyLog
 
 	backing Backing
 }
@@ -152,8 +156,16 @@ func (r *Region) Contains(addr uint64, n int) bool {
 // oracle checks, recovery-side inspection).
 func (r *Region) ReadRaw(off int, dst []byte) { r.backing.ReadAt(off, dst) }
 
-// WriteRaw writes bytes without charging simulated time.
-func (r *Region) WriteRaw(off int, src []byte) { r.backing.WriteAt(off, src) }
+// WriteRaw writes bytes without charging simulated time. Every mutation —
+// charged accessor stores, replication deliveries, recovery rewrites —
+// lands here, so this is the one choke point where dirty tracking sees the
+// whole write stream.
+func (r *Region) WriteRaw(off int, src []byte) {
+	if r.Dirty != nil {
+		r.Dirty.Mark(off, len(src))
+	}
+	r.backing.WriteAt(off, src)
+}
 
 // Backing exposes the raw backing (used by the replication layer to apply
 // delivered packets on the remote node).

@@ -132,6 +132,80 @@ func (n *Node) Map(m Mapping) error {
 	return nil
 }
 
+// AddTarget enrolls an additional broadcast receiver on the already-mapped
+// window at srcBase — how an online repair attaches a joining backup to the
+// live replication stream without rewiring (and thereby disturbing) the
+// serving node's attachment.
+func (n *Node) AddTarget(srcBase uint64, t Target) error {
+	if t.Dst == nil {
+		return fmt.Errorf("memchannel: nil target for window %#x", srcBase)
+	}
+	for i := range n.maps {
+		m := &n.maps[i]
+		if m.SrcBase != srcBase {
+			continue
+		}
+		if t.DstOff+m.Size > t.Dst.Size() {
+			return fmt.Errorf("memchannel: target overruns destination %q of window %#x", t.Dst.Name, srcBase)
+		}
+		m.Fanout = append(m.Fanout, t)
+		return nil
+	}
+	return fmt.Errorf("memchannel: no mapped window at %#x", srcBase)
+}
+
+// RemoveTargets detaches every receiver gated by down from all windows —
+// the counterpart of AddTarget, used when a dead backup is dropped so its
+// regions are not pinned (and iterated) by the live mappings forever. If
+// the window's inline receiver is the one removed, the first fanout
+// receiver is promoted into its place; a window left with no receivers is
+// permanently gated.
+func (n *Node) RemoveTargets(down *bool) {
+	gone := true
+	for i := range n.maps {
+		m := &n.maps[i]
+		kept := m.Fanout[:0]
+		for _, t := range m.Fanout {
+			if t.Down != down {
+				kept = append(kept, t)
+			}
+		}
+		m.Fanout = kept
+		if m.Down == down {
+			if len(m.Fanout) > 0 {
+				t := m.Fanout[0]
+				m.Fanout = append(m.Fanout[:0], m.Fanout[1:]...)
+				m.Dst, m.DstOff, m.Down = t.Dst, t.DstOff, t.Down
+			} else {
+				m.Dst, m.DstOff, m.Down = deadWindow, 0, &gone
+			}
+		}
+	}
+}
+
+// deadWindow backs windows whose every receiver has been removed: the
+// permanently-gated mapping still needs a non-nil destination to satisfy
+// the mapping invariants, but never receives a byte.
+var deadWindow = mem.NewRegion("dead-window", 0, nil)
+
+// EmitBulk charges a bulk background transfer (the chunked state copy of an
+// online repair) to the SAN: the bytes occupy the link like any other
+// traffic and are accounted under cat, but the submitting CPU — the repair
+// copier, not the transaction stream — is never stalled. Returns the
+// delivery time of the last byte.
+func (n *Node) EmitBulk(now sim.Time, bytes int, cat mem.Category) sim.Time {
+	if n.crashed || bytes <= 0 {
+		return now
+	}
+	at := n.link.SubmitBulk(now, bytes)
+	n.catBytes[cat].Add(int64(bytes))
+	return at
+}
+
+// PendingBufs reports how many write buffers still hold undelivered bytes
+// (the 1-safe window); zero means everything stored so far is on the wire.
+func (n *Node) PendingBufs() int { return len(n.bufs) }
+
 // SetTrace attaches a trace recorder (SMP capture runs); nil detaches.
 func (n *Node) SetTrace(t *sim.Trace) {
 	n.trace = t
@@ -424,8 +498,8 @@ func (n *Node) RingPublish(r *sim.Ring, bytes int) {
 // still coalescing in a buffer are counted once, like on the real wire.
 // Safe for concurrent use with the emitting stream.
 func (n *Node) CategoryBytes() map[mem.Category]int64 {
-	out := make(map[mem.Category]int64, 3)
-	for c := mem.CatModified; c <= mem.CatMeta; c++ {
+	out := make(map[mem.Category]int64, 4)
+	for c := mem.CatModified; c <= mem.CatSync; c++ {
 		out[c] = n.catBytes[c].Load()
 	}
 	return out

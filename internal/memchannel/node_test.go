@@ -283,3 +283,73 @@ func TestTraceRecording(t *testing.T) {
 		t.Fatalf("second event %+v, want 1-byte packet", tr.Events[1])
 	}
 }
+
+func TestAddAndRemoveTargets(t *testing.T) {
+	p := sim.Default()
+	clk := &sim.Clock{}
+	n := NewNode(&p, clk, sim.NewLink(&p))
+	first := mem.NewRegion("first", 0, mem.NewDense(64))
+	second := mem.NewRegion("second", 0, mem.NewDense(64))
+	third := mem.NewRegion("third", 0, mem.NewDense(64))
+	var downFirst, downSecond, downThird bool
+	if err := n.Map(Mapping{SrcBase: 0, Size: 64, Dst: first, Down: &downFirst}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddTarget(0, Target{Dst: second, Down: &downSecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddTarget(0, Target{Dst: third, Down: &downThird}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddTarget(4096, Target{Dst: third}); err == nil {
+		t.Fatal("AddTarget on an unmapped window must fail")
+	}
+
+	write := func(payload string) {
+		n.StoreIO(0, []byte(payload), mem.CatModified)
+		n.Fence()
+	}
+	read := func(r *mem.Region, l int) string {
+		buf := make([]byte, l)
+		r.ReadRaw(0, buf)
+		return string(buf)
+	}
+	write("broadcast")
+	for _, r := range []*mem.Region{first, second, third} {
+		if got := read(r, 9); got != "broadcast" {
+			t.Fatalf("%s received %q", r.Name, got)
+		}
+	}
+
+	// Removing the inline receiver promotes a fanout receiver; removing a
+	// fanout receiver detaches it. Neither disturbs the remaining one.
+	n.RemoveTargets(&downFirst)
+	n.RemoveTargets(&downSecond)
+	write("survivors")
+	if got := read(third, 9); got != "survivors" {
+		t.Fatalf("remaining receiver got %q", got)
+	}
+	if got := read(first, 9); got != "broadcast" {
+		t.Fatalf("removed inline receiver still written: %q", got)
+	}
+	if got := read(second, 9); got != "broadcast" {
+		t.Fatalf("removed fanout receiver still written: %q", got)
+	}
+
+	// A window stripped of every receiver is permanently gated but still
+	// accepts stores (and new targets later).
+	n.RemoveTargets(&downThird)
+	write("nobody...")
+	if got := read(third, 9); got != "survivors" {
+		t.Fatalf("fully-detached window still delivered: %q", got)
+	}
+	fourth := mem.NewRegion("fourth", 0, mem.NewDense(64))
+	var downFourth bool
+	if err := n.AddTarget(0, Target{Dst: fourth, Down: &downFourth}); err != nil {
+		t.Fatal(err)
+	}
+	write("rejoined!")
+	if got := read(fourth, 9); got != "rejoined!" {
+		t.Fatalf("re-attached receiver got %q", got)
+	}
+}

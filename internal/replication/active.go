@@ -397,10 +397,12 @@ func (c *redoChannel) deliveredPtr(b *backup) uint64 {
 
 // applyDelivered advances backup b's database copy through every complete
 // record the SAN has delivered to it. State-only: the backup CPU's timing
-// is modelled by its sim.Ring. A stale backup (paused at some point) has a
-// gap in its ring copy and stays frozen at its pre-pause prefix.
+// is modelled by its sim.Ring. A paused or gated backup has a gap in its
+// ring copy and stays frozen at its pre-pause prefix; a joiner applies
+// from its copy-start sequence (redo records are absolute physical writes,
+// so replay over the fuzzy transfer is idempotent-forward).
 func (c *redoChannel) applyDelivered(b *backup) {
-	if b.stale || b.crashed {
+	if !b.receiving() {
 		return
 	}
 	target := c.deliveredPtr(b)

@@ -247,6 +247,181 @@ func TestRandomizedCrashPoints(t *testing.T) {
 	}
 }
 
+// repairScenario is one randomized crash-during-repair configuration: a
+// backup dies, an online repair starts, and the primary or the joining
+// backup is killed with the state transfer still in flight.
+type repairScenario struct {
+	safety       replication.Safety
+	backups      int
+	preCommits   int
+	midCommits   int
+	crashJoiner  bool // kill the joiner mid-transfer instead of the primary
+	settleBefore bool // settle before the final crash (closes the 1-safe window)
+	workSeed     uint64
+}
+
+// runRepairScenario executes the scenario and checks that the committed-
+// prefix and quorum zero-loss properties hold in every interleaving.
+func runRepairScenario(t *testing.T, iter int, sc repairScenario) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Helper()
+		t.Fatalf("iter %d %+v: "+format, append([]any{iter, sc}, args...)...)
+	}
+
+	g, err := replication.NewGroup(replication.Config{
+		Mode:    replication.Active,
+		Store:   vista.Config{Version: vista.V3InlineLog, DBSize: crashDB},
+		Backups: sc.backups,
+		Safety:  sc.safety,
+	})
+	if err != nil {
+		fail("build: %v", err)
+	}
+	w, err := tpc.NewDebitCredit(crashDB)
+	if err != nil {
+		fail("workload: %v", err)
+	}
+	if err := w.Populate(g.Load); err != nil {
+		fail("populate: %v", err)
+	}
+	r := tpc.NewRand(sc.workSeed)
+	txn := 0
+	commit := func() {
+		tx, err := g.Begin()
+		if err != nil {
+			fail("begin %d: %v", txn, err)
+		}
+		if err := w.Txn(r, tx, int64(txn)); err != nil {
+			fail("txn %d: %v", txn, err)
+		}
+		if err := tx.Commit(); err != nil {
+			fail("commit %d: %v", txn, err)
+		}
+		txn++
+	}
+
+	for i := 0; i < sc.preCommits; i++ {
+		commit()
+	}
+	g.Settle(g.QuiesceGrace())
+	victim := sc.backups - 1
+	if err := g.CrashBackup(victim); err != nil {
+		fail("crash backup: %v", err)
+	}
+	if err := g.RepairAsync(); err != nil {
+		fail("repair async: %v", err)
+	}
+	joiner := sc.backups - 1 // the fresh node takes the freed slot
+	for i := 0; i < sc.midCommits; i++ {
+		commit()
+	}
+	if st := g.RepairStatus(); !st.Active {
+		fail("transfer finished before the crash point (need a mid-flight crash)")
+	}
+
+	if sc.crashJoiner {
+		// The joining backup dies mid-transfer: the group must shrug it
+		// off, repair again with another fresh node, and lose nothing.
+		if err := g.CrashBackup(joiner); err != nil {
+			fail("crash joiner: %v", err)
+		}
+		for i := 0; i < 5; i++ {
+			commit()
+		}
+		if _, err := g.Repair(); err != nil {
+			fail("re-repair after joiner crash: %v", err)
+		}
+		g.Settle(g.QuiesceGrace())
+		if err := g.Crash(); err != nil {
+			fail("crash: %v", err)
+		}
+		st, err := g.Failover()
+		if err != nil {
+			fail("failover: %v", err)
+		}
+		if got := st.Committed(); got != uint64(txn) {
+			fail("settled failover after re-repair lost commits: %d of %d", got, txn)
+		}
+		return
+	}
+
+	// The primary dies with the transfer in flight: the mid-join replica
+	// holds a fuzzy copy and must never serve; promotion picks an intact
+	// survivor and the recovered state is exactly a committed prefix.
+	if sc.settleBefore {
+		g.Settle(g.QuiesceGrace())
+	}
+	if err := g.Crash(); err != nil {
+		fail("crash: %v", err)
+	}
+	st, err := g.Failover()
+	if err != nil {
+		fail("failover: %v", err)
+	}
+	k := int64(st.Committed())
+	n := int64(txn)
+	if k > n {
+		fail("recovered %d commits, primary did %d", k, n)
+	}
+	floor := n - crashWindow
+	if sc.settleBefore || sc.safety == replication.QuorumSafe {
+		// Every commit was quorum-acked by intact replicas (the joiner
+		// never acks before cut-over), so zero loss is guaranteed even
+		// without a settling grace.
+		floor = n
+	}
+	if floor < 0 {
+		floor = 0
+	}
+	if k < floor {
+		fail("recovered %d commits, acked floor is %d", k, floor)
+	}
+	ref, err := tpc.Replay(mustDC(t), tpc.Options{Seed: sc.workSeed}, k)
+	if err != nil {
+		fail("replay: %v", err)
+	}
+	got := make([]byte, crashDB)
+	st.ReadRaw(0, got)
+	if !bytes.Equal(got, ref) {
+		fail("recovered state does not match the %d-commit prefix", k)
+	}
+}
+
+// TestCrashDuringRepairRandomized hammers the online repair with crashes
+// landing mid-transfer: the primary or the joining backup dies while the
+// chunked copy is in flight, across randomized commit counts, safety
+// levels and crash points. The committed-prefix property and the quorum
+// zero-loss property must hold in every interleaving.
+func TestCrashDuringRepairRandomized(t *testing.T) {
+	const seed = 77001122
+	iters := 60
+	if testing.Short() {
+		iters = 20
+	}
+	t.Logf("crash-during-repair seed %d, %d iterations", seed, iters)
+	rng := rand.New(rand.NewSource(seed))
+	for iter := 0; iter < iters; iter++ {
+		sc := repairScenario{
+			safety:       replication.OneSafe,
+			backups:      2 + rng.Intn(2),
+			preCommits:   10 + rng.Intn(40),
+			midCommits:   1 + rng.Intn(40),
+			crashJoiner:  rng.Intn(2) == 0,
+			settleBefore: rng.Intn(2) == 0,
+			workSeed:     uint64(rng.Int63()) | 1,
+		}
+		if rng.Intn(2) == 0 {
+			// Quorum needs ceil((K+1)/2) ackers among the intact
+			// replicas while one is mid-join: K=3 with one joiner
+			// leaves exactly the 2 required.
+			sc.safety = replication.QuorumSafe
+			sc.backups = 3
+		}
+		runRepairScenario(t, iter, sc)
+	}
+}
+
 // TestQuorumCrashRandomized is the acceptance property hammered on its
 // own: QuorumSafe with three backups survives the crash of the primary
 // plus one backup with zero acked-commit loss, across randomized commit

@@ -1,9 +1,7 @@
 package replication
 
 import (
-	"encoding/binary"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -20,10 +18,12 @@ import (
 // group with a configurable commit-safety level.
 //
 // After a failover the group rewires itself in place: the most-caught-up
-// surviving backup is promoted, the remaining survivors re-sync behind it,
-// and replication continues — the group tolerates sequential failures for
-// as long as replicas remain, and Repair re-enrolls fresh backups up to
-// the configured degree.
+// promotable survivor is promoted, the remaining survivors re-sync behind
+// it, and replication continues — the group tolerates sequential failures
+// for as long as replicas remain. RepairAsync re-enrolls resumed backups
+// and fresh nodes online: the state transfer runs in the background of the
+// commit stream (see recovery.go and the BackupState lifecycle), so the
+// cluster keeps serving while it heals.
 //
 // # Concurrency
 //
@@ -33,7 +33,7 @@ import (
 // per group (the paper's single-stream engine): Begin blocks until the
 // previous transaction commits or aborts, while independent groups — the
 // shards of a ShardedCluster — proceed in parallel on independent
-// goroutines. Management operations (Crash, Failover, Repair, Settle,
+// goroutines. Management operations (Crash, Failover, RepairAsync, Settle,
 // fault injection) interleave between individual transaction operations,
 // so a crash can land in the middle of an open transaction exactly as on
 // real hardware — the survivor rolls the in-flight transaction back, and
@@ -61,6 +61,12 @@ type Group struct {
 	crashed    bool
 	takeover   *vista.Store
 	generation int // bumped at every completed failover
+
+	// Online-repair state: the in-flight joins and the aggregate summary
+	// RepairStatus reports (see recovery.go).
+	jobs          []*repairJob
+	repair        RepairStatus
+	repairStarted sim.Time
 
 	// servingRef and servingStore shadow the serving node and store for
 	// the lock-free statistics readers. The node and its measured-
@@ -91,44 +97,6 @@ type measureRef struct {
 	origin sim.Time
 }
 
-// backup is one backup node plus its replication state.
-type backup struct {
-	node *Node
-	// off gates the broadcast receive mappings: true while the backup is
-	// paused (partitioned) or crashed. Referenced by memchannel targets.
-	off     bool
-	paused  bool
-	crashed bool
-	// stale marks a backup that missed traffic while paused: its applied
-	// prefix is frozen until a failover re-sync or Repair recopies it.
-	stale bool
-	// ackLag is the deterministic extra delivery/ack latency of this
-	// backup relative to backup 0 (commodity clusters are not uniform;
-	// the stagger is what separates quorum from 2-safe commit latency).
-	ackLag sim.Dur
-
-	// Active-mode consumer state.
-	ring         *sim.Ring
-	bRing, bCtl  *mem.Region
-	appliedTotal uint64 // bytes of the redo stream applied (monotonic)
-	appliedTxns  uint64
-}
-
-// alive reports whether the backup can be promoted at failover.
-func (b *backup) alive() bool { return !b.crashed }
-
-// acking reports whether the backup participates in commit acknowledgement.
-// A stale backup is excluded even after ResumeBackup: its receive mappings
-// stay gated until a re-sync, so an ack from it would vouch for data it
-// does not hold.
-func (b *backup) acking() bool { return !b.crashed && !b.paused && !b.stale }
-
-// ackStagger returns backup i's extra one-way latency. Backup 0 has none,
-// so a single-backup group reproduces the paper's pair timing exactly.
-func ackStagger(p *sim.Params, i int) sim.Dur {
-	return sim.Dur(i) * p.LinkLatency / 8
-}
-
 // NewGroup constructs and wires a deployment of cfg.Backups replicas.
 func NewGroup(cfg Config) (*Group, error) {
 	params := cfg.Params
@@ -156,6 +124,12 @@ func NewGroup(cfg Config) (*Group, error) {
 	}
 	if cfg.CommitWindow < 0 {
 		return nil, fmt.Errorf("replication: negative commit window %d", cfg.CommitWindow)
+	}
+	if cfg.RepairChunk < 0 {
+		return nil, fmt.Errorf("replication: negative repair chunk %d", cfg.RepairChunk)
+	}
+	if cfg.RepairShare < 0 || cfg.RepairShare > 1 {
+		return nil, fmt.Errorf("replication: repair share %v outside (0,1]", cfg.RepairShare)
 	}
 	switch cfg.Mode {
 	case Standalone:
@@ -211,22 +185,13 @@ func (g *Group) newBackupNodes(specs []vista.RegionSpec) error {
 			node:   NewNode(backupName(0, i), g.params, nil),
 			ackLag: ackStagger(g.params, i),
 		}
+		b.setState(StateInSync)
 		if _, err := vista.PlaceRegions(b.node.Space, g.backupSpecs(specs), regionBase); err != nil {
 			return err
 		}
 		g.backups = append(g.backups, b)
 	}
 	return nil
-}
-
-func backupName(generation, i int) string {
-	if generation == 0 {
-		if i == 0 {
-			return "backup"
-		}
-		return fmt.Sprintf("backup-%d", i+1)
-	}
-	return fmt.Sprintf("backup-g%d-%d", generation, i+1)
 }
 
 func (g *Group) buildPassive(specs []vista.RegionSpec) error {
@@ -336,8 +301,8 @@ func (g *Group) Generation() int {
 }
 
 // Mode returns the deployment mode of the current era: groups that began
-// Active continue passively after a failover (like Repair, re-enrolling an
-// active backup would need a fresh redo ring).
+// Active continue passively after a failover (re-enrolling an active
+// backup would need a fresh redo ring).
 func (g *Group) Mode() Mode {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -357,353 +322,17 @@ func (g *Group) Link() *sim.Link {
 	return g.link
 }
 
-// ackingCount returns how many backups participate in acknowledgement.
-func (g *Group) ackingCount() int {
-	n := 0
-	for _, b := range g.backups {
-		if b.acking() {
-			n++
-		}
+// QuiesceGrace returns the simulated idle time that drains everything in
+// flight: the stale-buffer age, the posted-write window's serialization,
+// and the delivery plus acknowledgement latency. Config.SettleGrace
+// overrides the derivation. Facades use it as the Settle duration instead
+// of a hardcoded constant.
+func (g *Group) QuiesceGrace() sim.Dur {
+	if g.cfg.SettleGrace > 0 {
+		return g.cfg.SettleGrace
 	}
-	return n
-}
-
-// safetyAvailable checks that enough backups are reachable to honor the
-// configured safety level before a transaction opens: commits must never
-// report an acknowledgement discipline they cannot deliver.
-func (g *Group) safetyAvailable() error {
-	if g.cfg.Safety == OneSafe {
-		return nil
-	}
-	acking := g.ackingCount()
-	switch g.cfg.Safety {
-	case TwoSafe:
-		// 2-safe means every live backup: a paused (partitioned) backup
-		// blocks a real 2-safe system, which here surfaces as an error.
-		for _, b := range g.backups {
-			if b.alive() && !b.acking() {
-				return ErrSafetyUnavailable
-			}
-		}
-		if acking == 0 {
-			return ErrSafetyUnavailable
-		}
-	case QuorumSafe:
-		// The quorum is defined over the configured degree, not the
-		// shrinking survivor set: fewer reachable ackers than
-		// ceil((K+1)/2) means the promised guarantee cannot be given.
-		if acking < QuorumAcks(g.cfg.Backups) {
-			return ErrSafetyUnavailable
-		}
-	}
-	return nil
-}
-
-// Begin opens a transaction on the serving store, blocking while another
-// transaction is open on this group (the engine runs one at a time). In
-// the active era the handle captures the transaction's writes as redo
-// records; under TwoSafe or QuorumSafe it additionally holds Commit for
-// the configured acknowledgements (per flush when group commit is on).
-func (g *Group) Begin() (TxHandle, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for g.curHandle != nil && !g.crashed {
-		g.txFree.Wait()
-	}
-	if g.crashed {
-		return nil, ErrCrashed
-	}
-	if err := g.safetyAvailable(); err != nil {
-		return nil, err
-	}
-	tx, err := g.store.Begin()
-	if err != nil {
-		return nil, err
-	}
-	var h TxHandle
-	switch {
-	case g.redo != nil:
-		h = g.redo.wrap(tx)
-	case g.cfg.Safety != OneSafe && len(g.backups) > 0:
-		st := g.freeSafety
-		if st == nil {
-			st = &safetyTx{}
-		}
-		g.freeSafety = nil
-		*st = safetyTx{g: g, tx: tx}
-		h = st
-	default:
-		pt := g.freePlain
-		if pt == nil {
-			pt = &plainTx{}
-		}
-		g.freePlain = nil
-		*pt = plainTx{g: g, tx: tx}
-		h = pt
-	}
-	g.curHandle = h
-	return h, nil
-}
-
-// finishTxLocked releases the open-transaction slot (h is known to own
-// it) and wakes one Begin waiter.
-func (g *Group) finishTxLocked(h TxHandle) {
-	if g.curHandle == h {
-		g.curHandle = nil
-		g.txFree.Signal()
-	}
-}
-
-// orphanedLocked reports whether h lost the open-transaction slot to a
-// crash: its node died under it, so the handle must refuse further work
-// without touching state that may meanwhile belong to a fresh
-// transaction. An orphaned handle is never recycled.
-func (g *Group) orphanedLocked(h TxHandle) bool { return g.curHandle != h }
-
-// plainTx is the standalone / passive-1-safe handle: it only adds the
-// per-operation locking and the open-slot release at the end of the
-// transaction. One value is recycled per group (a single transaction is
-// open at a time), so a handle must not be used after Commit/Abort.
-type plainTx struct {
-	g    *Group
-	tx   *vista.Tx
-	done bool
-}
-
-var _ TxHandle = (*plainTx)(nil)
-
-func (t *plainTx) SetRange(off, n int) error {
-	t.g.mu.Lock()
-	defer t.g.mu.Unlock()
-	return t.tx.SetRange(off, n)
-}
-
-func (t *plainTx) Write(off int, src []byte) error {
-	t.g.mu.Lock()
-	defer t.g.mu.Unlock()
-	return t.tx.Write(off, src)
-}
-
-func (t *plainTx) Read(off int, dst []byte) error {
-	t.g.mu.Lock()
-	defer t.g.mu.Unlock()
-	return t.tx.Read(off, dst)
-}
-
-func (t *plainTx) Commit() error {
-	g := t.g
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if t.done {
-		return vista.ErrTxDone
-	}
-	if g.orphanedLocked(t) {
-		t.done = true
-		return ErrCrashed
-	}
-	err := t.tx.Commit()
-	t.done = true
-	g.finishTxLocked(t)
-	g.freePlain = t
-	return err
-}
-
-func (t *plainTx) Abort() error {
-	g := t.g
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if t.done {
-		return vista.ErrTxDone
-	}
-	if g.orphanedLocked(t) {
-		t.done = true
-		return ErrCrashed
-	}
-	err := t.tx.Abort()
-	t.done = true
-	g.finishTxLocked(t)
-	g.freePlain = t
-	return err
-}
-
-// safetyTx wraps a passive-era transaction with the commit-safety wait:
-// the doubled writes already carry the state, so closing the window only
-// needs the write buffers drained and the acknowledgement round trip. With
-// group commit enabled the drain and the round trip are paid once per
-// batch instead of once per transaction.
-type safetyTx struct {
-	g    *Group
-	tx   *vista.Tx
-	done bool
-}
-
-var _ TxHandle = (*safetyTx)(nil)
-
-func (t *safetyTx) SetRange(off, n int) error {
-	t.g.mu.Lock()
-	defer t.g.mu.Unlock()
-	return t.tx.SetRange(off, n)
-}
-
-func (t *safetyTx) Write(off int, src []byte) error {
-	t.g.mu.Lock()
-	defer t.g.mu.Unlock()
-	return t.tx.Write(off, src)
-}
-
-func (t *safetyTx) Read(off int, dst []byte) error {
-	t.g.mu.Lock()
-	defer t.g.mu.Unlock()
-	return t.tx.Read(off, dst)
-}
-
-func (t *safetyTx) Abort() error {
-	g := t.g
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if t.done {
-		return vista.ErrTxDone
-	}
-	if g.orphanedLocked(t) {
-		t.done = true
-		return ErrCrashed
-	}
-	err := t.tx.Abort()
-	t.done = true
-	g.finishTxLocked(t)
-	g.freeSafety = t
-	return err
-}
-
-func (t *safetyTx) Commit() error {
-	g := t.g
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if t.done {
-		return vista.ErrTxDone
-	}
-	if g.orphanedLocked(t) {
-		t.done = true
-		return ErrCrashed
-	}
-	if err := t.tx.Commit(); err != nil {
-		t.done = true
-		g.finishTxLocked(t)
-		g.freeSafety = t
-		return err
-	}
-	err := g.joinBatchLocked()
-	t.done = true
-	g.finishTxLocked(t)
-	g.freeSafety = t
-	return err
-}
-
-// batchLimit returns the commit count that seals a batch: 1 when group
-// commit is off (flush every commit), CommitBatch when set, otherwise
-// unbounded (window- or Flush-driven sealing).
-func (g *Group) batchLimit() int {
-	if g.cfg.CommitBatch > 1 {
-		return g.cfg.CommitBatch
-	}
-	if g.cfg.CommitBatch <= 1 && g.cfg.CommitWindow <= 0 {
-		return 1
-	}
-	return int(^uint(0) >> 1) // window-only batching: no count cap
-}
-
-// joinBatchLocked adds the just-committed transaction to the open batch
-// and flushes when the batch seals: at the CommitBatch-th member, or when
-// this commit landed CommitWindow past the batch's opening instant. With
-// group commit off the batch seals at every commit, reproducing the
-// unbatched pipeline exactly.
-func (g *Group) joinBatchLocked() error {
-	now := g.primary.Clock.Now()
-	if g.batchCount == 0 {
-		g.batchStart = now
-	}
-	g.batchCount++
-	if g.batchCount >= g.batchLimit() ||
-		(g.cfg.CommitWindow > 0 && sim.Dur(now-g.batchStart) >= g.cfg.CommitWindow) {
-		return g.flushLocked()
-	}
-	return nil
-}
-
-// Flush seals and ships the open group-commit batch: the redo-ring
-// producer pointer is published (active era) or the write buffers fenced
-// (passive era), and under TwoSafe/QuorumSafe the batch's single
-// acknowledgement wait is charged. A no-op when no commits are pending.
-func (g *Group) Flush() error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.flushLocked()
-}
-
-// flushLocked ships the pending batch. Commits left in an unflushed batch
-// at a primary crash are lost exactly like the paper's 1-safe window —
-// Crash deliberately does not flush.
-func (g *Group) flushLocked() error {
-	if g.batchCount == 0 {
-		return nil
-	}
-	g.batchCount = 0
-	g.batchStart = 0
-	if g.redo != nil {
-		return g.redo.flush()
-	}
-	return g.flushPassiveLocked()
-}
-
-// flushPassiveLocked closes the passive-era batch: one buffer drain and
-// one acknowledgement round trip cover every commit in the batch.
-func (g *Group) flushPassiveLocked() error {
-	if g.cfg.Safety == OneSafe || len(g.backups) == 0 {
-		// 1-safe passive commits carry no deferred work: the doubled
-		// stores drain on their own.
-		return nil
-	}
-	// Everything the batch doubled must leave the write buffers before
-	// any backup can acknowledge it.
-	g.primary.Acc.Fence()
-	delivered := g.primary.MC.LastDelivered()
-	acks := g.ackBuf[:0]
-	for _, b := range g.backups {
-		if b.acking() {
-			acks = append(acks, delivered+sim.Time(b.ackLag)+sim.Time(g.params.LinkLatency))
-		}
-	}
-	g.ackBuf = acks[:0]
-	at, err := ackDeadline(acks, g.cfg.Safety, g.cfg.Backups)
-	if err != nil {
-		return err
-	}
-	g.primary.Clock.AdvanceTo(at)
-	return nil
-}
-
-// ackDeadline picks the commit-release instant from the per-backup ack
-// times: the slowest for TwoSafe, the quorum-th fastest for QuorumSafe.
-// Too few ackers for the discipline — possible only when backups failed
-// mid-transaction, since Begin gates on availability — is an error: the
-// transaction is locally committed but its durability promise cannot be
-// given, and the caller must not treat it as acknowledged.
-func ackDeadline(acks []sim.Time, s Safety, degree int) (sim.Time, error) {
-	sort.Slice(acks, func(i, j int) bool { return acks[i] < acks[j] })
-	switch s {
-	case TwoSafe:
-		if len(acks) == 0 {
-			return 0, ErrSafetyUnavailable
-		}
-		return acks[len(acks)-1], nil
-	case QuorumSafe:
-		need := QuorumAcks(degree)
-		if len(acks) < need {
-			return 0, ErrSafetyUnavailable
-		}
-		return acks[need-1], nil
-	}
-	return 0, nil
+	p := g.params
+	return p.DrainAge + sim.Dur(p.PostedDepth)*p.PacketTime(p.MaxPacket) + 2*p.LinkLatency
 }
 
 // Load installs initial database content on the primary and synchronizes
@@ -774,9 +403,10 @@ func (g *Group) Stats() vista.Stats { return g.servingStore.Load().Stats() }
 // Lock-free.
 func (g *Group) Committed() uint64 { return g.servingStore.Load().Committed() }
 
-// NetBytes returns SAN payload bytes by category (paper Tables 2, 5, 7).
-// The byte counters themselves are atomic; the brief lock here only pins
-// the Memory Channel attachment, which failover replaces.
+// NetBytes returns SAN payload bytes by category (paper Tables 2, 5, 7;
+// state-transfer chunks appear under mem.CatSync). The byte counters
+// themselves are atomic; the brief lock here only pins the Memory Channel
+// attachment, which failover replaces.
 func (g *Group) NetBytes() map[mem.Category]int64 {
 	g.mu.Lock()
 	mc := g.primary.MC
@@ -804,10 +434,12 @@ func (g *Group) ReadRaw(off int, dst []byte) {
 }
 
 // Settle lets the deployment go idle for d of simulated time: any open
-// group-commit batch is flushed, then pending write buffers self-drain, so
-// everything committed before Settle is on every reachable backup
-// afterwards. Demos use it to separate "crash right now" (the 1-safe
-// window applies) from "crash after a quiet moment".
+// group-commit batch is flushed, pending write buffers self-drain, and the
+// background state-transfer copier — if a repair is in flight — keeps
+// streaming through the quiet period. Everything committed before Settle
+// is on every reachable backup afterwards. Demos use it to separate "crash
+// right now" (the 1-safe window applies) from "crash after a quiet
+// moment".
 func (g *Group) Settle(d sim.Dur) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -824,6 +456,9 @@ func (g *Group) Settle(d sim.Dur) {
 			g.redo.applyDelivered(b)
 		}
 	}
+	if !g.crashed {
+		g.pumpRepairLocked(false, true)
+	}
 }
 
 // Crash kills the primary: stores still coalescing in its write buffers
@@ -832,7 +467,8 @@ func (g *Group) Settle(d sim.Dur) {
 // with ErrCrashed and the survivor rolls it back at takeover. An open
 // group-commit batch dies too: its commits were never named by a
 // delivered producer pointer, the batched generalization of the same
-// window.
+// window. An in-flight repair dies with its transfer source: the joiners
+// stay fuzzy and re-enroll from the promoted survivor.
 func (g *Group) Crash() error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -860,101 +496,9 @@ func (g *Group) Crashed() bool {
 	return g.crashed
 }
 
-// backupAt validates a backup index.
-func (g *Group) backupAt(i int) (*backup, error) {
-	if i < 0 || i >= len(g.backups) {
-		return nil, ErrNoSuchBackup
-	}
-	return g.backups[i], nil
-}
-
-// PauseBackup partitions backup i away from the SAN: it stops receiving
-// (and acknowledging) until a failover re-sync or Repair recopies it. Its
-// applied prefix freezes at the pause point, which is how tests — and
-// commodity clusters — get replicas at unequal progress.
-func (g *Group) PauseBackup(i int) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	b, err := g.backupAt(i)
-	if err != nil {
-		return err
-	}
-	if b.crashed || b.paused {
-		return nil
-	}
-	if g.redo != nil {
-		g.redo.applyDelivered(b) // capture the delivered prefix first
-	}
-	b.paused, b.stale, b.off = true, true, true
-	return nil
-}
-
-// ResumeBackup reconnects a paused backup. It remains stale — it missed
-// part of the stream — until the next failover re-sync or Repair, but it
-// counts as reachable again for repair accounting.
-func (g *Group) ResumeBackup(i int) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	b, err := g.backupAt(i)
-	if err != nil {
-		return err
-	}
-	if b.crashed || !b.paused {
-		return nil
-	}
-	b.paused = false
-	// Still gated: a stale backup must not apply a stream with a gap.
-	b.off = true
-	return nil
-}
-
-// CrashBackup kills backup i: it stops receiving, never acknowledges, and
-// is not eligible for promotion.
-func (g *Group) CrashBackup(i int) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	b, err := g.backupAt(i)
-	if err != nil {
-		return err
-	}
-	if b.crashed {
-		return nil
-	}
-	b.crashed, b.off = true, true
-	return nil
-}
-
-// AppliedTxns returns how many transactions backup i has applied (active
-// era; passive backups report the committed count in their control copy).
-func (g *Group) AppliedTxns(i int) uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	b, err := g.backupAt(i)
-	if err != nil {
-		return 0
-	}
-	return g.backupProgress(b)
-}
-
-// backupProgress returns the backup's committed-prefix length.
-func (g *Group) backupProgress(b *backup) uint64 {
-	if g.redo != nil {
-		if !b.stale && !b.crashed {
-			g.redo.applyDelivered(b)
-		}
-		return b.appliedTxns
-	}
-	ctl := b.node.Space.ByName(vista.RegionControl)
-	if ctl == nil {
-		return 0
-	}
-	var buf [8]byte
-	ctl.ReadRaw(0, buf[:])
-	return binary.LittleEndian.Uint64(buf[:])
-}
-
-// Failover promotes the most-caught-up surviving backup (highest applied
-// commit sequence) and rewires the group in place: the promoted node
+// Failover promotes the most-caught-up promotable survivor (highest
+// applied commit sequence; mid-join replicas hold fuzzy copies and are
+// never candidates) and rewires the group in place: the promoted node
 // serves, the remaining survivors are re-synced behind it and replication
 // continues passively, so another Crash/Failover cycle works for as long
 // as replicas remain. Returns the recovered store, ready to serve.
@@ -965,11 +509,19 @@ func (g *Group) Failover() (*vista.Store, error) {
 	case !g.crashed:
 		return nil, ErrNotCrashed
 	}
-	// Pick the most-caught-up survivor.
+	// The transfer source is gone: every in-flight join dies with it.
+	for _, b := range g.backups {
+		if b.joining() {
+			g.abortJobLocked(b)
+			b.setState(StateGated)
+		}
+	}
+	g.jobs = nil
+	// Pick the most-caught-up promotable survivor.
 	var best *backup
 	var bestProgress uint64
 	for _, b := range g.backups {
-		if !b.alive() {
+		if !b.promotable() {
 			continue
 		}
 		p := g.backupProgress(b)
@@ -1032,8 +584,9 @@ func (g *Group) Failover() (*vista.Store, error) {
 }
 
 // wireSurvivors re-synchronizes the given backups behind the (new) primary
-// — the same whole-database enrollment transfer a fresh cluster member
-// pays — and maps the primary's recoverable regions onto them.
+// through the chunked transfer engine — driven to completion on the spot,
+// since takeover happens with the cluster already down — and maps the
+// primary's recoverable regions onto them.
 func (g *Group) wireSurvivors(survivors []*backup) error {
 	g.backups = survivors
 	if len(survivors) == 0 {
@@ -1047,35 +600,10 @@ func (g *Group) wireSurvivors(survivors []*backup) error {
 	for i, b := range g.backups {
 		b.ring, b.bRing, b.bCtl = nil, nil, nil
 		b.appliedTotal, b.appliedTxns = 0, 0
-		b.paused, b.stale = false, false
-		b.off = b.crashed
 		b.ackLag = ackStagger(g.params, i)
-		if err := g.resyncBackup(b); err != nil {
-			return err
-		}
+		g.resyncSurvivorLocked(b)
 	}
 	return g.mapFanout()
-}
-
-// resyncBackup ships the primary's current recoverable state wholesale
-// (raw: enrollment happens outside the measured interval, like Load's
-// initial transfer).
-func (g *Group) resyncBackup(b *backup) error {
-	for _, src := range g.primary.Space.Regions() {
-		if src.IOOnly {
-			continue
-		}
-		dst := b.node.Space.ByName(src.Name)
-		if dst == nil {
-			// Regions with no counterpart on this backup (a promoted
-			// active backup's old redo ring) are not replicated.
-			continue
-		}
-		if err := copyRegion(dst, src); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 // Takeover returns the store recovered by the most recent failover, or nil.
@@ -1083,50 +611,6 @@ func (g *Group) Takeover() *vista.Store {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.takeover
-}
-
-// Repair restores the group to its configured replication degree after a
-// failover: fresh backup nodes enroll behind the serving survivor (initial
-// full-state transfer included) — the direction the paper points at for "a
-// more full-fledged cluster, not restricted to a simple primary-backup
-// configuration" (Section 1). It returns the (rewired) group itself.
-func (g *Group) Repair() (*Group, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.takeover == nil {
-		return nil, ErrNotRepairable
-	}
-	if g.crashed {
-		return nil, ErrCrashed
-	}
-	// Rewiring resets the redo rings and ack staggers: ship any open
-	// batch under the old wiring first.
-	if err := g.flushLocked(); err != nil {
-		return nil, err
-	}
-
-	specs, err := vista.Layout(g.store.Config())
-	if err != nil {
-		return nil, err
-	}
-	members := make([]*backup, 0, g.cfg.Backups)
-	for _, b := range g.backups {
-		if b.alive() {
-			members = append(members, b)
-		}
-	}
-	for i := len(members); i < g.cfg.Backups; i++ {
-		b := &backup{node: NewNode(backupName(g.generation, i), g.params, nil)}
-		if _, err := vista.PlaceRegions(b.node.Space, g.backupSpecs(specs), regionBase); err != nil {
-			return nil, err
-		}
-		members = append(members, b)
-	}
-	if err := g.wireSurvivors(members); err != nil {
-		return nil, err
-	}
-	g.resetMeasurementLocked()
-	return g, nil
 }
 
 // BackupRead serves a read-only query from the first backup's database

@@ -124,6 +124,18 @@ type Config struct {
 	// setting neither disables group commit. Settle and Flush always ship
 	// the open batch.
 	CommitWindow sim.Dur
+	// RepairChunk bounds the bytes one background-repair pump ships, so
+	// the state transfer interleaves with commits at a fine grain
+	// (default 64 KB).
+	RepairChunk int
+	// RepairShare is the fraction of the SAN bandwidth the online
+	// repair's background copier may consume while transactions run
+	// (default 0.5; must lie in (0, 1]).
+	RepairShare float64
+	// SettleGrace overrides the derived quiesce duration QuiesceGrace
+	// computes from the platform constants (drain age, posted window,
+	// link latency). Zero derives.
+	SettleGrace sim.Dur
 }
 
 // TxHandle is the transactional surface shared by all modes; vista.Tx

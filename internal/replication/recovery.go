@@ -1,0 +1,630 @@
+// Online repair: the non-blocking incremental state transfer that enrolls
+// (or delta-resyncs) backup replicas while transactions keep committing.
+//
+// A join runs in three phases (see BackupState):
+//
+//  1. Syncing — a fuzzy chunked background copy of the primary's
+//     recoverable regions crosses the Memory Channel while the joiner is
+//     already attached to the live replication stream. Each page is copied
+//     atomically at a commit boundary, and every page written after the
+//     attach instant is (re)delivered by the live stream, so the copy
+//     converges on the primary's current state without ever stopping the
+//     world. Chunk bytes occupy the SAN like any other traffic (the
+//     recovering cluster's availability dip) and are accounted under
+//     mem.CatSync.
+//  2. CatchingUp — active scheme only: the joiner drains the redo ring
+//     from its copy-start sequence until the unapplied lag falls under the
+//     cut-over threshold. Redo records are absolute physical writes, so
+//     replaying them over the fuzzy copy is idempotent-forward.
+//  3. Cut-over — a brief fence delivers the pointer tail, the last records
+//     are applied, and the replica flips to InSync: from this instant it
+//     counts toward quorum and acknowledges commits.
+//
+// A replica that was only briefly partitioned re-enrolls by delta: the
+// dirty-page epochs snapshotted when it left the stream bound exactly the
+// pages it missed, so the transfer ships the delta instead of the whole
+// database — and when the gap is provably empty (a clean, commit-free
+// partition), it rejoins with no transfer at all.
+package replication
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/memchannel"
+	"repro/internal/sim"
+	"repro/internal/vista"
+)
+
+// ErrNotRepairable is returned by Repair/RepairAsync when the group has
+// nothing to repair: every configured replica is enrolled and in sync.
+var ErrNotRepairable = errors.New("replication: nothing to repair")
+
+// Online-repair tuning defaults (overridable via Config).
+const (
+	// defaultRepairChunk bounds the bytes one pump ships, so the copier
+	// interleaves with commits at a fine grain.
+	defaultRepairChunk = 64 << 10
+	// defaultRepairShare is the fraction of the SAN bandwidth the
+	// background copier may consume while transactions run.
+	defaultRepairShare = 0.5
+	// cutoverLag is the unapplied redo-ring span under which a
+	// catching-up joiner is close enough for the brief cut-over.
+	cutoverLag = 4096
+)
+
+// RepairStatus reports the progress of the current (or most recent)
+// online repair.
+type RepairStatus struct {
+	// Active is true while at least one join is in flight.
+	Active bool
+	// Joining counts the backups still mid-join.
+	Joining int
+	// Phase is "idle", "syncing" or "catching-up" (the earliest phase of
+	// any in-flight join; "idle" when none).
+	Phase string
+	// BytesShipped is the state-transfer payload shipped so far.
+	BytesShipped int64
+	// BytesPlanned is the payload the transfer plan covers (delta pages
+	// for a resumed replica, whole regions for a fresh one).
+	BytesPlanned int64
+	// Elapsed is the simulated time the repair has been running (its
+	// final value once Active goes false).
+	Elapsed sim.Dur
+}
+
+// repairRegion is one region's transfer cursor within a join.
+type repairRegion struct {
+	src, dst *mem.Region
+	// epoch > 0 restricts the copy to pages dirtied after it (delta
+	// resync); 0 copies the whole region.
+	epoch    uint64
+	page     int
+	pageSize int
+	done     bool
+}
+
+// repairJob is one backup's in-flight join.
+type repairJob struct {
+	b        *backup
+	regions  []repairRegion
+	planned  int64
+	shipped  int64
+	credit   float64 // byte budget bought by elapsed simulated time
+	lastPump sim.Time
+	buf      []byte
+}
+
+// chunkBytes returns the per-pump transfer bound.
+func (g *Group) chunkBytes() int {
+	if g.cfg.RepairChunk > 0 {
+		return g.cfg.RepairChunk
+	}
+	return defaultRepairChunk
+}
+
+// repairRate returns the copier's bandwidth in bytes per picosecond: the
+// configured share of the SAN's full-packet bandwidth.
+func (g *Group) repairRate() float64 {
+	share := g.cfg.RepairShare
+	if share <= 0 || share > 1 {
+		share = defaultRepairShare
+	}
+	pt := g.params.PacketTime(g.params.MaxPacket)
+	if pt <= 0 {
+		return 0
+	}
+	return share * float64(g.params.MaxPacket) / float64(pt)
+}
+
+// syncRegionsLocked returns the serving node's regions a joiner must hold:
+// every write-through (replicated) region in the passive era, and the
+// database copy alone in the active era (control is seeded from the ring
+// sequence at takeover, and the engine's local structures are formatted
+// fresh).
+func (g *Group) syncRegionsLocked() []*mem.Region {
+	var out []*mem.Region
+	for _, r := range g.primary.Space.Regions() {
+		if g.redo != nil {
+			if r.Name == vista.RegionDB {
+				out = append(out, r)
+			}
+			continue
+		}
+		if r.WriteThrough {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RepairAsync starts the online repair of every deficiency the group has:
+// resumed (Gated) backups are re-enrolled by delta, crashed backups are
+// replaced by fresh nodes, and the group is filled back to its configured
+// replication degree after a failover. The call returns immediately; the
+// transfer advances in the background of the commit stream (every commit
+// grants the copier the simulated time that has passed) and of Settle's
+// idle periods. Progress is visible through RepairStatus; a joiner starts
+// acknowledging — and counting toward quorum — at its cut-over.
+//
+// Returns ErrNotRepairable when every configured replica is enrolled and
+// in sync, and ErrCrashed when the primary is down (call Failover first).
+func (g *Group) RepairAsync() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.repairAsyncLocked()
+}
+
+func (g *Group) repairAsyncLocked() error {
+	if g.crashed {
+		return ErrCrashed
+	}
+	if g.cfg.Mode == Standalone {
+		return ErrNotRepairable
+	}
+	started := false
+	// Re-enroll resumed backups: by delta when their gating snapshot
+	// bounds the gap, with no transfer at all when the gap is empty.
+	for _, b := range g.backups {
+		if b.state != StateGated {
+			continue
+		}
+		if g.gapFreeLocked(b) {
+			b.setState(StateInSync)
+			b.fuzzy = false
+			b.gateEpochs = nil
+		} else {
+			g.startJoinLocked(b, g.deltaEpochsLocked(b))
+		}
+		started = true
+	}
+	// Drop crashed backups — detaching their receive targets so the live
+	// mappings neither pin nor iterate dead regions — and enroll fresh
+	// nodes up to the configured degree (the post-failover path, and
+	// mid-era backup replacement).
+	live := make([]*backup, 0, g.cfg.Backups)
+	for _, b := range g.backups {
+		if b.alive() {
+			live = append(live, b)
+			continue
+		}
+		if g.primary.MC != nil {
+			g.primary.MC.RemoveTargets(&b.off)
+		}
+	}
+	g.backups = live
+	// A primary that lost every backup has no Memory Channel attachment
+	// left; rebuild the SAN wiring before fresh nodes can attach to it.
+	wired := g.primary.MC != nil
+	var fresh []*backup
+	for len(g.backups) < g.cfg.Backups {
+		b, err := g.enrollFreshLocked(len(g.backups), wired)
+		if err != nil {
+			return err
+		}
+		g.backups = append(g.backups, b)
+		fresh = append(fresh, b)
+		started = true
+	}
+	if !wired && len(fresh) > 0 {
+		g.link = sim.NewLink(g.params)
+		g.primary.MC = memchannel.NewNode(g.params, g.primary.Clock, g.link)
+		g.primary.Acc.IO = g.primary.MC
+		if err := g.mapFanout(); err != nil {
+			return err
+		}
+	}
+	for _, b := range fresh {
+		g.startJoinLocked(b, nil)
+	}
+	if started {
+		// Membership changed: restore the deterministic per-index ack
+		// stagger, exactly as a full rewire would assign it.
+		for i, b := range g.backups {
+			b.ackLag = ackStagger(g.params, i)
+		}
+	}
+	if !started {
+		if len(g.jobs) > 0 {
+			return nil // an earlier RepairAsync is still healing the group
+		}
+		return ErrNotRepairable
+	}
+	if !g.repair.Active {
+		g.repair = RepairStatus{Active: len(g.jobs) > 0}
+		g.repairStarted = g.primary.Clock.Now()
+	}
+	for _, j := range g.jobs {
+		g.repair.BytesPlanned += j.planned
+		j.planned = 0 // folded into the aggregate exactly once
+	}
+	g.repair.Joining = len(g.jobs)
+	return nil
+}
+
+// Repair restores the group to its configured replication degree and
+// drives the transfer to completion before returning — the synchronous
+// face of RepairAsync, used by demos and orchestration that want "repaired"
+// as a postcondition. The transfer still runs through the incremental
+// engine (chunk by chunk, releasing the group between chunks, bytes
+// accounted), so concurrent transactions keep committing while it runs.
+// It returns the (rewired) group itself.
+func (g *Group) Repair() (*Group, error) {
+	g.mu.Lock()
+	if err := g.repairAsyncLocked(); err != nil {
+		g.mu.Unlock()
+		return nil, err
+	}
+	g.mu.Unlock()
+	for {
+		g.mu.Lock()
+		if g.crashed {
+			g.mu.Unlock()
+			return nil, ErrCrashed
+		}
+		if len(g.jobs) == 0 {
+			// Enrollment is not part of any measured interval, exactly
+			// like the initial Load transfer.
+			g.resetMeasurementLocked()
+			g.mu.Unlock()
+			return g, nil
+		}
+		g.pumpRepairLocked(true, true)
+		g.mu.Unlock()
+	}
+}
+
+// RepairStatus returns the progress of the current or most recent repair.
+func (g *Group) RepairStatus() RepairStatus {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.repair
+	if st.Active {
+		st.Elapsed = sim.Dur(g.primary.Clock.Now() - g.repairStarted)
+		st.Phase = "syncing"
+		allCatching := true
+		for _, j := range g.jobs {
+			if j.b.state != StateCatchingUp {
+				allCatching = false
+			}
+		}
+		if allCatching && len(g.jobs) > 0 {
+			st.Phase = "catching-up"
+		}
+	} else {
+		st.Phase = "idle"
+	}
+	return st
+}
+
+// deltaEpochsLocked returns the dirty epochs bounding backup b's gap, or
+// nil when only a full transfer is safe (a fuzzy copy, a snapshot from an
+// earlier era, or no snapshot at all).
+func (g *Group) deltaEpochsLocked(b *backup) map[string]uint64 {
+	if b.fuzzy || b.gateEpochs == nil || b.gateGen != g.generation {
+		return nil
+	}
+	return b.gateEpochs
+}
+
+// gapFreeLocked reports whether backup b's stream gap is provably empty:
+// it left cleanly (nothing coalescing toward it), nothing has committed
+// since, no tracked page has been dirtied since, and the era is unchanged.
+// Such a replica rejoins by ring catch-up alone — zero transfer bytes.
+func (g *Group) gapFreeLocked(b *backup) bool {
+	if b.fuzzy || !b.cleanGate || b.gateEpochs == nil || b.gateGen != g.generation {
+		return false
+	}
+	if b.gateCommitted != g.store.Committed() {
+		return false
+	}
+	for _, r := range g.syncRegionsLocked() {
+		e, ok := b.gateEpochs[r.Name]
+		if !ok || r.Dirty == nil {
+			return false
+		}
+		if r.Dirty.BytesSince(e) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// startJoinLocked attaches backup b to the live stream and opens its
+// transfer plan: delta pages when epochs bound the gap, whole regions
+// otherwise. The copy is fuzzy from here on, so the replica is not
+// promotion-eligible until cut-over.
+func (g *Group) startJoinLocked(b *backup, epochs map[string]uint64) {
+	now := g.primary.Clock.Now()
+	j := &repairJob{b: b, lastPump: now}
+	for _, src := range g.syncRegionsLocked() {
+		dst := b.node.Space.ByName(src.Name)
+		if dst == nil || dst.Size() < src.Size() {
+			continue
+		}
+		rr := repairRegion{src: src, dst: dst, pageSize: 4096}
+		if src.Dirty != nil {
+			rr.pageSize = src.Dirty.PageSize()
+		}
+		if epochs != nil {
+			e, ok := epochs[src.Name]
+			if ok && src.Dirty != nil {
+				rr.epoch = e
+				j.planned += src.Dirty.BytesSince(e)
+				j.regions = append(j.regions, rr)
+				continue
+			}
+		}
+		j.planned += int64(src.Size())
+		j.regions = append(j.regions, rr)
+	}
+	b.fuzzy = true
+	b.setState(StateSyncing)
+	if g.redo != nil {
+		// The joiner consumes the redo ring from this instant: records
+		// before the attach are covered by the state transfer, records
+		// after it arrive in its (now open) ring copy.
+		b.appliedTotal = g.redo.prodTotal
+		b.appliedTxns = g.store.Committed()
+	}
+	b.job = j
+	g.jobs = append(g.jobs, j)
+}
+
+// abortJobLocked cancels backup b's in-flight join (pause or crash landed
+// mid-transfer). The copy stays fuzzy: only a fresh transfer can make the
+// replica consistent again.
+func (g *Group) abortJobLocked(b *backup) {
+	if b.job == nil {
+		return
+	}
+	for i, j := range g.jobs {
+		if j == b.job {
+			g.jobs = append(g.jobs[:i], g.jobs[i+1:]...)
+			break
+		}
+	}
+	b.job = nil
+	g.finishRepairIfIdleLocked()
+}
+
+// enrollFreshLocked builds a brand-new backup node with the group's region
+// layout. With wire set it attaches the node to every live replication
+// window on the spot — without touching the serving node's Memory Channel
+// state; the caller wires the whole fanout afresh otherwise (the primary
+// had no attachment left).
+func (g *Group) enrollFreshLocked(i int, wire bool) (*backup, error) {
+	specs, err := vista.Layout(g.store.Config())
+	if err != nil {
+		return nil, err
+	}
+	b := &backup{
+		node:   NewNode(backupName(g.generation, i), g.params, nil),
+		ackLag: ackStagger(g.params, i),
+	}
+	b.setState(StateGated) // gated until its join opens the stream
+	if _, err := vista.PlaceRegions(b.node.Space, g.backupSpecs(specs), regionBase); err != nil {
+		return nil, err
+	}
+	if g.redo != nil {
+		b.ring = sim.NewRing(g.params, g.redo.ringSize)
+		b.bRing = mem.NewRegion(regionRedoRing, g.redo.ringIO.Base, mem.NewDense(g.redo.ringSize))
+		b.bCtl = mem.NewRegion(regionRingCtl, g.redo.ctlIO.Base, mem.NewDense(64))
+		for _, r := range []*mem.Region{b.bRing, b.bCtl} {
+			if err := b.node.Space.Add(r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if wire {
+		for _, r := range g.primary.Space.Regions() {
+			if !r.WriteThrough && !r.IOOnly {
+				continue
+			}
+			d := b.node.Space.ByName(r.Name)
+			if d == nil {
+				return nil, fmt.Errorf("replication: joiner %q lacks region %q", b.node.Name, r.Name)
+			}
+			if err := g.primary.MC.AddTarget(r.Base, memchannel.Target{Dst: d, Down: &b.off}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b, nil
+}
+
+// pumpRepairLocked advances every in-flight join. With sync false (the
+// background mode), each job's transfer budget is the simulated time that
+// passed since its last pump, bought at the configured share of the SAN
+// bandwidth; with sync true one chunk ships unconditionally per call (the
+// synchronous Repair loop). charged bulk bytes occupy the link and are
+// accounted under mem.CatSync; the failover re-sync runs uncharged, like
+// the initial Load transfer.
+func (g *Group) pumpRepairLocked(sync, charged bool) {
+	if len(g.jobs) == 0 || g.crashed {
+		// A crashed primary's regions may hold a torn mid-transaction
+		// state: nothing ships until failover re-establishes a serving
+		// source (which drops these jobs).
+		return
+	}
+	now := g.primary.Clock.Now()
+	for i := 0; i < len(g.jobs); {
+		j := g.jobs[i]
+		g.pumpJobLocked(j, now, sync, charged)
+		if j.b.job != j { // cut over (slot cleared): drop the job
+			g.jobs = append(g.jobs[:i], g.jobs[i+1:]...)
+			continue
+		}
+		i++
+	}
+	g.finishRepairIfIdleLocked()
+}
+
+// pumpJobLocked advances one join: chunk copies while Syncing, ring drain
+// and cut-over once CatchingUp.
+func (g *Group) pumpJobLocked(j *repairJob, now sim.Time, sync, charged bool) {
+	b := j.b
+	if b.state == StateSyncing {
+		allow := int64(g.chunkBytes())
+		if !sync {
+			if dt := now - j.lastPump; dt > 0 {
+				j.credit += float64(dt) * g.repairRate()
+			}
+			if j.credit < float64(allow) {
+				allow = int64(j.credit)
+			}
+		}
+		j.lastPump = now
+		shipped := j.copyChunk(allow)
+		if shipped > 0 {
+			j.credit -= float64(shipped)
+			j.shipped += shipped
+			g.repair.BytesShipped += shipped
+			if charged && g.primary.MC != nil {
+				g.primary.MC.EmitBulk(now, int(shipped), mem.CatSync)
+			}
+		}
+		if j.copyDone() {
+			if g.redo != nil {
+				b.setState(StateCatchingUp)
+			} else {
+				// Passive cut-over: the live stream has covered every
+				// page written since the attach, so the copy already
+				// equals the primary modulo in-flight write buffers —
+				// exactly a normal backup's position.
+				g.cutOverLocked(b)
+			}
+		}
+	}
+	if b.state == StateCatchingUp {
+		c := g.redo
+		c.applyDelivered(b)
+		if c.prodTotal-b.appliedTotal <= cutoverLag {
+			// Brief cut-over: drain the pointer tail through the write
+			// buffers, apply the last records, and enroll.
+			g.primary.Acc.Fence()
+			c.applyDelivered(b)
+			g.cutOverLocked(b)
+		}
+	}
+}
+
+// cutOverLocked completes backup b's join: from this instant it is a full
+// member — it receives, acknowledges, counts toward quorum, and is
+// promotion-eligible again.
+func (g *Group) cutOverLocked(b *backup) {
+	b.job = nil
+	b.fuzzy = false
+	b.gateEpochs = nil
+	b.setState(StateInSync)
+}
+
+// finishRepairIfIdleLocked closes the repair summary once the last join
+// has cut over.
+func (g *Group) finishRepairIfIdleLocked() {
+	if !g.repair.Active {
+		return
+	}
+	g.repair.Joining = len(g.jobs)
+	if len(g.jobs) == 0 {
+		g.repair.Active = false
+		g.repair.Elapsed = sim.Dur(g.primary.Clock.Now() - g.repairStarted)
+	}
+}
+
+// copyChunk ships up to allow bytes of the job's remaining pages (whole
+// pages, copied atomically at the current commit boundary) and returns the
+// bytes shipped.
+func (j *repairJob) copyChunk(allow int64) int64 {
+	if allow <= 0 {
+		return 0
+	}
+	var shipped int64
+	for i := range j.regions {
+		rr := &j.regions[i]
+		for !rr.done && shipped < allow {
+			if rr.epoch > 0 {
+				next := rr.src.Dirty.NextDirty(rr.page, rr.epoch)
+				if next < 0 {
+					rr.done = true
+					break
+				}
+				rr.page = next
+			}
+			off := rr.page * rr.pageSize
+			if off >= rr.src.Size() {
+				rr.done = true
+				break
+			}
+			n := rr.pageSize
+			if off+n > rr.src.Size() {
+				n = rr.src.Size() - off
+			}
+			if cap(j.buf) < n {
+				j.buf = make([]byte, n)
+			}
+			buf := j.buf[:n]
+			rr.src.ReadRaw(off, buf)
+			rr.dst.WriteRaw(off, buf)
+			rr.page++
+			shipped += int64(n)
+		}
+		if !rr.done && rr.epoch == 0 && rr.page*rr.pageSize >= rr.src.Size() {
+			rr.done = true
+		}
+		if shipped >= allow {
+			break
+		}
+	}
+	return shipped
+}
+
+// copyDone reports whether every region's transfer has completed.
+func (j *repairJob) copyDone() bool {
+	for i := range j.regions {
+		rr := &j.regions[i]
+		if !rr.done {
+			if rr.epoch > 0 {
+				if rr.src.Dirty.NextDirty(rr.page, rr.epoch) >= 0 {
+					return false
+				}
+				rr.done = true
+			} else if rr.page*rr.pageSize < rr.src.Size() {
+				return false
+			} else {
+				rr.done = true
+			}
+		}
+	}
+	return true
+}
+
+// resyncSurvivorLocked brings a failover survivor behind the new primary
+// with a full transfer driven to completion on the spot. Takeover happens
+// with the cluster already down, so there is no stream to stay available
+// for; the transfer is raw and uncharged, like Load's initial copy, and
+// the survivor emerges InSync.
+func (g *Group) resyncSurvivorLocked(b *backup) {
+	j := &repairJob{b: b}
+	for _, src := range g.syncRegionsLocked() {
+		dst := b.node.Space.ByName(src.Name)
+		if dst == nil || dst.Size() < src.Size() {
+			// Regions with no counterpart on this backup (a promoted
+			// active backup's old redo ring) are not replicated.
+			continue
+		}
+		ps := 4096
+		if src.Dirty != nil {
+			ps = src.Dirty.PageSize()
+		}
+		j.regions = append(j.regions, repairRegion{src: src, dst: dst, pageSize: ps})
+	}
+	for !j.copyDone() {
+		j.copyChunk(int64(g.chunkBytes()))
+	}
+	b.job = nil
+	b.fuzzy = false
+	b.gateEpochs = nil
+	b.setState(StateInSync)
+}

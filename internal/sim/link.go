@@ -112,6 +112,39 @@ func (l *Link) Submit(now Time, size int, sync bool) (readyAt, deliveredAt Time)
 	return readyAt, done + Time(l.params.LinkLatency)
 }
 
+// SubmitBulk serializes a bulk background stream — the chunked state
+// transfer of an online repair — submitted at time now: full-size packets
+// back to back, occupying the link like any other traffic (which is what
+// makes concurrent transaction commits queue behind it — the availability
+// dip of a recovering cluster) but without stalling the submitting CPU,
+// which is the repair copier, not the transaction stream. Returns the
+// delivery time of the stream's last byte.
+func (l *Link) SubmitBulk(now Time, bytes int) Time {
+	if bytes <= 0 {
+		return now
+	}
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	full := bytes / l.params.MaxPacket
+	rem := bytes % l.params.MaxPacket
+	svc := Dur(full) * l.params.PacketTime(l.params.MaxPacket)
+	packets := int64(full)
+	l.stats.SizeHist[l.params.MaxPacket] += int64(full)
+	if rem > 0 {
+		svc += l.params.PacketTime(rem)
+		l.stats.SizeHist[rem]++
+		packets++
+	}
+	done := start + Time(svc)
+	l.busyUntil = done
+	l.stats.Packets += packets
+	l.stats.Bytes += int64(bytes)
+	l.stats.Busy += svc
+	return done + Time(l.params.LinkLatency)
+}
+
 // Drained returns the time at which every packet submitted so far has been
 // serialized onto the link.
 func (l *Link) Drained() Time { return l.busyUntil }

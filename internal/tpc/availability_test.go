@@ -1,0 +1,71 @@
+package tpc_test
+
+import (
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/tpc"
+)
+
+// TestRunAvailabilityTimeline runs a small crash→failover→repair timeline
+// and checks the shape of the measured curve: a healthy baseline, commits
+// flowing in every repair window (the non-blocking property at driver
+// level), a completed repair with real transfer bytes, and a restored
+// tail.
+func TestRunAvailabilityTimeline(t *testing.T) {
+	const db = 4 << 20
+	c, err := repro.New(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  db,
+		Backups: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := tpc.NewDebitCredit(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tpc.RunAvailability(c, w, tpc.AvailabilityOptions{
+		Window:          2 * time.Millisecond,
+		HealthyWindows:  2,
+		RestoredWindows: 2,
+		Warmup:          100,
+		Seed:            3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaseTPS <= 0 {
+		t.Fatalf("no healthy baseline: %+v", res)
+	}
+	if res.RepairBytes == 0 || res.RepairDur <= 0 {
+		t.Fatalf("repair did no measurable work: %+v", res)
+	}
+	if res.RestoredAt <= res.CrashAt {
+		t.Fatalf("restoration instant %v not after the crash %v", res.RestoredAt, res.CrashAt)
+	}
+	phases := map[string]int{}
+	lastPhase := ""
+	for _, win := range res.Windows {
+		phases[win.Phase]++
+		switch {
+		case win.Phase == "healthy" && lastPhase != "" && lastPhase != "healthy":
+			t.Fatalf("healthy window after %q", lastPhase)
+		case win.Phase == "restored" && lastPhase == "healthy":
+			t.Fatal("restored window with no repair phase between")
+		}
+		if win.Phase == "repair" && win.Txns == 0 {
+			t.Fatalf("1-safe repair window committed nothing: %+v", win)
+		}
+		lastPhase = win.Phase
+	}
+	if phases["healthy"] != 2 || phases["restored"] != 2 || phases["repair"] == 0 {
+		t.Fatalf("unexpected phase mix: %v", phases)
+	}
+	if res.MinTPS >= res.BaseTPS {
+		t.Fatalf("no availability dip: min %f >= base %f", res.MinTPS, res.BaseTPS)
+	}
+}

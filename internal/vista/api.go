@@ -169,6 +169,10 @@ func Layout(cfg Config) ([]RegionSpec, error) {
 	return specs, nil
 }
 
+// dirtyPage is the dirty-tracking granule: the delta of a resumed replica
+// is measured and shipped in pages of this size.
+const dirtyPage = 4096
+
 // pageStagger offsets successive region bases by an odd number of pages so
 // that regions do not artificially collide in page-indexed structures; real
 // virtual layouts are not megabyte-aligned across segments.
@@ -186,6 +190,11 @@ func PlaceRegions(space *mem.Space, specs []RegionSpec, base uint64) (uint64, er
 		}
 		r := mem.NewRegion(sp.Name, base+uint64(i+1)*pageStagger, b)
 		r.WriteThrough = sp.Replicated
+		// Every engine region is dirty-tracked so a briefly-partitioned
+		// replica can be delta-resynced: the tracker stamps written pages,
+		// and re-enrollment ships only the pages stamped after the
+		// replica's gating epoch (see replication's online repair).
+		r.Dirty = mem.NewDirtyLog(sp.Size, dirtyPage)
 		if err := space.Add(r); err != nil {
 			return 0, err
 		}

@@ -141,6 +141,18 @@ type Config struct {
 	// in an open batch before a later commit seals it. Zero means no
 	// window; see CommitBatch.
 	CommitWindow time.Duration
+	// RepairChunk bounds the bytes one background-repair pump ships
+	// during RepairAsync, so the state transfer interleaves with commits
+	// at a fine grain (0 = 64 KB).
+	RepairChunk int
+	// RepairShare is the fraction of the SAN bandwidth the online
+	// repair's background copier may consume while transactions run
+	// (0 = 0.5; must lie in (0, 1]).
+	RepairShare float64
+	// SettleGrace overrides the quiesce duration Settle derives from the
+	// platform constants (write-buffer drain age, posted-write window,
+	// link latency). Zero derives.
+	SettleGrace time.Duration
 }
 
 // Tx is one open transaction: the paper's RVM-style API (Section 2.1).
@@ -161,15 +173,21 @@ type Tx interface {
 	Abort() error
 }
 
-// Traffic is the SAN byte breakdown of paper Tables 2, 5 and 7.
+// Traffic is the SAN byte breakdown of paper Tables 2, 5 and 7, plus the
+// state-transfer traffic of an online repair.
 type Traffic struct {
 	ModifiedBytes int64
 	UndoBytes     int64
 	MetaBytes     int64
+	// SyncBytes is the chunked state-transfer payload an online repair
+	// shipped (RepairAsync); zero in steady state.
+	SyncBytes int64
 }
 
 // Total returns the total bytes shipped to the backup.
-func (t Traffic) Total() int64 { return t.ModifiedBytes + t.UndoBytes + t.MetaBytes }
+func (t Traffic) Total() int64 {
+	return t.ModifiedBytes + t.UndoBytes + t.MetaBytes + t.SyncBytes
+}
 
 // Cluster is one deployment: a primary transaction server and, unless
 // standalone, a backup node fed through the modelled SAN.
@@ -208,6 +226,9 @@ var (
 	// in the latter case the transaction is committed locally but its
 	// acknowledgement discipline was not met.
 	ErrSafetyUnavailable = replication.ErrSafetyUnavailable
+	// ErrNotRepairable is returned by Repair and RepairAsync when every
+	// configured replica is already enrolled and in sync.
+	ErrNotRepairable = errors.New("repro: nothing to repair")
 )
 
 // New builds a cluster per the configuration.
@@ -229,6 +250,9 @@ func New(cfg Config) (*Cluster, error) {
 		Safety:       replication.Safety(cfg.Safety),
 		CommitBatch:  cfg.CommitBatch,
 		CommitWindow: sim.Dur(cfg.CommitWindow.Nanoseconds()) * sim.Nanosecond,
+		RepairChunk:  cfg.RepairChunk,
+		RepairShare:  cfg.RepairShare,
+		SettleGrace:  sim.Dur(cfg.SettleGrace.Nanoseconds()) * sim.Nanosecond,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
@@ -269,12 +293,15 @@ func (c *Cluster) Committed() uint64 { return c.group().Committed() }
 // pending.
 func (c *Cluster) Flush() error { return c.group().Flush() }
 
-// Settle lets the cluster sit idle for a few simulated microseconds so any
-// open group-commit batch flushes and pending write buffers drain to the
-// backup; a crash after Settle loses nothing. Without it, a crash
-// immediately after a commit may lose that commit — the paper's 1-safe
-// window.
-func (c *Cluster) Settle() { c.group().Settle(10 * sim.Microsecond) }
+// Settle lets the cluster sit idle long enough for everything in flight to
+// drain: any open group-commit batch flushes, pending write buffers reach
+// every reachable backup, and an in-flight online repair keeps copying
+// through the quiet period. The quiesce duration is derived from the
+// platform constants (write-buffer drain age, posted-write window, link
+// latency) unless Config.SettleGrace overrides it. A crash after Settle
+// loses nothing; without it, a crash immediately after a commit may lose
+// that commit — the paper's 1-safe window.
+func (c *Cluster) Settle() { c.group().Settle(c.group().QuiesceGrace()) }
 
 // CrashPrimary kills the primary mid-flight: doubled stores still sitting
 // in its write buffers are lost (the paper's 1-safe vulnerability window);
@@ -295,17 +322,75 @@ func (c *Cluster) Failover() error {
 	return nil
 }
 
-// Repair restores redundancy after Failover: fresh backup nodes enroll
-// behind the surviving server (initial full-state transfer included) until
-// the cluster is back at its configured replication degree. The repaired
-// deployment replicates passively; CrashPrimary and Failover work again
-// afterwards.
+// Repair restores redundancy and blocks until the cluster is back at its
+// configured replication degree: fresh backup nodes (and resumed,
+// partitioned ones) enroll behind the serving server through the same
+// incremental transfer RepairAsync uses, driven to completion before the
+// call returns. Concurrent transactions keep committing while it runs.
 func (c *Cluster) Repair() error {
 	// Repair rewires the group in place and returns the same pointer.
 	if _, err := c.group().Repair(); err != nil {
+		if errors.Is(err, replication.ErrNotRepairable) {
+			return ErrNotRepairable
+		}
 		return fmt.Errorf("repro: repair: %w", err)
 	}
 	return nil
+}
+
+// RepairAsync starts an online repair and returns immediately: resumed
+// (partitioned) backups re-enroll by shipping only the pages they missed,
+// crashed backups are replaced by fresh nodes receiving a full copy, and
+// the cluster heals back to its configured replication degree — all while
+// transactions keep committing. The chunked state transfer shares the SAN
+// with the live commit stream (throughput dips while it runs — the
+// availability timeline the paper measures) and advances with the commit
+// stream's simulated time; Settle lets it stream through idle periods.
+// Watch RepairProgress for completion; a joining backup starts counting
+// toward quorum at its cut-over.
+//
+// Returns ErrNotRepairable when there is nothing to repair.
+func (c *Cluster) RepairAsync() error {
+	if err := c.group().RepairAsync(); err != nil {
+		if errors.Is(err, replication.ErrNotRepairable) {
+			return ErrNotRepairable
+		}
+		return fmt.Errorf("repro: repair: %w", err)
+	}
+	return nil
+}
+
+// RepairProgress reports the state of the current (or most recent) online
+// repair.
+type RepairProgress struct {
+	// Active is true while a repair is in flight.
+	Active bool
+	// Joining counts the backups still mid-join.
+	Joining int
+	// Phase is "idle", "syncing" or "catching-up".
+	Phase string
+	// BytesShipped and BytesPlanned describe the state transfer: pages
+	// shipped so far versus the transfer plan (delta pages for a resumed
+	// backup, whole regions for a fresh one).
+	BytesShipped int64
+	BytesPlanned int64
+	// Elapsed is the simulated time the repair has been running (final
+	// value once Active goes false).
+	Elapsed time.Duration
+}
+
+// RepairProgress returns the progress of the current or most recent
+// RepairAsync/Repair.
+func (c *Cluster) RepairProgress() RepairProgress {
+	st := c.group().RepairStatus()
+	return RepairProgress{
+		Active:       st.Active,
+		Joining:      st.Joining,
+		Phase:        st.Phase,
+		BytesShipped: st.BytesShipped,
+		BytesPlanned: st.BytesPlanned,
+		Elapsed:      time.Duration(st.Elapsed.Nanoseconds()),
+	}
 }
 
 // Backups returns the current number of backup nodes.
@@ -316,12 +401,14 @@ func (c *Cluster) Backups() int { return c.group().Backups() }
 // primary plus any minority of the backups.
 func (c *Cluster) CrashBackup(i int) error { return c.group().CrashBackup(i) }
 
-// PauseBackup partitions backup i away from the cluster; it rejoins (via a
-// full re-sync) at the next Failover or Repair.
+// PauseBackup partitions backup i away from the cluster; after
+// ResumeBackup it rejoins through RepairAsync/Repair, which ships only the
+// pages it missed (or nothing at all when nothing committed while it was
+// away).
 func (c *Cluster) PauseBackup(i int) error { return c.group().PauseBackup(i) }
 
-// ResumeBackup reconnects a paused backup (still stale until the next
-// Failover or Repair re-syncs it).
+// ResumeBackup reconnects a paused backup. It stays gated — excluded from
+// acknowledgement — until RepairAsync or Repair re-enrolls it.
 func (c *Cluster) ResumeBackup(i int) error { return c.group().ResumeBackup(i) }
 
 // Elapsed returns the simulated time consumed on the primary since the
@@ -342,6 +429,7 @@ func (c *Cluster) NetTraffic() Traffic {
 		ModifiedBytes: n[mem.CatModified],
 		UndoBytes:     n[mem.CatUndo],
 		MetaBytes:     n[mem.CatMeta],
+		SyncBytes:     n[mem.CatSync],
 	}
 }
 

@@ -411,12 +411,34 @@ func (s *ShardedCluster) Failover(i int) error {
 	return s.shards[i].Failover()
 }
 
-// Repair restores shard i to its configured replication degree.
+// Repair restores shard i to its configured replication degree, blocking
+// until the transfer completes (the other shards keep serving throughout;
+// so does shard i's own commit stream, which interleaves with the chunked
+// transfer).
 func (s *ShardedCluster) Repair(i int) error {
 	if i < 0 || i >= len(s.shards) {
 		return ErrNoSuchShard
 	}
 	return s.shards[i].Repair()
+}
+
+// RepairAsync starts an online repair of shard i and returns immediately:
+// the state transfer runs in the background of the shard's commit stream.
+// Watch RepairProgress(i) for completion.
+func (s *ShardedCluster) RepairAsync(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return ErrNoSuchShard
+	}
+	return s.shards[i].RepairAsync()
+}
+
+// RepairProgress reports shard i's current (or most recent) online repair;
+// the zero value is returned for an out-of-range index.
+func (s *ShardedCluster) RepairProgress(i int) RepairProgress {
+	if i < 0 || i >= len(s.shards) {
+		return RepairProgress{}
+	}
+	return s.shards[i].RepairProgress()
 }
 
 // Committed returns the committed-transaction total across all shards.
