@@ -36,7 +36,9 @@ test-race:
 # in BENCH_parallel.json (parsed + raw benchstat-compatible lines; compare
 # runs with: jq -r '.raw[]' BENCH_parallel.json | benchstat old.txt -).
 # The availability run lands separately in BENCH_availability.json (repair
-# duration/bytes, min-window tps, time-to-restored-quorum).
+# duration/bytes, min-window tps, time-to-restored-quorum), and the
+# unattended chaos run in BENCH_chaos.json (mean/max MTTD, mean MTTR,
+# worst window, faults handled).
 # The runs go through temp files, not pipes, so a failing benchmark
 # fails the target instead of silently writing an empty JSON.
 bench:
@@ -47,6 +49,9 @@ bench:
 	$(GO) test -bench 'Availability' -benchtime 1x -run XXX -count 1 . > bench.avail.tmp || { cat bench.avail.tmp; rm -f bench.avail.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -o BENCH_availability.json < bench.avail.tmp
 	@rm -f bench.avail.tmp
+	$(GO) test -bench 'Chaos' -benchtime 1x -run XXX -count 1 . > bench.chaos.tmp || { cat bench.chaos.tmp; rm -f bench.chaos.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_chaos.json < bench.chaos.tmp
+	@rm -f bench.chaos.tmp
 
 bench-all:
 	$(GO) test -bench . -benchtime 2000x -run XXX ./...

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/harness"
@@ -304,6 +305,48 @@ func BenchmarkAvailability(b *testing.B) {
 	b.ReportMetric(float64(res.RepairBytes), "repair-bytes")
 	b.ReportMetric(res.MinTPS, "min-window-tps")
 	b.ReportMetric((res.RestoredAt-res.CrashAt).Seconds()*1e3, "sim-ms-to-restored")
+}
+
+// BenchmarkChaos runs the seeded unattended fault schedule against the
+// autopilot and reports the chaos availability metrics: mean/max detection
+// latency (MTTD), mean time-to-restored (MTTR), the worst throughput
+// window, and the committed total. `make bench` parses these into
+// BENCH_chaos.json.
+func BenchmarkChaos(b *testing.B) {
+	const db = 8 << 20
+	var res tpc.ChaosResult
+	for b.Loop() {
+		c, err := repro.New(repro.Config{
+			Version: repro.V3InlineLog,
+			Backup:  repro.ActiveBackup,
+			DBSize:  db,
+			Backups: 3,
+			Autopilot: repro.AutopilotConfig{
+				HeartbeatPeriod: 50 * time.Microsecond,
+				SuspectTimeout:  200 * time.Microsecond,
+				AutoFailover:    true,
+				AutoRepair:      true,
+				Spares:          8,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := tpc.NewDebitCredit(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = tpc.RunChaos(c, w, tpc.ChaosOptions{Warmup: 300, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanMTTD.Seconds()*1e6, "sim-us-mttd")
+	b.ReportMetric(res.MaxMTTD.Seconds()*1e6, "sim-us-mttd-max")
+	b.ReportMetric(res.MeanMTTR.Seconds()*1e3, "sim-ms-mttr")
+	b.ReportMetric(res.MinTPS, "min-window-tps")
+	b.ReportMetric(float64(len(res.Events)), "faults-handled")
+	b.ReportMetric(float64(res.Committed), "committed")
 }
 
 // BenchmarkFailover measures takeover cost: crash after a burst of

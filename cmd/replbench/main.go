@@ -5,8 +5,8 @@
 //
 // Usage:
 //
-//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling|parallel-shards|group-commit|availability]
-//	          [-repair] [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
+//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling|parallel-shards|group-commit|availability|chaos]
+//	          [-repair] [-chaos] [-chaos-events N] [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
 //	          [-backups K] [-shards N] [-clients C] [-commit-batch B]
 //	          [-safety 1safe|2safe|quorum] [-full] [-csv]
 //
@@ -20,6 +20,7 @@
 //	replbench -experiment parallel-shards -shards 4 -clients 4  # wall-clock scaling
 //	replbench -experiment group-commit -commit-batch 32         # batched commit sweep
 //	replbench -repair                   # crash→failover→online-repair availability timeline
+//	replbench -chaos -seed 7            # seeded unattended fault schedule (MTTD/MTTR per event)
 package main
 
 import (
@@ -51,6 +52,8 @@ func run() int {
 		batch      = flag.Int("commit-batch", 0, "extra group-commit batch size for the group-commit experiment")
 		safety     = flag.String("safety", "1safe", "commit discipline for shard-scaling (1safe, 2safe, quorum)")
 		repair     = flag.Bool("repair", false, "run the crash→failover→online-repair availability timeline (windowed txn/s + repair duration/bytes)")
+		chaos      = flag.Bool("chaos", false, "run the unattended chaos schedule against the autopilot (per-event MTTD/failover/repair/MTTR latencies; seeded by -seed)")
+		chaosN     = flag.Int("chaos-events", 0, "fault injections the -chaos schedule lands (0 = default 4)")
 		full       = flag.Bool("full", false, "paper-scale transaction counts (slow)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet      = flag.Bool("q", false, "suppress progress output")
@@ -88,8 +91,11 @@ func run() int {
 		cfg.Warmup = *warmup
 	}
 
+	cfg.ChaosEvents = *chaosN
+
 	var exps []harness.Experiment
-	if *repair {
+	switch {
+	case *repair:
 		// -repair runs the availability timeline alone.
 		e, ok := harness.Lookup("availability")
 		if !ok {
@@ -97,7 +103,17 @@ func run() int {
 			return 2
 		}
 		exps = append(exps, e)
-	} else {
+	case *chaos:
+		// -chaos runs the seeded unattended fault schedule alone; the
+		// rendered table carries the per-event detection/failover/repair
+		// latencies.
+		e, ok := harness.Lookup("chaos")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "replbench: chaos experiment not registered")
+			return 2
+		}
+		exps = append(exps, e)
+	default:
 		exps = selectExperiments(*experiment)
 		if exps == nil {
 			return 2

@@ -72,7 +72,7 @@ func TestShardScalingShape(t *testing.T) {
 
 func TestExtensionsRegistered(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 2 || exts[0].ID != "repl-degree" || exts[1].ID != "shard-scaling" {
+	if len(exts) != 3 || exts[0].ID != "repl-degree" || exts[1].ID != "shard-scaling" || exts[2].ID != "chaos" {
 		t.Fatalf("Extensions() = %v", exts)
 	}
 }

@@ -100,8 +100,9 @@ var ablationExhibits = []string{"ablation-wbuf", "ablation-packet",
 	"ablation-cpu", "ablation-san", "ablation-2safe"}
 
 // extensionExhibits lists the capability experiments that go beyond the
-// paper's two-node deployments: N-replica groups and the sharded cluster.
-var extensionExhibits = []string{"repl-degree", "shard-scaling"}
+// paper's two-node deployments: N-replica groups, the sharded cluster, and
+// the autopilot's unattended chaos run.
+var extensionExhibits = []string{"repl-degree", "shard-scaling", "chaos"}
 
 // All returns the paper's experiments in exhibit order.
 func All() []Experiment { return byIDs(paperExhibits) }
@@ -155,6 +156,9 @@ type RunConfig struct {
 	// CommitBatch is the group-commit batch size for the group-commit
 	// experiment cell (0 = its default sweep).
 	CommitBatch int
+	// ChaosEvents is the number of fault injections the chaos experiment
+	// schedules (0 = its default of 4); the schedule is seeded by Seed.
+	ChaosEvents int
 }
 
 // DefaultRunConfig returns the scaled-down default configuration.

@@ -21,10 +21,16 @@ const (
 	// committing. Kept separate from the paper's three categories so the
 	// recovery cost is visible next to the steady-state numbers.
 	CatSync
+	// CatControl is control-plane traffic: the periodic heartbeats (and
+	// their acknowledgements) the failure-detection subsystem exchanges
+	// over the SAN. Never entered into write buffers or group-commit
+	// batches — it occupies the link next to redo and sync bytes but is
+	// invisible to the commit pipeline's accounting.
+	CatControl
 
 	// NumCategories is the number of valid categories plus one, for
 	// dense per-category arrays indexed by Category.
-	NumCategories = 5
+	NumCategories = 6
 )
 
 // String returns the table label used in the paper.
@@ -38,10 +44,12 @@ func (c Category) String() string {
 		return "Meta-data"
 	case CatSync:
 		return "Sync data"
+	case CatControl:
+		return "Control data"
 	default:
 		return "unknown"
 	}
 }
 
 // Valid reports whether c is one of the defined categories.
-func (c Category) Valid() bool { return c >= CatModified && c <= CatSync }
+func (c Category) Valid() bool { return c >= CatModified && c <= CatControl }

@@ -202,6 +202,16 @@ func (n *Node) EmitBulk(now sim.Time, bytes int, cat mem.Category) sim.Time {
 	return at
 }
 
+// AccountControl tallies control-plane bytes that travel the reverse
+// direction (heartbeat acknowledgements crossing back from the replicas).
+// The model serializes only this node's transmit direction, so reverse
+// traffic is accounted under mem.CatControl without occupying the link.
+func (n *Node) AccountControl(bytes int) {
+	if bytes > 0 {
+		n.catBytes[mem.CatControl].Add(int64(bytes))
+	}
+}
+
 // PendingBufs reports how many write buffers still hold undelivered bytes
 // (the 1-safe window); zero means everything stored so far is on the wire.
 func (n *Node) PendingBufs() int { return len(n.bufs) }
@@ -498,8 +508,8 @@ func (n *Node) RingPublish(r *sim.Ring, bytes int) {
 // still coalescing in a buffer are counted once, like on the real wire.
 // Safe for concurrent use with the emitting stream.
 func (n *Node) CategoryBytes() map[mem.Category]int64 {
-	out := make(map[mem.Category]int64, 4)
-	for c := mem.CatModified; c <= mem.CatSync; c++ {
+	out := make(map[mem.Category]int64, 5)
+	for c := mem.CatModified; c <= mem.CatControl; c++ {
 		out[c] = n.catBytes[c].Load()
 	}
 	return out

@@ -361,7 +361,7 @@ func (c *redoChannel) flush() error {
 		acc.Fence()
 		acks := g.ackBuf[:0]
 		for _, b := range g.backups {
-			if b.acking() {
+			if g.ackEligibleLocked(b) {
 				acks = append(acks, b.ring.ConsumerDone()+sim.Time(g.params.LinkLatency)+sim.Time(b.ackLag))
 			}
 		}

@@ -7,11 +7,13 @@ import (
 	"repro/internal/vista"
 )
 
-// ackingCount returns how many backups participate in acknowledgement.
+// ackingCount returns how many backups participate in acknowledgement:
+// fully enrolled members carrying the current membership epoch (stale
+// epochs are fenced; see bumpEpochLocked).
 func (g *Group) ackingCount() int {
 	n := 0
 	for _, b := range g.backups {
-		if b.acking() {
+		if g.ackEligibleLocked(b) {
 			n++
 		}
 	}
@@ -31,9 +33,10 @@ func (g *Group) safetyAvailable() error {
 		// 2-safe means every enrolled live backup: a paused (partitioned)
 		// backup blocks a real 2-safe system, which here surfaces as an
 		// error. A mid-join replica is not yet a member — it acquires its
-		// 2-safe obligation at cut-over.
+		// 2-safe obligation at cut-over. A member fenced on a stale epoch
+		// cannot vouch either, so it too blocks.
 		for _, b := range g.backups {
-			if b.alive() && !b.joining() && !b.acking() {
+			if b.alive() && !b.joining() && !g.ackEligibleLocked(b) {
 				return ErrSafetyUnavailable
 			}
 		}
@@ -61,6 +64,12 @@ func (g *Group) Begin() (TxHandle, error) {
 	defer g.mu.Unlock()
 	for g.curHandle != nil && !g.crashed {
 		g.txFree.Wait()
+	}
+	// The autopilot's admission gate: pump the failure loop, perform the
+	// unattended takeover of a dead or deposed primary, and fence a
+	// deposed primary whose lease ran out. A no-op when autopilot is off.
+	if err := g.admitLocked(); err != nil {
+		return nil, err
 	}
 	if g.crashed {
 		return nil, ErrCrashed
@@ -158,6 +167,7 @@ func (t *plainTx) Commit() error {
 	g.finishTxLocked(t)
 	g.freePlain = t
 	g.pumpRepairLocked(false, true)
+	g.autopilotPumpLocked()
 	return err
 }
 
@@ -283,6 +293,10 @@ func (g *Group) joinBatchLocked() error {
 		err = g.flushLocked()
 	}
 	g.pumpRepairLocked(false, true)
+	// Control traffic is pumped here too, but it bypasses the write
+	// buffers entirely: heartbeats never join a batch and never perturb
+	// the batch-sealing accounting above.
+	g.autopilotPumpLocked()
 	return err
 }
 
@@ -325,7 +339,7 @@ func (g *Group) flushPassiveLocked() error {
 	delivered := g.primary.MC.LastDelivered()
 	acks := g.ackBuf[:0]
 	for _, b := range g.backups {
-		if b.acking() {
+		if g.ackEligibleLocked(b) {
 			acks = append(acks, delivered+sim.Time(b.ackLag)+sim.Time(g.params.LinkLatency))
 		}
 	}

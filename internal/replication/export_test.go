@@ -1,0 +1,12 @@
+package replication
+
+// SetBackupEpochForTest regresses backup i onto an arbitrary membership
+// epoch — white-box access for the epoch-fencing tests, which need a
+// replica that "missed" a membership change without rebuilding one.
+func (g *Group) SetBackupEpochForTest(i, epoch int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if i >= 0 && i < len(g.backups) {
+		g.backups[i].epoch = epoch
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/detect"
 	"repro/internal/mem"
 	"repro/internal/memchannel"
 	"repro/internal/sim"
@@ -61,6 +62,14 @@ type Group struct {
 	crashed    bool
 	takeover   *vista.Store
 	generation int // bumped at every completed failover
+	// epoch is the membership epoch: bumped at every failover and
+	// enrollment, stamped onto fully enrolled members, and used to fence
+	// acknowledgements from replicas that missed a membership change.
+	epoch int
+
+	// autop is the unattended failure loop (heartbeats, lease, detector,
+	// self-healing); nil unless Config.Autopilot enables it.
+	autop *autopilot
 
 	// Online-repair state: the in-flight joins and the aggregate summary
 	// RepairStatus reports (see recovery.go).
@@ -131,6 +140,23 @@ func NewGroup(cfg Config) (*Group, error) {
 	if cfg.RepairShare < 0 || cfg.RepairShare > 1 {
 		return nil, fmt.Errorf("replication: repair share %v outside (0,1]", cfg.RepairShare)
 	}
+	if cfg.Autopilot.HeartbeatPeriod < 0 {
+		return nil, fmt.Errorf("replication: negative heartbeat period %v", cfg.Autopilot.HeartbeatPeriod)
+	}
+	if cfg.Autopilot.Enabled() {
+		if cfg.Mode == Standalone {
+			return nil, ErrAutopilotNeedsPeers
+		}
+		if cfg.Autopilot.SuspectTimeout < 0 {
+			return nil, fmt.Errorf("replication: negative suspect timeout %v", cfg.Autopilot.SuspectTimeout)
+		}
+		if cfg.Autopilot.SuspectTimeout == 0 {
+			cfg.Autopilot.SuspectTimeout = 4 * cfg.Autopilot.HeartbeatPeriod
+		}
+		if cfg.Autopilot.Spares < 0 {
+			return nil, fmt.Errorf("replication: negative spare count %d", cfg.Autopilot.Spares)
+		}
+	}
 	switch cfg.Mode {
 	case Standalone:
 		cfg.Backups = 0
@@ -172,6 +198,12 @@ func NewGroup(cfg Config) (*Group, error) {
 	}
 	g.store = store
 	g.servingStore.Store(store)
+	if cfg.Autopilot.Enabled() {
+		g.autop = newAutopilot(cfg.Autopilot)
+		now := g.primary.Clock.Now()
+		g.autop.lease = detect.NewLease(cfg.Autopilot.detectConfig().DeadAfter(), now)
+		g.autop.rewatch(g, now)
+	}
 	// Initialization traffic (heap formatting and the like) is not part
 	// of any measured interval.
 	g.resetMeasurementLocked()
@@ -458,6 +490,7 @@ func (g *Group) Settle(d sim.Dur) {
 	}
 	if !g.crashed {
 		g.pumpRepairLocked(false, true)
+		g.autopilotPumpLocked()
 	}
 }
 
@@ -475,17 +508,14 @@ func (g *Group) Crash() error {
 	if g.crashed {
 		return ErrCrashed
 	}
-	g.crashed = true
-	g.batchCount = 0
-	g.batchStart = 0
-	// The open transaction (if any) died with the node: free the slot so
-	// post-failover Begins are not blocked by a ghost.
-	g.curHandle = nil
-	g.txFree.Broadcast()
-	g.store.MarkCrashed()
-	if g.primary.MC != nil {
-		g.primary.MC.Crash()
+	// Heartbeat rounds due before the failure instant were genuinely
+	// emitted by the then-alive node; exchange them first, then stamp the
+	// fault's ground-truth instant for the MTTD accounting.
+	g.autopilotPumpLocked()
+	if g.autop != nil {
+		g.autop.crashedAt = g.primary.Clock.Now()
 	}
+	g.crashPrimaryLocked()
 	return nil
 }
 
@@ -505,6 +535,10 @@ func (g *Group) Crashed() bool {
 func (g *Group) Failover() (*vista.Store, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.failoverLocked()
+}
+
+func (g *Group) failoverLocked() (*vista.Store, error) {
 	switch {
 	case !g.crashed:
 		return nil, ErrNotCrashed
@@ -576,6 +610,16 @@ func (g *Group) Failover() (*vista.Store, error) {
 	}
 	if err := g.wireSurvivors(survivors); err != nil {
 		return nil, err
+	}
+	// Era transition complete: a fresh membership epoch fences any
+	// acknowledgement stamped by the old era, and the failure loop (when
+	// enabled) rebuilds its watch set around the promoted primary.
+	g.bumpEpochLocked()
+	if a := g.autop; a != nil {
+		now := g.primary.Clock.Now()
+		a.partitioned = false
+		a.rewatch(g, now)
+		a.lease.Renew(now)
 	}
 	// The serving clock changed machines: re-pin the measured interval so
 	// Elapsed never mixes the old primary's timeline with the new one.

@@ -77,6 +77,11 @@ type backup struct {
 	// backup relative to backup 0 (commodity clusters are not uniform;
 	// the stagger is what separates quorum from 2-safe commit latency).
 	ackLag sim.Dur
+	// epoch is the membership epoch the replica last enrolled under.
+	// Acknowledgements only count while it matches the group's epoch; a
+	// replica that missed a membership change is fenced until it
+	// re-enrolls (see Group.bumpEpochLocked).
+	epoch int
 
 	// Gating snapshot, captured when the backup leaves the live stream:
 	// the dirty-log epochs of the primary's recoverable regions, the
@@ -193,9 +198,16 @@ func (g *Group) PauseBackup(i int) error {
 	if err != nil {
 		return err
 	}
+	g.pauseBackupLocked(b)
+	return nil
+}
+
+// pauseBackupLocked partitions one backup away from the SAN (shared by
+// PauseBackup and PartitionPrimary, which severs every backup at once).
+func (g *Group) pauseBackupLocked(b *backup) {
 	switch b.state {
 	case StateCrashed, StatePaused:
-		return nil
+		return
 	case StateInSync:
 		if g.redo != nil {
 			g.redo.applyDelivered(b) // capture the delivered prefix first
@@ -206,8 +218,10 @@ func (g *Group) PauseBackup(i int) error {
 	case StateGated:
 		// Keep the earlier snapshot: the gap began at the original pause.
 	}
+	if g.autop != nil {
+		g.autop.noteFault(b.node.Name, g.primary.Clock.Now())
+	}
 	b.setState(StatePaused)
-	return nil
 }
 
 // ResumeBackup reconnects a paused backup. It stays Gated — applying a
@@ -242,6 +256,9 @@ func (g *Group) CrashBackup(i int) error {
 	}
 	if b.joining() {
 		g.abortJobLocked(b)
+	}
+	if g.autop != nil {
+		g.autop.noteFault(b.node.Name, g.primary.Clock.Now())
 	}
 	b.setState(StateCrashed)
 	return nil

@@ -136,6 +136,11 @@ type Config struct {
 	// computes from the platform constants (drain age, posted window,
 	// link latency). Zero derives.
 	SettleGrace sim.Dur
+	// Autopilot switches on the unattended failure-detection/response
+	// subsystem (heartbeats, lease-guarded auto-failover, self-healing
+	// repair). The zero value disables it, leaving every fault to the
+	// manual Crash/Failover/Repair calls exactly as before.
+	Autopilot AutopilotConfig
 }
 
 // TxHandle is the transactional surface shared by all modes; vista.Tx
@@ -153,13 +158,16 @@ var _ TxHandle = (*vista.Tx)(nil)
 
 // Group state errors.
 var (
-	ErrCrashed           = errors.New("replication: primary has crashed")
-	ErrNotCrashed        = errors.New("replication: primary still alive")
-	ErrNoBackup          = errors.New("replication: no surviving backup")
-	ErrActiveNeedV3      = errors.New("replication: active backup requires the Version 3 local scheme")
-	ErrSafetyNeedsBackup = errors.New("replication: 2-safe and quorum commit require a replicated mode")
-	ErrSafetyUnavailable = errors.New("replication: not enough reachable backups for the configured safety level")
-	ErrNoSuchBackup      = errors.New("replication: no such backup")
+	ErrCrashed             = errors.New("replication: primary has crashed")
+	ErrNotCrashed          = errors.New("replication: primary still alive")
+	ErrNoBackup            = errors.New("replication: no surviving backup")
+	ErrActiveNeedV3        = errors.New("replication: active backup requires the Version 3 local scheme")
+	ErrSafetyNeedsBackup   = errors.New("replication: 2-safe and quorum commit require a replicated mode")
+	ErrSafetyUnavailable   = errors.New("replication: not enough reachable backups for the configured safety level")
+	ErrNoSuchBackup        = errors.New("replication: no such backup")
+	ErrAutopilotNeedsPeers = errors.New("replication: autopilot requires a replicated mode")
+	ErrLeaseExpired        = errors.New("replication: primary lease expired; deposed primary refuses new commits")
+	ErrPartitioned         = errors.New("replication: primary is partitioned from the SAN")
 )
 
 // Pair is the historical name for a Group: the paper evaluates exactly one

@@ -160,6 +160,11 @@ func (g *Group) repairAsyncLocked() error {
 	if g.crashed {
 		return ErrCrashed
 	}
+	if g.autop != nil && g.autop.partitioned {
+		// A partitioned primary cannot source a transfer: nothing it ships
+		// reaches the far side of the cut.
+		return ErrPartitioned
+	}
 	if g.cfg.Mode == Standalone {
 		return ErrNotRepairable
 	}
@@ -199,9 +204,17 @@ func (g *Group) repairAsyncLocked() error {
 	wired := g.primary.MC != nil
 	var fresh []*backup
 	for len(g.backups) < g.cfg.Backups {
+		if g.autop != nil && g.autop.spares <= 0 {
+			// The spare pool is dry: the group keeps serving degraded
+			// until an operator supplies hardware.
+			break
+		}
 		b, err := g.enrollFreshLocked(len(g.backups), wired)
 		if err != nil {
 			return err
+		}
+		if g.autop != nil {
+			g.autop.spares--
 		}
 		g.backups = append(g.backups, b)
 		fresh = append(fresh, b)
@@ -220,9 +233,15 @@ func (g *Group) repairAsyncLocked() error {
 	}
 	if started {
 		// Membership changed: restore the deterministic per-index ack
-		// stagger, exactly as a full rewire would assign it.
+		// stagger, exactly as a full rewire would assign it, bump the
+		// membership epoch (fencing acks from the old membership), and
+		// re-anchor the failure detector's watch set.
 		for i, b := range g.backups {
 			b.ackLag = ackStagger(g.params, i)
+		}
+		g.bumpEpochLocked()
+		if g.autop != nil {
+			g.autop.rewatch(g, g.primary.Clock.Now())
 		}
 	}
 	if !started {
@@ -500,7 +519,12 @@ func (g *Group) pumpJobLocked(j *repairJob, now sim.Time, sync, charged bool) {
 	if b.state == StateCatchingUp {
 		c := g.redo
 		c.applyDelivered(b)
-		if c.prodTotal-b.appliedTotal <= cutoverLag {
+		// Cut-over requires the group-commit batch to be closed: records
+		// in an open batch were produced before the joiner acked, so they
+		// were never reserved on its ring — enrolling now would let the
+		// eventual flush publish unreserved bytes to it. With group commit
+		// off the batch is always closed and this is the plain lag check.
+		if c.prodTotal == c.pubTotal && c.prodTotal-b.appliedTotal <= cutoverLag {
 			// Brief cut-over: drain the pointer tail through the write
 			// buffers, apply the last records, and enroll.
 			g.primary.Acc.Fence()
@@ -517,6 +541,7 @@ func (g *Group) cutOverLocked(b *backup) {
 	b.job = nil
 	b.fuzzy = false
 	b.gateEpochs = nil
+	b.epoch = g.epoch // full member of the current era from this instant
 	b.setState(StateInSync)
 }
 
@@ -530,7 +555,29 @@ func (g *Group) finishRepairIfIdleLocked() {
 	if len(g.jobs) == 0 {
 		g.repair.Active = false
 		g.repair.Elapsed = sim.Dur(g.primary.Clock.Now() - g.repairStarted)
+		if g.autop != nil && g.restoredLocked() {
+			// Genuinely back at full redundancy — not merely out of jobs
+			// (an aborted join also empties the list): stamp the open
+			// fault events' MTTR.
+			g.autop.closeOpen(g.primary.Clock.Now())
+		}
 	}
+}
+
+// restoredLocked reports whether the group is back at full redundancy:
+// every configured replica enrolled and acknowledging. This — not an empty
+// job list — is what closes a fault event's MTTR: a join aborted by the
+// next fault leaves the group degraded with no jobs in flight.
+func (g *Group) restoredLocked() bool {
+	if g.crashed || len(g.backups) != g.cfg.Backups {
+		return false
+	}
+	for _, b := range g.backups {
+		if b.state != StateInSync {
+			return false
+		}
+	}
+	return true
 }
 
 // copyChunk ships up to allow bytes of the job's remaining pages (whole

@@ -1,0 +1,320 @@
+package tpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// RunChaos extends RunAvailability into an unattended chaos experiment: a
+// seeded schedule of fault injections — crash the primary, crash a backup,
+// crash the primary in the middle of a repair — lands on a cluster whose
+// autopilot must notice and respond on its own. The driver never calls
+// Failover, Repair or RepairAsync; it only keeps the workload running (and
+// sits out windows a strict safety level refuses to serve). What comes back
+// is the availability record production replica managers track: the
+// windowed throughput curve across every incident, and per-event detection
+// latency (MTTD), failover latency, repair duration and time-to-restored
+// (MTTR) aggregated over the run.
+
+// Chaos fault kinds, as scheduled by the seeded generator.
+const (
+	FaultCrashPrimary      = "crash-primary"
+	FaultCrashBackup       = "crash-backup"
+	FaultCrashDuringRepair = "crash-during-repair"
+)
+
+// ChaosOptions tunes a RunChaos schedule.
+type ChaosOptions struct {
+	// Window is the simulated duration of one throughput window
+	// (default 5 ms).
+	Window time.Duration
+	// Events is the number of fault injections (default 4).
+	Events int
+	// HealthyWindows measures the pre-fault baseline (default 2).
+	HealthyWindows int
+	// TailWindows measures after the last event settles (default 2).
+	TailWindows int
+	// MaxWindows caps the run (default 600); exceeding it is an error —
+	// the cluster never settled.
+	MaxWindows int
+	// MaxGap bounds the seeded number of windows between injections
+	// (default 4; minimum gap is 1).
+	MaxGap int
+	// Warmup transactions run before the first window.
+	Warmup int64
+	// Seed feeds both the workload and the fault schedule, making the
+	// whole run reproducible.
+	Seed uint64
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Window <= 0 {
+		o.Window = 5 * time.Millisecond
+	}
+	if o.Events <= 0 {
+		o.Events = 4
+	}
+	if o.HealthyWindows <= 0 {
+		o.HealthyWindows = 2
+	}
+	if o.TailWindows <= 0 {
+		o.TailWindows = 2
+	}
+	if o.MaxWindows <= 0 {
+		o.MaxWindows = 600
+	}
+	if o.MaxGap <= 0 {
+		o.MaxGap = 4
+	}
+	return o
+}
+
+// InjectedFault records one scheduled injection.
+type InjectedFault struct {
+	// Kind is one of the Fault* constants.
+	Kind string
+	// At is the cumulative simulated instant of the injection.
+	At time.Duration
+	// Backup is the crashed backup's index (backup faults only).
+	Backup int
+}
+
+// ChaosResult is the measured record of an unattended chaos run.
+type ChaosResult struct {
+	// Windows is the throughput timeline; Phase is "healthy", "chaos" or
+	// "tail".
+	Windows []AvailabilityWindow
+	// Injected lists the fault schedule actually executed.
+	Injected []InjectedFault
+	// Events is the autopilot's per-fault timeline (detection, failover,
+	// repair, restoration), in detection order.
+	Events []repro.FailureEvent
+	// BaseTPS is the mean healthy-window throughput; MinTPS the worst
+	// window after the first fault.
+	BaseTPS, MinTPS float64
+	// MeanMTTD/MaxMTTD aggregate detection latency over all events;
+	// MeanMTTR/MaxMTTR aggregate fault-to-restored over the events whose
+	// repair completed (Restored counts them).
+	MeanMTTD, MaxMTTD time.Duration
+	MeanMTTR, MaxMTTR time.Duration
+	Restored          int
+	// Committed is the cluster's committed-transaction count at the end.
+	Committed uint64
+}
+
+// RunChaos populates the workload, warms up, and runs the seeded fault
+// schedule against the cluster's autopilot. The cluster must have
+// Config.Autopilot enabled with AutoFailover and AutoRepair (and enough
+// Spares for the schedule), or the first primary fault ends the run.
+func RunChaos(c *repro.Cluster, w Workload, opts ChaosOptions) (ChaosResult, error) {
+	opts = opts.withDefaults()
+	if !c.AutopilotEnabled() {
+		return ChaosResult{}, errors.New("tpc: chaos needs Config.Autopilot enabled")
+	}
+	if err := w.Populate(c.Load); err != nil {
+		return ChaosResult{}, err
+	}
+	r := NewRand(opts.Seed)
+	faults := NewRand(opts.Seed ^ 0xC3A05)
+	txn := int64(0)
+	one := func() error {
+		tx, err := c.Begin()
+		if err != nil {
+			return err
+		}
+		if err := w.Txn(r, tx, txn); err != nil {
+			abortErr := tx.Abort()
+			if abortErr != nil {
+				return fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+			}
+			return err
+		}
+		txn++
+		return tx.Commit()
+	}
+	for i := int64(0); i < opts.Warmup; i++ {
+		if err := one(); err != nil {
+			return ChaosResult{}, fmt.Errorf("tpc: warmup txn %d: %w", i, err)
+		}
+	}
+	c.ResetMeasurement()
+
+	var res ChaosResult
+	cum := time.Duration(0)
+	last := time.Duration(0)
+	// window measures one fixed simulated-time slice of throughput. The
+	// autopilot keeps Elapsed continuous across unattended takeovers, so
+	// the cumulative timeline needs no stitching; the committed counter
+	// can dip at a takeover (the 1-safe tail died with the old primary),
+	// which shows up as a clamped-to-zero window.
+	window := func(phase string) error {
+		startC := c.Committed()
+		start := c.Elapsed()
+		settles := 0
+		for c.Elapsed()-start < opts.Window {
+			if err := one(); err != nil {
+				if errors.Is(err, repro.ErrSafetyUnavailable) && phase != "healthy" {
+					// A strict safety level refuses degraded service;
+					// idle time still heals the cluster.
+					if settles++; settles > 10_000 {
+						return fmt.Errorf("tpc: cluster never regained its safety level")
+					}
+					c.Settle()
+					continue
+				}
+				return fmt.Errorf("tpc: %s window: %w", phase, err)
+			}
+		}
+		end := c.Elapsed()
+		cum += end - last
+		last = end
+		n := int64(c.Committed()) - int64(startC)
+		if n < 0 {
+			n = 0
+		}
+		res.Windows = append(res.Windows, AvailabilityWindow{
+			Phase: phase,
+			Start: cum - (end - start),
+			Txns:  n,
+			TPS:   float64(n) / (end - start).Seconds(),
+		})
+		return nil
+	}
+
+	for i := 0; i < opts.HealthyWindows; i++ {
+		if err := window("healthy"); err != nil {
+			return res, err
+		}
+	}
+
+	// The seeded schedule: Events injections separated by 1..MaxGap
+	// chaos windows, a primary crash pending while a repair is in flight
+	// for the crash-during-repair kind.
+	injected := 0
+	gap := 1 + faults.IntN(opts.MaxGap)
+	pendingMidRepair := false
+	pendingSince := 0
+	for wi := 0; ; wi++ {
+		if len(res.Windows) >= opts.MaxWindows {
+			return res, fmt.Errorf("tpc: chaos did not settle within %d windows", opts.MaxWindows)
+		}
+		acted := false
+		if pendingMidRepair {
+			switch {
+			case c.RepairProgress().Active:
+				// The repair the previous backup crash triggered is
+				// running: kill the transfer source mid-flight.
+				if err := c.CrashPrimary(); err == nil {
+					res.Injected = append(res.Injected, InjectedFault{Kind: FaultCrashDuringRepair, At: cum})
+				}
+				pendingMidRepair = false
+				acted = true
+			case wi-pendingSince >= 2:
+				// The repair came and went inside a window (or never
+				// started): nothing left to hit mid-flight. Drop the
+				// pending half so the run can settle.
+				pendingMidRepair = false
+			}
+		}
+		if !acted && !pendingMidRepair && injected < opts.Events && wi >= gap {
+			kind := faults.IntN(3)
+			switch {
+			case kind == FaultKindPrimary || c.Backups() == 0:
+				if err := c.CrashPrimary(); err == nil {
+					res.Injected = append(res.Injected, InjectedFault{Kind: FaultCrashPrimary, At: cum})
+				}
+			default:
+				i := faults.IntN(c.Backups())
+				if err := c.CrashBackup(i); err == nil {
+					f := InjectedFault{Kind: FaultCrashBackup, At: cum, Backup: i}
+					if kind == FaultKindDuringRepair {
+						f.Kind = FaultCrashDuringRepair
+						pendingMidRepair = true
+						pendingSince = wi
+					}
+					res.Injected = append(res.Injected, f)
+				}
+			}
+			injected++
+			gap = wi + 1 + faults.IntN(opts.MaxGap)
+		}
+		if err := window("chaos"); err != nil {
+			return res, err
+		}
+		if injected >= opts.Events && !pendingMidRepair && !c.RepairProgress().Active {
+			// All faults landed and the last repair cut over; let any
+			// trailing detection work (a dead backup not yet declared)
+			// surface before closing.
+			c.Settle()
+			if !c.RepairProgress().Active {
+				break
+			}
+		}
+	}
+
+	for i := 0; i < opts.TailWindows; i++ {
+		if err := window("tail"); err != nil {
+			return res, err
+		}
+	}
+
+	res.Events = c.AutopilotEvents()
+	res.Committed = c.Committed()
+	aggregate(&res)
+	return res, nil
+}
+
+// Seeded fault kinds (indices into the generator's 0..2 draw).
+const (
+	FaultKindPrimary = iota
+	FaultKindBackup
+	FaultKindDuringRepair
+)
+
+// aggregate computes the run's throughput and latency summaries.
+func aggregate(res *ChaosResult) {
+	var healthySum float64
+	var healthyN int
+	minSeen := false
+	for _, win := range res.Windows {
+		switch win.Phase {
+		case "healthy":
+			healthySum += win.TPS
+			healthyN++
+		default:
+			// A window can genuinely hold zero transactions (the
+			// committed counter clamps at a takeover), so zero is a
+			// value, not the unset sentinel.
+			if !minSeen || win.TPS < res.MinTPS {
+				res.MinTPS, minSeen = win.TPS, true
+			}
+		}
+	}
+	if healthyN > 0 {
+		res.BaseTPS = healthySum / float64(healthyN)
+	}
+	var mttdSum, mttrSum time.Duration
+	for _, e := range res.Events {
+		d := e.MTTD()
+		mttdSum += d
+		if d > res.MaxMTTD {
+			res.MaxMTTD = d
+		}
+		if r := e.MTTR(); r > 0 {
+			mttrSum += r
+			res.Restored++
+			if r > res.MaxMTTR {
+				res.MaxMTTR = r
+			}
+		}
+	}
+	if n := len(res.Events); n > 0 {
+		res.MeanMTTD = mttdSum / time.Duration(n)
+	}
+	if res.Restored > 0 {
+		res.MeanMTTR = mttrSum / time.Duration(res.Restored)
+	}
+}

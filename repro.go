@@ -153,6 +153,37 @@ type Config struct {
 	// platform constants (write-buffer drain age, posted-write window,
 	// link latency). Zero derives.
 	SettleGrace time.Duration
+	// Autopilot switches on unattended failure handling: heartbeat
+	// failure detection, lease-guarded auto-failover and self-healing
+	// repair. Off (zero) by default — every fault is then handled by the
+	// manual Failover/Repair calls exactly as before. On a sharded
+	// cluster the configuration applies per shard (each shard runs its
+	// own detector and spare pool).
+	Autopilot AutopilotConfig
+}
+
+// AutopilotConfig times and scopes the unattended failure loop. The zero
+// value disables it.
+type AutopilotConfig struct {
+	// HeartbeatPeriod is the interval between heartbeat rounds exchanged
+	// over the SAN; a positive value enables the autopilot. Heartbeat
+	// bytes are accounted under Traffic.ControlBytes.
+	HeartbeatPeriod time.Duration
+	// SuspectTimeout is the silence that makes a peer Suspect; one more
+	// missed beat confirms it Dead, so detection latency is bounded by
+	// SuspectTimeout + HeartbeatPeriod. Zero defaults to 4× the period.
+	SuspectTimeout time.Duration
+	// AutoFailover promotes the most-caught-up survivor automatically
+	// when the primary is declared dead, guarded by the primary lease (a
+	// deposed primary whose lease expired refuses new commits with
+	// ErrLeaseExpired — no split-brain).
+	AutoFailover bool
+	// AutoRepair re-enrolls replacements from the spare pool when a
+	// backup is declared dead, and refills the group after a failover.
+	AutoRepair bool
+	// Spares is the number of fresh spare nodes the autopilot may enroll
+	// over the cluster's lifetime (per shard on a sharded cluster).
+	Spares int
 }
 
 // Tx is one open transaction: the paper's RVM-style API (Section 2.1).
@@ -174,7 +205,8 @@ type Tx interface {
 }
 
 // Traffic is the SAN byte breakdown of paper Tables 2, 5 and 7, plus the
-// state-transfer traffic of an online repair.
+// state-transfer traffic of an online repair and the control-plane traffic
+// of the autopilot's failure detector.
 type Traffic struct {
 	ModifiedBytes int64
 	UndoBytes     int64
@@ -182,11 +214,14 @@ type Traffic struct {
 	// SyncBytes is the chunked state-transfer payload an online repair
 	// shipped (RepairAsync); zero in steady state.
 	SyncBytes int64
+	// ControlBytes is the heartbeat (and heartbeat-ack) payload the
+	// failure-detection subsystem exchanged; zero with Autopilot off.
+	ControlBytes int64
 }
 
 // Total returns the total bytes shipped to the backup.
 func (t Traffic) Total() int64 {
-	return t.ModifiedBytes + t.UndoBytes + t.MetaBytes + t.SyncBytes
+	return t.ModifiedBytes + t.UndoBytes + t.MetaBytes + t.SyncBytes + t.ControlBytes
 }
 
 // Cluster is one deployment: a primary transaction server and, unless
@@ -229,6 +264,11 @@ var (
 	// ErrNotRepairable is returned by Repair and RepairAsync when every
 	// configured replica is already enrolled and in sync.
 	ErrNotRepairable = errors.New("repro: nothing to repair")
+	// ErrLeaseExpired is returned by Begin on a deposed primary: the node
+	// is partitioned from the cluster and its serving lease has run out,
+	// so it refuses new commits (the surviving majority may already have
+	// promoted a replacement). See Config.Autopilot.
+	ErrLeaseExpired = replication.ErrLeaseExpired
 )
 
 // New builds a cluster per the configuration.
@@ -253,6 +293,13 @@ func New(cfg Config) (*Cluster, error) {
 		RepairChunk:  cfg.RepairChunk,
 		RepairShare:  cfg.RepairShare,
 		SettleGrace:  sim.Dur(cfg.SettleGrace.Nanoseconds()) * sim.Nanosecond,
+		Autopilot: replication.AutopilotConfig{
+			HeartbeatPeriod: sim.Dur(cfg.Autopilot.HeartbeatPeriod.Nanoseconds()) * sim.Nanosecond,
+			SuspectTimeout:  sim.Dur(cfg.Autopilot.SuspectTimeout.Nanoseconds()) * sim.Nanosecond,
+			AutoFailover:    cfg.Autopilot.AutoFailover,
+			AutoRepair:      cfg.Autopilot.AutoRepair,
+			Spares:          cfg.Autopilot.Spares,
+		},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
@@ -396,6 +443,87 @@ func (c *Cluster) RepairProgress() RepairProgress {
 // Backups returns the current number of backup nodes.
 func (c *Cluster) Backups() int { return c.group().Backups() }
 
+// Generation returns how many failovers (manual or unattended) the cluster
+// has completed.
+func (c *Cluster) Generation() int { return c.group().Generation() }
+
+// PartitionPrimary severs the serving primary from the SAN without killing
+// it: heartbeats stop, its lease stops renewing, and every backup is
+// partitioned away. With Autopilot enabled the deposed primary refuses new
+// commits once its lease runs out (ErrLeaseExpired), and with AutoFailover
+// the surviving majority promotes a replacement no earlier than that same
+// instant — the no-split-brain demonstration.
+func (c *Cluster) PartitionPrimary() error { return c.group().PartitionPrimary() }
+
+// FailureEvent is the recorded timeline of one fault the autopilot
+// handled. Zero-valued stamps mean "has not happened".
+type FailureEvent struct {
+	// Kind is "primary" or "backup"; Node names the failed machine.
+	Kind string
+	Node string
+	// Shard is the owning shard on a sharded cluster (0 otherwise).
+	Shard int
+	// The per-event timeline, in cumulative simulated time: when the
+	// fault was injected, when the detector declared the node dead, when
+	// the promoted survivor was serving (primary faults only), when the
+	// self-healing re-enrollment began, and when the cluster was back at
+	// full redundancy.
+	FailedAt, DetectedAt, FailedOverAt, RepairStartedAt, RestoredAt time.Duration
+}
+
+// MTTD is the mean-time-to-detect component: fault to dead-declaration.
+func (e FailureEvent) MTTD() time.Duration { return e.DetectedAt - e.FailedAt }
+
+// FailoverLatency is the dead-declaration to serving-again interval (zero
+// for backup faults, which need no takeover).
+func (e FailureEvent) FailoverLatency() time.Duration {
+	if e.FailedOverAt == 0 {
+		return 0
+	}
+	return e.FailedOverAt - e.DetectedAt
+}
+
+// RepairDuration is the re-enrollment transfer's duration (zero while the
+// repair is still running or never started).
+func (e FailureEvent) RepairDuration() time.Duration {
+	if e.RestoredAt == 0 || e.RepairStartedAt == 0 {
+		return 0
+	}
+	return e.RestoredAt - e.RepairStartedAt
+}
+
+// MTTR is the mean-time-to-restore component: fault to full redundancy
+// (zero while not yet restored).
+func (e FailureEvent) MTTR() time.Duration {
+	if e.RestoredAt == 0 {
+		return 0
+	}
+	return e.RestoredAt - e.FailedAt
+}
+
+// AutopilotEnabled reports whether the unattended failure loop is on.
+func (c *Cluster) AutopilotEnabled() bool { return c.group().Autopilot().Enabled }
+
+// AutopilotEvents returns the fault timeline the autopilot recorded: one
+// event per detected failure, carrying the MTTD/MTTR stamps the chaos
+// harness aggregates. Empty with Autopilot off.
+func (c *Cluster) AutopilotEvents() []FailureEvent {
+	evs := c.group().AutopilotEvents()
+	out := make([]FailureEvent, 0, len(evs))
+	for _, e := range evs {
+		out = append(out, FailureEvent{
+			Kind:            e.Kind,
+			Node:            e.Node,
+			FailedAt:        e.FailedAt.Duration(),
+			DetectedAt:      e.DetectedAt.Duration(),
+			FailedOverAt:    e.FailedOverAt.Duration(),
+			RepairStartedAt: e.RepairStartedAt.Duration(),
+			RestoredAt:      e.RestoredAt.Duration(),
+		})
+	}
+	return out
+}
+
 // CrashBackup kills backup i: it stops receiving and acknowledging and is
 // never promoted. With QuorumSafe, acked commits survive the loss of the
 // primary plus any minority of the backups.
@@ -430,6 +558,7 @@ func (c *Cluster) NetTraffic() Traffic {
 		UndoBytes:     n[mem.CatUndo],
 		MetaBytes:     n[mem.CatMeta],
 		SyncBytes:     n[mem.CatSync],
+		ControlBytes:  n[mem.CatControl],
 	}
 }
 

@@ -472,6 +472,30 @@ func (s *ShardedCluster) NetTraffic() Traffic {
 		out.ModifiedBytes += tr.ModifiedBytes
 		out.UndoBytes += tr.UndoBytes
 		out.MetaBytes += tr.MetaBytes
+		out.SyncBytes += tr.SyncBytes
+		out.ControlBytes += tr.ControlBytes
+	}
+	return out
+}
+
+// PartitionPrimary severs shard i's primary from the SAN (see
+// Cluster.PartitionPrimary).
+func (s *ShardedCluster) PartitionPrimary(i int) error {
+	if i < 0 || i >= len(s.shards) {
+		return ErrNoSuchShard
+	}
+	return s.shards[i].PartitionPrimary()
+}
+
+// AutopilotEvents aggregates the fault timelines of every shard's
+// autopilot, with each event stamped with its owning shard.
+func (s *ShardedCluster) AutopilotEvents() []FailureEvent {
+	var out []FailureEvent
+	for i, c := range s.shards {
+		for _, e := range c.AutopilotEvents() {
+			e.Shard = i
+			out = append(out, e)
+		}
 	}
 	return out
 }
