@@ -3,12 +3,13 @@
 #   make check   - everything CI runs: gofmt, vet, build, race tests (-short)
 #   make test    - full test suite without the race detector
 #   make bench   - throughput benchmarks -> BENCH_parallel.json (perf trajectory)
+#   make bench-smoke - 1x-iteration bench emit + BENCH_*.json schema validation (CI)
 #   make bench-all - every benchmark including exhibit regeneration
 #   make tables  - regenerate the paper's tables and the extension cells
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test test-race bench bench-all tables
+.PHONY: check fmt-check vet build test test-race bench bench-smoke bench-all tables
 
 check: fmt-check vet build test-race
 
@@ -38,7 +39,9 @@ test-race:
 # The availability run lands separately in BENCH_availability.json (repair
 # duration/bytes, min-window tps, time-to-restored-quorum), and the
 # unattended chaos run in BENCH_chaos.json (mean/max MTTD, mean MTTR,
-# worst window, faults handled).
+# worst window, faults handled), and the key-value YCSB-style mixes in
+# BENCH_kv.json (sim ops/s and SAN B/op per mix). Every emitted file is
+# schema-validated with benchjson -check at the end.
 # The runs go through temp files, not pipes, so a failing benchmark
 # fails the target instead of silently writing an empty JSON.
 bench:
@@ -52,6 +55,29 @@ bench:
 	$(GO) test -bench 'Chaos' -benchtime 1x -run XXX -count 1 . > bench.chaos.tmp || { cat bench.chaos.tmp; rm -f bench.chaos.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -o BENCH_chaos.json < bench.chaos.tmp
 	@rm -f bench.chaos.tmp
+	$(GO) test -bench 'KV' -benchtime 2000x -run XXX -count 1 . > bench.kv.tmp || { cat bench.kv.tmp; rm -f bench.kv.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_kv.json < bench.kv.tmp
+	@rm -f bench.kv.tmp
+	$(GO) run ./cmd/benchjson -check BENCH_parallel.json BENCH_availability.json BENCH_chaos.json BENCH_kv.json
+
+# The CI smoke run: every bench family at one iteration, emitted into a
+# scratch directory (the committed BENCH_*.json stay untouched), then
+# schema-validated with benchjson -check — so a bench or schema regression
+# fails the build in seconds instead of minutes.
+bench-smoke:
+	@rm -rf .benchsmoke && mkdir -p .benchsmoke
+	$(GO) test -bench 'ParallelShards|Throughput|ReplicationDegree|ShardedCluster' \
+		-benchtime 1x -run XXX -count 1 . > .benchsmoke/parallel.txt || { cat .benchsmoke/parallel.txt; exit 1; }
+	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_parallel.json < .benchsmoke/parallel.txt > /dev/null
+	$(GO) test -bench 'Availability' -benchtime 1x -run XXX -count 1 . > .benchsmoke/avail.txt || { cat .benchsmoke/avail.txt; exit 1; }
+	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_availability.json < .benchsmoke/avail.txt > /dev/null
+	$(GO) test -bench 'Chaos' -benchtime 1x -run XXX -count 1 . > .benchsmoke/chaos.txt || { cat .benchsmoke/chaos.txt; exit 1; }
+	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_chaos.json < .benchsmoke/chaos.txt > /dev/null
+	$(GO) test -bench 'KV' -benchtime 100x -run XXX -count 1 . > .benchsmoke/kv.txt || { cat .benchsmoke/kv.txt; exit 1; }
+	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_kv.json < .benchsmoke/kv.txt > /dev/null
+	$(GO) run ./cmd/benchjson -check .benchsmoke/BENCH_parallel.json .benchsmoke/BENCH_availability.json \
+		.benchsmoke/BENCH_chaos.json .benchsmoke/BENCH_kv.json
+	@rm -rf .benchsmoke
 
 bench-all:
 	$(GO) test -bench . -benchtime 2000x -run XXX ./...

@@ -349,6 +349,45 @@ func BenchmarkChaos(b *testing.B) {
 	b.ReportMetric(float64(res.Committed), "committed")
 }
 
+// BenchmarkKV drives the YCSB-style key-value mixes (tpc.RunKV over the
+// kv layer) against a replicated cluster through the DB interface,
+// reporting simulated operations per second and SAN bytes per operation.
+// `make bench` parses all three mixes into BENCH_kv.json.
+func BenchmarkKV(b *testing.B) {
+	const db = 4 << 20
+	for _, mix := range tpc.KVMixes() {
+		b.Run(mix, func(b *testing.B) {
+			c, err := repro.New(repro.Config{
+				Version: repro.V3InlineLog,
+				Backup:  repro.ActiveBackup,
+				DBSize:  db,
+				Backups: 2,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// RunKV preloads the keyspace and warms up internally, so
+			// ns/op includes that fixed setup and is not comparable
+			// across -benchtime settings; the reported sim-ops/s and
+			// SAN-B/op metrics are measured after RunKV's own
+			// ResetMeasurement and are the numbers to track.
+			res, err := tpc.RunKV(c, tpc.KVOptions{
+				Mix:     mix,
+				Records: 2000,
+				Ops:     int64(b.N),
+				Warmup:  200,
+				Seed:    1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.OPS, "sim-ops/s")
+			b.ReportMetric(res.BytesPerOp(), "SAN-B/op")
+			b.ReportMetric(float64(res.Keys), "live-keys")
+		})
+	}
+}
+
 // BenchmarkFailover measures takeover cost: crash after a burst of
 // transactions and time the backup's recovery, reporting the simulated
 // takeover latency.

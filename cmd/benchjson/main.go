@@ -47,7 +47,12 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "BENCH_parallel.json", "output JSON path")
+	check := flag.Bool("check", false, "validate the BENCH JSON files named as arguments (schema + at least one parsed benchmark each) instead of converting stdin")
 	flag.Parse()
+
+	if *check {
+		os.Exit(runCheck(flag.Args()))
+	}
 
 	doc := Doc{Context: map[string]string{}}
 	sc := bufio.NewScanner(os.Stdin)
@@ -85,6 +90,56 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+}
+
+// runCheck validates emitted BENCH_*.json files: each must unmarshal into
+// the Doc schema, contain at least one parsed benchmark with a Benchmark-
+// prefixed name and a positive iteration count, and preserve its raw
+// benchstat lines. Returns a process exit code.
+func runCheck(files []string) int {
+	if len(files) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: -check needs at least one file argument")
+		return 2
+	}
+	bad := 0
+	for _, f := range files {
+		if err := checkFile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", f, err)
+			bad++
+			continue
+		}
+		fmt.Printf("benchjson: %s ok\n", f)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func checkFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not a BENCH schema document: %w", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no parsed benchmarks")
+	}
+	if len(doc.Raw) == 0 {
+		return fmt.Errorf("no raw benchstat lines preserved")
+	}
+	for i, b := range doc.Benchmarks {
+		if !strings.HasPrefix(b.Name, "Benchmark") {
+			return fmt.Errorf("benchmark %d has non-benchmark name %q", i, b.Name)
+		}
+		if b.N <= 0 {
+			return fmt.Errorf("benchmark %q has non-positive iteration count %d", b.Name, b.N)
+		}
+	}
+	return nil
 }
 
 // parseLine parses "BenchmarkX-8  1000  123 ns/op  456 sim-tps ...".

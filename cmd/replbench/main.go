@@ -5,8 +5,9 @@
 //
 // Usage:
 //
-//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling|parallel-shards|group-commit|availability|chaos]
-//	          [-repair] [-chaos] [-chaos-events N] [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
+//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling|parallel-shards|group-commit|availability|chaos|kv]
+//	          [-repair] [-chaos] [-chaos-events N] [-kv] [-kv-ops N] [-kv-records N]
+//	          [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
 //	          [-backups K] [-shards N] [-clients C] [-commit-batch B]
 //	          [-safety 1safe|2safe|quorum] [-full] [-csv]
 //
@@ -21,6 +22,7 @@
 //	replbench -experiment group-commit -commit-batch 32         # batched commit sweep
 //	replbench -repair                   # crash→failover→online-repair availability timeline
 //	replbench -chaos -seed 7            # seeded unattended fault schedule (MTTD/MTTR per event)
+//	replbench -kv                       # YCSB-style key-value mixes over both facades
 package main
 
 import (
@@ -54,6 +56,9 @@ func run() int {
 		repair     = flag.Bool("repair", false, "run the crash→failover→online-repair availability timeline (windowed txn/s + repair duration/bytes)")
 		chaos      = flag.Bool("chaos", false, "run the unattended chaos schedule against the autopilot (per-event MTTD/failover/repair/MTTR latencies; seeded by -seed)")
 		chaosN     = flag.Int("chaos-events", 0, "fault injections the -chaos schedule lands (0 = default 4)")
+		kvFlag     = flag.Bool("kv", false, "run the key-value YCSB-style mixes over both facades through the DB interface")
+		kvOps      = flag.Int64("kv-ops", 0, "measured kv operations per mix cell (0 = default)")
+		kvRecords  = flag.Int("kv-records", 0, "preloaded kv keyspace size (0 = default)")
 		full       = flag.Bool("full", false, "paper-scale transaction counts (slow)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet      = flag.Bool("q", false, "suppress progress output")
@@ -92,9 +97,19 @@ func run() int {
 	}
 
 	cfg.ChaosEvents = *chaosN
+	cfg.KVOps = *kvOps
+	cfg.KVRecords = *kvRecords
 
 	var exps []harness.Experiment
 	switch {
+	case *kvFlag:
+		// -kv runs the key-value mixes alone.
+		e, ok := harness.Lookup("kv")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "replbench: kv experiment not registered")
+			return 2
+		}
+		exps = append(exps, e)
 	case *repair:
 		// -repair runs the availability timeline alone.
 		e, ok := harness.Lookup("availability")

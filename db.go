@@ -1,0 +1,140 @@
+package repro
+
+import "time"
+
+// DB is the package's storage abstraction: the full data-plane and
+// observability surface of one replicated deployment, satisfied by both
+// Cluster and ShardedCluster. Drivers, harness cells and applications
+// written against DB run unchanged over a single replica group or a
+// sharded front-end — a one-shard ShardedCluster and a Cluster are
+// interchangeable, down to the error taxonomy (see errors.go).
+//
+// The kv layer (package repro/kv) builds a typed key-value API on top of
+// any DB, laying its index and record heap out inside the replicated
+// bytes so the whole keyspace inherits the deployment's fault tolerance.
+type DB interface {
+	// Begin opens a transaction on the serving node; the handle is valid
+	// until Commit or Abort. A dead primary refuses with ErrCrashed, a
+	// group below its safety level with ErrSafetyUnavailable, a deposed
+	// primary with ErrLeaseExpired. A Cluster refuses at Begin itself; a
+	// ShardedCluster opens per-shard transactions lazily, so the same
+	// sentinels surface at the first operation touching the affected
+	// shard — test with errors.Is either way.
+	Begin() (Tx, error)
+	// Read performs a charged, non-transactional read, serialized with
+	// the deployment's transactions. Returns ErrBounds outside the
+	// database and ErrCrashed on a dead primary.
+	Read(off int, dst []byte) error
+	// ReadRaw copies database bytes without charging simulated time
+	// (test oracles, state dumps). It panics if [off, off+len(dst))
+	// falls outside DBSize() — identically on both facades.
+	ReadRaw(off int, dst []byte)
+	// Load installs initial content without charging simulated time,
+	// keeping every replica's copy in sync (the initial transfer that
+	// precedes failure-free operation). Returns ErrBounds outside the
+	// database.
+	Load(off int, data []byte) error
+	// Flush seals and ships any open group-commit batch (see
+	// Config.CommitBatch); a no-op when group commit is off.
+	Flush() error
+	// Settle lets the deployment sit idle long enough for everything in
+	// flight to drain; a crash after Settle loses nothing.
+	Settle()
+	// Committed returns the committed-transaction count recorded in the
+	// serving node's reliable memory (summed across shards). Never
+	// blocks.
+	Committed() uint64
+	// Stats returns the serving deployment's transaction counters.
+	// Never blocks.
+	Stats() Stats
+	// NetTraffic returns the SAN bytes shipped since the last
+	// measurement reset, by category. Never blocks.
+	NetTraffic() Traffic
+	// Elapsed returns the simulated time consumed since the last
+	// measurement reset (the slowest shard's clock on a sharded
+	// deployment). Never blocks.
+	Elapsed() time.Duration
+	// ResetMeasurement starts a fresh measured interval: statistics
+	// zeroed, cache and link state preserved.
+	ResetMeasurement()
+	// AutopilotEvents returns the fault timeline the unattended failure
+	// loop recorded; empty with Config.Autopilot off.
+	AutopilotEvents() []FailureEvent
+	// DBSize returns the configured database size — the bound every
+	// offset is validated against.
+	DBSize() int
+	// Capacity returns the allocated size, at least DBSize (a sharded
+	// deployment rounds each shard up to a 4 KB multiple; the rounding
+	// tail is unaddressable).
+	Capacity() int
+	// Shards returns the number of independent replica groups serving
+	// the database: 1 for a Cluster.
+	Shards() int
+}
+
+// Admin is the harmonized fault-injection and recovery surface both
+// facades share. Every method takes an optional trailing shard selector:
+// omitted, it targets shard 0 — which on a Cluster is the whole
+// deployment, making a Cluster and a one-shard ShardedCluster
+// interchangeable for chaos drivers and conformance suites. An
+// out-of-range selector (any index above 0 on a Cluster) returns
+// ErrNoSuchShard; methods without an error return the zero value.
+type Admin interface {
+	// CrashPrimary kills the selected shard's primary mid-flight;
+	// doubled stores still sitting in its write buffers are lost (the
+	// paper's 1-safe vulnerability window).
+	CrashPrimary(shard ...int) error
+	// PartitionPrimary severs the selected shard's primary from the SAN
+	// without killing it (the no-split-brain demonstration; see
+	// Config.Autopilot).
+	PartitionPrimary(shard ...int) error
+	// Failover promotes the most-caught-up surviving backup of the
+	// selected shard. Returns ErrNoBackup when no survivor exists.
+	Failover(shard ...int) error
+	// Repair restores the selected shard to its configured replication
+	// degree, blocking until the incremental transfer completes.
+	Repair(shard ...int) error
+	// RepairAsync starts an online repair of the selected shard and
+	// returns immediately; watch RepairProgress for completion.
+	RepairAsync(shard ...int) error
+	// RepairProgress reports the selected shard's current (or most
+	// recent) online repair.
+	RepairProgress(shard ...int) RepairProgress
+	// CrashBackup kills backup i of the selected shard.
+	CrashBackup(i int, shard ...int) error
+	// PauseBackup partitions backup i of the selected shard away from
+	// the SAN; ResumeBackup reconnects it (gated until re-enrolled by
+	// Repair or RepairAsync).
+	PauseBackup(i int, shard ...int) error
+	// ResumeBackup reconnects a paused backup of the selected shard.
+	ResumeBackup(i int, shard ...int) error
+	// Backups returns the selected shard's current backup count.
+	Backups(shard ...int) int
+	// AutopilotEnabled reports whether the unattended failure loop is
+	// on (per-shard on a sharded deployment, configured uniformly).
+	AutopilotEnabled() bool
+}
+
+// Compile-time assertions: both facades satisfy the full redesigned
+// surface.
+var (
+	_ DB    = (*Cluster)(nil)
+	_ DB    = (*ShardedCluster)(nil)
+	_ Admin = (*Cluster)(nil)
+	_ Admin = (*ShardedCluster)(nil)
+)
+
+// shardArg resolves the optional trailing shard selector of the Admin
+// surface: no argument targets shard 0, one argument targets that shard,
+// more than one is rejected. Validation against the shard count is the
+// caller's.
+func shardArg(shard []int) (int, error) {
+	switch len(shard) {
+	case 0:
+		return 0, nil
+	case 1:
+		return shard[0], nil
+	default:
+		return 0, ErrNoSuchShard
+	}
+}

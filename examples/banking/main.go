@@ -21,8 +21,10 @@ const (
 	transfers      = 5_000
 )
 
+// bank is written against the DB interface: the same service code runs
+// over a Cluster or a ShardedCluster.
 type bank struct {
-	c *repro.Cluster
+	c repro.DB
 }
 
 func (b *bank) balanceOf(tx repro.Tx, acct int) (uint64, error) {

@@ -75,8 +75,10 @@ func run(v repro.Version, b repro.BackupMode) (float64, repro.Traffic) {
 	return tps, cluster.NetTraffic()
 }
 
-// placeOrder decrements stock for 1-5 products and appends a ledger entry.
-func placeOrder(c *repro.Cluster, r *rand.Rand, seq int) error {
+// placeOrder decrements stock for 1-5 products and appends a ledger
+// entry. It takes the DB interface: the order path is deployment-shape
+// agnostic.
+func placeOrder(c repro.DB, r *rand.Rand, seq int) error {
 	tx, err := c.Begin()
 	if err != nil {
 		return err

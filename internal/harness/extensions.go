@@ -2,7 +2,6 @@ package harness
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"runtime"
 	"sort"
 
@@ -142,8 +141,10 @@ func runShardScaling(cfg RunConfig) (*Table, error) {
 	return t, nil
 }
 
-// shardCell measures one shard count: per-shard Debit-Credit workloads
-// driven round-robin, throughput aggregated over the slowest shard.
+// shardCell measures one shard count through the same tpc.RunSharded
+// driver every concurrent run uses (one client goroutine keeps the cell
+// deterministic), dividing the row's transaction budget evenly across the
+// shards: throughput is aggregated over the slowest shard's clock.
 func shardCell(cfg RunConfig, shards int, txns int64) (float64, error) {
 	sc, err := repro.NewSharded(repro.Config{
 		Version: repro.V3InlineLog,
@@ -155,64 +156,24 @@ func shardCell(cfg RunConfig, shards int, txns int64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	// One workload per shard, laid out for the shard's slice and driven
-	// through that shard's own transaction stream.
-	ws := make([]tpc.Workload, shards)
-	rs := make([]*tpcRand, shards)
-	for i := range ws {
-		w, err := tpc.NewDebitCredit(sc.ShardSize())
-		if err != nil {
-			return 0, err
-		}
-		base := i * sc.ShardSize()
-		if err := w.Populate(func(off int, data []byte) error {
-			return sc.Load(base+off, data)
-		}); err != nil {
-			return 0, err
-		}
-		ws[i] = w
-		rs[i] = &tpcRand{r: tpc.NewRand(cfg.Seed + uint64(i))}
+	perShard := txns / int64(shards)
+	if perShard < 1 {
+		perShard = 1
 	}
-
-	drive := func(count int64) error {
-		for i := int64(0); i < count; i++ {
-			shard := int(i) % shards
-			tx, err := sc.Shard(shard).Begin()
-			if err != nil {
-				return err
-			}
-			if err := ws[shard].Txn(rs[shard].r, tx, rs[shard].n); err != nil {
-				return err
-			}
-			rs[shard].n++
-			if err := tx.Commit(); err != nil {
-				return err
-			}
-		}
-		return nil
+	warm := cfg.Warmup / int64(shards)
+	if warm > perShard {
+		warm = perShard
 	}
-	warm := cfg.Warmup
-	if warm > txns {
-		warm = txns
-	}
-	if err := drive(warm); err != nil {
+	res, err := tpc.RunSharded(sc, func(dbSize int) (tpc.Workload, error) {
+		return tpc.NewDebitCredit(dbSize)
+	}, tpc.Options{Txns: perShard, Warmup: warm, Seed: cfg.Seed, Clients: 1})
+	if err != nil {
 		return 0, err
 	}
-	sc.ResetMeasurement()
-	if err := drive(txns); err != nil {
-		return 0, err
-	}
-	elapsed := sc.Elapsed().Seconds()
-	if elapsed <= 0 {
+	if res.TPS <= 0 {
 		return 0, fmt.Errorf("harness: shard cell consumed no simulated time")
 	}
-	return float64(txns) / elapsed, nil
-}
-
-// tpcRand pairs a workload stream's generator with its transaction index.
-type tpcRand struct {
-	r *rand.Rand
-	n int64
+	return res.TPS, nil
 }
 
 // runParallelShards is the wall-clock face of shard scaling: the same

@@ -72,7 +72,13 @@ func TestShardScalingShape(t *testing.T) {
 
 func TestExtensionsRegistered(t *testing.T) {
 	exts := Extensions()
-	if len(exts) != 3 || exts[0].ID != "repl-degree" || exts[1].ID != "shard-scaling" || exts[2].ID != "chaos" {
+	want := []string{"repl-degree", "shard-scaling", "chaos", "kv"}
+	if len(exts) != len(want) {
 		t.Fatalf("Extensions() = %v", exts)
+	}
+	for i, id := range want {
+		if exts[i].ID != id {
+			t.Fatalf("Extensions()[%d] = %q, want %q", i, exts[i].ID, id)
+		}
 	}
 }

@@ -100,9 +100,10 @@ var ablationExhibits = []string{"ablation-wbuf", "ablation-packet",
 	"ablation-cpu", "ablation-san", "ablation-2safe"}
 
 // extensionExhibits lists the capability experiments that go beyond the
-// paper's two-node deployments: N-replica groups, the sharded cluster, and
-// the autopilot's unattended chaos run.
-var extensionExhibits = []string{"repl-degree", "shard-scaling", "chaos"}
+// paper's two-node deployments: N-replica groups, the sharded cluster,
+// the autopilot's unattended chaos run, and the key-value layer's
+// YCSB-style mixes.
+var extensionExhibits = []string{"repl-degree", "shard-scaling", "chaos", "kv"}
 
 // All returns the paper's experiments in exhibit order.
 func All() []Experiment { return byIDs(paperExhibits) }
@@ -159,6 +160,10 @@ type RunConfig struct {
 	// ChaosEvents is the number of fault injections the chaos experiment
 	// schedules (0 = its default of 4); the schedule is seeded by Seed.
 	ChaosEvents int
+	// KVRecords and KVOps size the kv experiment: preloaded keys and
+	// measured operations per mix cell (0 = the cell's defaults).
+	KVRecords int
+	KVOps     int64
 }
 
 // DefaultRunConfig returns the scaled-down default configuration.

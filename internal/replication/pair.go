@@ -158,7 +158,9 @@ var _ TxHandle = (*vista.Tx)(nil)
 
 // Group state errors.
 var (
-	ErrCrashed             = errors.New("replication: primary has crashed")
+	// ErrCrashed is aliased as the facade's public crashed sentinel, so
+	// its message speaks the facade's language.
+	ErrCrashed             = errors.New("repro: primary crashed; call Failover")
 	ErrNotCrashed          = errors.New("replication: primary still alive")
 	ErrNoBackup            = errors.New("replication: no surviving backup")
 	ErrActiveNeedV3        = errors.New("replication: active backup requires the Version 3 local scheme")

@@ -94,29 +94,17 @@ type AvailabilityResult struct {
 }
 
 // RunAvailability populates the workload, warms up, and measures the
-// crash → failover → repair → restored timeline on the cluster.
-func RunAvailability(c *repro.Cluster, w Workload, opts AvailabilityOptions) (AvailabilityResult, error) {
+// crash → failover → repair → restored timeline on the deployment. It is
+// written against the DB abstraction: any FaultDB — a Cluster or a
+// ShardedCluster (the crash and repair land on shard 0) — can sit under
+// it.
+func RunAvailability(c FaultDB, w Workload, opts AvailabilityOptions) (AvailabilityResult, error) {
 	opts = opts.withDefaults()
 	if err := w.Populate(c.Load); err != nil {
 		return AvailabilityResult{}, err
 	}
-	r := NewRand(opts.Seed)
-	txn := int64(0)
-	one := func() error {
-		tx, err := c.Begin()
-		if err != nil {
-			return err
-		}
-		if err := w.Txn(r, tx, txn); err != nil {
-			abortErr := tx.Abort()
-			if abortErr != nil {
-				return fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
-			}
-			return err
-		}
-		txn++
-		return tx.Commit()
-	}
+	st := &stream{db: c, w: w, r: NewRand(opts.Seed)}
+	one := st.one
 	for i := int64(0); i < opts.Warmup; i++ {
 		if err := one(); err != nil {
 			return AvailabilityResult{}, fmt.Errorf("tpc: warmup txn %d: %w", i, err)

@@ -106,10 +106,11 @@ type ChaosResult struct {
 }
 
 // RunChaos populates the workload, warms up, and runs the seeded fault
-// schedule against the cluster's autopilot. The cluster must have
-// Config.Autopilot enabled with AutoFailover and AutoRepair (and enough
-// Spares for the schedule), or the first primary fault ends the run.
-func RunChaos(c *repro.Cluster, w Workload, opts ChaosOptions) (ChaosResult, error) {
+// schedule against the deployment's autopilot. Written against the DB
+// abstraction: any FaultDB with Config.Autopilot enabled (AutoFailover,
+// AutoRepair, and enough Spares for the schedule) can sit under it; the
+// injections land on shard 0.
+func RunChaos(c FaultDB, w Workload, opts ChaosOptions) (ChaosResult, error) {
 	opts = opts.withDefaults()
 	if !c.AutopilotEnabled() {
 		return ChaosResult{}, errors.New("tpc: chaos needs Config.Autopilot enabled")
@@ -117,24 +118,9 @@ func RunChaos(c *repro.Cluster, w Workload, opts ChaosOptions) (ChaosResult, err
 	if err := w.Populate(c.Load); err != nil {
 		return ChaosResult{}, err
 	}
-	r := NewRand(opts.Seed)
 	faults := NewRand(opts.Seed ^ 0xC3A05)
-	txn := int64(0)
-	one := func() error {
-		tx, err := c.Begin()
-		if err != nil {
-			return err
-		}
-		if err := w.Txn(r, tx, txn); err != nil {
-			abortErr := tx.Abort()
-			if abortErr != nil {
-				return fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
-			}
-			return err
-		}
-		txn++
-		return tx.Commit()
-	}
+	st := &stream{db: c, w: w, r: NewRand(opts.Seed)}
+	one := st.one
 	for i := int64(0); i < opts.Warmup; i++ {
 		if err := one(); err != nil {
 			return ChaosResult{}, fmt.Errorf("tpc: warmup txn %d: %w", i, err)

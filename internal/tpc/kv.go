@@ -1,0 +1,222 @@
+package tpc
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/kv"
+)
+
+// RunKV drives a YCSB-style key-value workload against any repro.DB
+// through the kv layer: the store is formatted inside the deployment's
+// replicated bytes, preloaded with a keyspace, and then hit with one of
+// three operation mixes modeled on the standard YCSB core workloads:
+//
+//   - read-heavy (YCSB-B): 95% point reads, 5% value updates
+//   - update-heavy (YCSB-A): 50% point reads, 50% value updates
+//   - scan (YCSB-E): 95% short range scans, 5% fresh-key inserts
+//
+// Because the driver sees only the DB interface, the same run works over
+// a Cluster and a ShardedCluster — the measured difference is exactly the
+// facades' difference (sharded deployments pay the kv layer's two-phase
+// record-then-flip commit; single groups merge it into one transaction).
+
+// The YCSB-style operation mixes RunKV accepts.
+const (
+	MixReadHeavy   = "read-heavy"
+	MixUpdateHeavy = "update-heavy"
+	MixScan        = "scan"
+)
+
+// KVMixes lists the mixes in reporting order.
+func KVMixes() []string { return []string{MixReadHeavy, MixUpdateHeavy, MixScan} }
+
+// KVOptions tunes a RunKV run.
+type KVOptions struct {
+	// Mix is one of MixReadHeavy, MixUpdateHeavy, MixScan (default
+	// read-heavy).
+	Mix string
+	// Records is the preloaded keyspace size (default 2000).
+	Records int
+	// Ops is the measured operation count.
+	Ops int64
+	// Warmup operations run before measurement starts.
+	Warmup int64
+	// ValueSize is the value payload per record (default 100 bytes, the
+	// YCSB default field size).
+	ValueSize int
+	// ScanLen is the range-scan length of the scan mix (default 10).
+	ScanLen int
+	// Seed feeds the deterministic generator.
+	Seed uint64
+}
+
+func (o KVOptions) withDefaults() KVOptions {
+	if o.Mix == "" {
+		o.Mix = MixReadHeavy
+	}
+	if o.Records <= 0 {
+		o.Records = 2000
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = 100
+	}
+	if o.ScanLen <= 0 {
+		o.ScanLen = 10
+	}
+	return o
+}
+
+// KVResult is one measured key-value run.
+type KVResult struct {
+	Mix string
+	// Ops is the measured operation count; the per-kind counters break
+	// it down (ScanItems counts entries the scans visited).
+	Ops                            int64
+	Reads, Updates, Inserts, Scans int64
+	ScanItems                      int64
+	// Elapsed is the simulated time of the measured interval; OPS the
+	// headline operations per simulated second.
+	Elapsed time.Duration
+	OPS     float64
+	// Net is the SAN traffic of the measured interval.
+	Net repro.Traffic
+	// Keys is the live keyspace size at the end of the run.
+	Keys int
+}
+
+// BytesPerOp returns the SAN payload per measured operation.
+func (r *KVResult) BytesPerOp() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return float64(r.Net.Total()) / float64(r.Ops)
+}
+
+// RunKV formats a kv store inside db, preloads the keyspace, warms up,
+// and drives the measured operation mix.
+func RunKV(db repro.DB, opts KVOptions) (KVResult, error) {
+	opts = opts.withDefaults()
+	if opts.Ops <= 0 {
+		return KVResult{}, fmt.Errorf("tpc: non-positive kv operation count %d", opts.Ops)
+	}
+	store, err := kv.Open(db)
+	if err != nil {
+		return KVResult{}, err
+	}
+	// Updates are out of place, so even an overwrite transiently needs a
+	// free slot: require headroom beyond the preloaded keyspace.
+	if opts.Records >= store.Slots() {
+		return KVResult{}, fmt.Errorf("tpc: %d records leave no slot headroom in the store's %d slots", opts.Records, store.Slots())
+	}
+	r := NewRand(opts.Seed)
+	value := make([]byte, opts.ValueSize)
+	fillValue := func(tag int64) {
+		for i := range value {
+			value[i] = byte(tag + int64(i)*131)
+		}
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("user%08d", i)) }
+
+	// Preload in multi-key transaction batches: one commit per batch
+	// instead of two per key.
+	const batch = 64
+	for base := 0; base < opts.Records; base += batch {
+		txn, err := store.Begin()
+		if err != nil {
+			return KVResult{}, err
+		}
+		for i := base; i < base+batch && i < opts.Records; i++ {
+			fillValue(int64(i))
+			if err := txn.Put(key(i), value); err != nil {
+				return KVResult{}, fmt.Errorf("tpc: kv preload %d: %w", i, err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			return KVResult{}, fmt.Errorf("tpc: kv preload commit: %w", err)
+		}
+	}
+
+	res := KVResult{Mix: opts.Mix}
+	nextKey := opts.Records // fresh-key counter for the scan mix's inserts
+	one := func(measured bool) error {
+		count := func(p *int64) {
+			if measured {
+				*p++
+			}
+		}
+		draw := r.IntN(100)
+		switch {
+		case opts.Mix == MixScan && draw < 95:
+			n, err := store.Scan(key(r.IntN(nextKey)), opts.ScanLen, func(k, v []byte) error { return nil })
+			if err != nil {
+				return err
+			}
+			count(&res.Scans)
+			if measured {
+				res.ScanItems += int64(n)
+			}
+			return nil
+		case opts.Mix == MixScan:
+			// Insert a fresh key; at slot capacity substitute a scan —
+			// the mix's dominant operation — since every write
+			// (overwrites included, being out of place) needs a free
+			// slot and would just re-raise ErrFull.
+			fillValue(int64(nextKey))
+			err := store.Put(key(nextKey), value)
+			if errors.Is(err, kv.ErrFull) {
+				n, err := store.Scan(key(r.IntN(nextKey)), opts.ScanLen, func(k, v []byte) error { return nil })
+				if err != nil {
+					return err
+				}
+				count(&res.Scans)
+				if measured {
+					res.ScanItems += int64(n)
+				}
+				return nil
+			}
+			if err == nil {
+				nextKey++
+				count(&res.Inserts)
+			}
+			return err
+		case (opts.Mix == MixReadHeavy && draw < 95) || (opts.Mix == MixUpdateHeavy && draw < 50):
+			_, err := store.Get(key(r.IntN(opts.Records)))
+			if err != nil {
+				return err
+			}
+			count(&res.Reads)
+			return nil
+		default:
+			i := r.IntN(opts.Records)
+			fillValue(int64(i) * 31)
+			if err := store.Put(key(i), value); err != nil {
+				return err
+			}
+			count(&res.Updates)
+			return nil
+		}
+	}
+
+	for i := int64(0); i < opts.Warmup; i++ {
+		if err := one(false); err != nil {
+			return KVResult{}, fmt.Errorf("tpc: kv warmup op %d: %w", i, err)
+		}
+	}
+	db.ResetMeasurement()
+	for i := int64(0); i < opts.Ops; i++ {
+		if err := one(true); err != nil {
+			return KVResult{}, fmt.Errorf("tpc: kv op %d: %w", i, err)
+		}
+	}
+	res.Ops = opts.Ops
+	res.Elapsed = db.Elapsed()
+	res.Net = db.NetTraffic()
+	res.Keys = store.Len()
+	if res.Elapsed > 0 {
+		res.OPS = float64(res.Ops) / res.Elapsed.Seconds()
+	}
+	return res, nil
+}

@@ -2,7 +2,6 @@ package tpc
 
 import (
 	"fmt"
-	"math/rand/v2"
 	"sync"
 	"time"
 
@@ -36,7 +35,7 @@ func RunSharded(sc *repro.ShardedCluster, mk func(dbSize int) (Workload, error),
 		clients = shards
 	}
 
-	streams := make([]*shardStream, shards)
+	streams := make([]*stream, shards)
 	for i := 0; i < shards; i++ {
 		w, err := mk(sc.ShardSize())
 		if err != nil {
@@ -45,10 +44,10 @@ func RunSharded(sc *repro.ShardedCluster, mk func(dbSize int) (Workload, error),
 		if err := w.Populate(sc.Shard(i).Load); err != nil {
 			return Result{}, fmt.Errorf("tpc: shard %d populate: %w", i, err)
 		}
-		streams[i] = &shardStream{
-			c: sc.Shard(i),
-			w: w,
-			r: NewRand(opts.Seed + uint64(i)),
+		streams[i] = &stream{
+			db: sc.Shard(i),
+			w:  w,
+			r:  NewRand(opts.Seed + uint64(i)),
 		}
 	}
 
@@ -89,19 +88,9 @@ func RunSharded(sc *repro.ShardedCluster, mk func(dbSize int) (Workload, error),
 	return res, nil
 }
 
-// shardStream is one shard's private transaction stream: its cluster, its
-// workload laid out over the shard's slice, its generator and its
-// transaction index.
-type shardStream struct {
-	c *repro.Cluster
-	w Workload
-	r *rand.Rand
-	n int64
-}
-
 // driveClients runs count transactions on every stream, clients goroutines
 // at a time, client c interleaving its owned streams round-robin.
-func driveClients(streams []*shardStream, clients int, count int64) error {
+func driveClients(streams []*stream, clients int, count int64) error {
 	var wg sync.WaitGroup
 	errs := make([]error, clients)
 	for c := 0; c < clients; c++ {
@@ -127,20 +116,4 @@ func driveClients(streams []*shardStream, clients int, count int64) error {
 		}
 	}
 	return nil
-}
-
-// one executes the stream's next transaction against its shard.
-func (s *shardStream) one() error {
-	tx, err := s.c.Begin()
-	if err != nil {
-		return err
-	}
-	if err := s.w.Txn(s.r, tx, s.n); err != nil {
-		if abortErr := tx.Abort(); abortErr != nil {
-			return fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
-		}
-		return err
-	}
-	s.n++
-	return tx.Commit()
 }

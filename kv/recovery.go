@@ -1,0 +1,123 @@
+package kv
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro"
+)
+
+// recover rebuilds the in-memory acceleration (free list, live and
+// tombstone counts) from the database bytes and repairs the damage an
+// interrupted operation can leave behind. It runs on every Open of a
+// formatted store — in particular on the promoted survivor after a crash
+// and failover, where it makes the committed-prefix guarantee observable
+// at the key level: every record whose bucket flip committed is kept,
+// everything else is reclaimed.
+//
+// Damage taxonomy (only possible for operations whose commit was never
+// acknowledged):
+//
+//   - A record slot written but never flipped reachable: the slot is
+//     simply free (slot used-ness is defined by bucket references).
+//   - A bucket flip torn away from its record phase (possible only on a
+//     multi-shard deployment at 1-safe, where the two commits land on
+//     different shards): the bucket may reference an out-of-range slot,
+//     a slot with an implausible record header, or a stale record of a
+//     key that is also live elsewhere. Such buckets are tombstoned; for
+//     duplicate keys the entry earlier in the key's own probe order wins
+//     — the same record a Get would return.
+//
+// The repair writes go through one ordinary transaction, so they are
+// themselves replicated.
+func (s *Store) recover() error {
+	g := s.geo
+	used := make([]bool, g.slotCount)
+	type entry struct {
+		bucket uint64
+		slot   uint64
+		dist   uint64
+	}
+	keys := make(map[string]entry)
+	var clears []uint64
+	s.live, s.tombs = 0, 0
+
+	// Walk the bucket array in raw chunks (recovery is management plane:
+	// it charges no simulated time).
+	const chunk = 1 << 16
+	total := int(g.bucketCount) * bucketWidth
+	buf := make([]byte, chunk)
+	var hdr [slotHeader]byte
+	for off := 0; off < total; off += chunk {
+		n := chunk
+		if total-off < n {
+			n = total - off
+		}
+		s.db.ReadRaw(int(g.bucketsOff)+off, buf[:n])
+		for i := 0; i+bucketWidth <= n; i += bucketWidth {
+			b := uint64(off+i) / bucketWidth
+			w := binary.LittleEndian.Uint64(buf[i:])
+			switch {
+			case w == bucketEmpty:
+			case w == bucketTomb:
+				s.tombs++
+			default:
+				slot := w - bucketBase
+				if slot >= g.slotCount {
+					clears = append(clears, b)
+					continue
+				}
+				s.db.ReadRaw(g.slotOff(slot), hdr[:])
+				kl := int(binary.LittleEndian.Uint32(hdr[:4]))
+				vl := int(binary.LittleEndian.Uint32(hdr[4:]))
+				if kl <= 0 || kl+vl > g.payload() {
+					clears = append(clears, b)
+					continue
+				}
+				key := make([]byte, kl)
+				s.db.ReadRaw(g.slotOff(slot)+slotHeader, key)
+				dist := (b - hash(key)) & g.mask()
+				if prev, dup := keys[string(key)]; dup {
+					// Two buckets claim the same key: keep the one a Get
+					// would reach first (smaller probe distance from the
+					// key's natural bucket), tombstone the other.
+					if dist < prev.dist {
+						clears = append(clears, prev.bucket)
+						used[prev.slot] = false
+						keys[string(key)] = entry{bucket: b, slot: slot, dist: dist}
+						used[slot] = true
+					} else {
+						clears = append(clears, b)
+					}
+					continue
+				}
+				keys[string(key)] = entry{bucket: b, slot: slot, dist: dist}
+				used[slot] = true
+				s.live++
+			}
+		}
+	}
+	s.resetFree(used)
+
+	if len(clears) > 0 {
+		err := s.runTx(func(tx repro.Tx) error {
+			var word [bucketWidth]byte
+			binary.LittleEndian.PutUint64(word[:], bucketTomb)
+			for _, b := range clears {
+				off := g.bucketOff(b)
+				if err := tx.SetRange(off, bucketWidth); err != nil {
+					return err
+				}
+				if err := tx.Write(off, word[:]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("kv: recovery repair: %w", err)
+		}
+		s.tombs += len(clears)
+	}
+	return nil
+}

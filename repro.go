@@ -16,20 +16,42 @@
 // measurements. See DESIGN.md for the model and EXPERIMENTS.md for the
 // measured-versus-paper results.
 //
-// Quick start:
+// # The DB interface
 //
-//	c, err := repro.New(repro.Config{
+// Every deployment — a single replica group (New) or a sharded front-end
+// (NewSharded) — satisfies the DB interface: one data-plane and
+// observability surface to write drivers, harnesses and applications
+// against. Fault injection and recovery live on the companion Admin
+// interface, whose methods take an optional shard selector so a Cluster
+// and a one-shard ShardedCluster are fully interchangeable. The complete
+// error taxonomy is documented in one place; see errors.go.
+//
+// Quick start — byte offsets (db satisfies repro.DB):
+//
+//	db, err := repro.New(repro.Config{
 //		Version: repro.V3InlineLog,
 //		Backup:  repro.ActiveBackup,
 //		DBSize:  8 << 20,
 //	})
-//	tx, _ := c.Begin()
+//	tx, _ := db.Begin()
 //	tx.SetRange(0, 8)
 //	tx.Write(0, []byte("8 bytes!"))
 //	tx.Commit()  // 1-safe: returns without waiting for the backup
-//	c.Settle()   // let the SAN drain (or use Config.TwoSafe)
-//	c.CrashPrimary()
-//	c.Failover() // the backup takes over with all committed data
+//	db.Settle()  // let the SAN drain (or use Config.Safety)
+//
+// Quick start — typed keys (package repro/kv lays a key-value store out
+// inside the replicated bytes, so the whole keyspace survives crash,
+// failover and online repair):
+//
+//	store, _ := kv.Open(db) // kv.Open takes any repro.DB
+//	store.Put([]byte("alice"), []byte("100"))
+//	v, _ := store.Get([]byte("alice"))
+//
+//	// Crash the primary and promote a backup: the keyspace comes back.
+//	db.CrashPrimary()
+//	db.Failover()
+//	store, _ = kv.Open(db) // recover the index from the replicated bytes
+//	v, _ = store.Get([]byte("alice"))
 package repro
 
 import (
@@ -248,28 +270,18 @@ type Cluster struct {
 // group returns the underlying replica group.
 func (c *Cluster) group() *replication.Pair { return c.pair }
 
-// Cluster state errors.
-var (
-	// ErrCrashed is returned once the primary has crashed and no
-	// failover has happened yet.
-	ErrCrashed = errors.New("repro: primary crashed; call Failover")
-	// ErrNoBackup is returned by Failover on a standalone cluster.
-	ErrNoBackup = errors.New("repro: cluster has no backup")
-	// ErrSafetyUnavailable is returned when too few backups are
-	// reachable for the configured safety level: by Begin before a
-	// transaction opens, or by Commit when backups failed mid-flight —
-	// in the latter case the transaction is committed locally but its
-	// acknowledgement discipline was not met.
-	ErrSafetyUnavailable = replication.ErrSafetyUnavailable
-	// ErrNotRepairable is returned by Repair and RepairAsync when every
-	// configured replica is already enrolled and in sync.
-	ErrNotRepairable = errors.New("repro: nothing to repair")
-	// ErrLeaseExpired is returned by Begin on a deposed primary: the node
-	// is partitioned from the cluster and its serving lease has run out,
-	// so it refuses new commits (the surviving majority may already have
-	// promoted a replacement). See Config.Autopilot.
-	ErrLeaseExpired = replication.ErrLeaseExpired
-)
+// checkShard validates the Admin surface's optional shard selector: a
+// Cluster is exactly shard 0 of itself.
+func (c *Cluster) checkShard(shard []int) error {
+	i, err := shardArg(shard)
+	if err != nil {
+		return err
+	}
+	if i != 0 {
+		return ErrNoSuchShard
+	}
+	return nil
+}
 
 // New builds a cluster per the configuration.
 func New(cfg Config) (*Cluster, error) {
@@ -320,15 +332,31 @@ func (c *Cluster) Begin() (Tx, error) {
 // Load installs initial database content without charging simulated time,
 // keeping the backup's copies in sync (the initial transfer that precedes
 // failure-free operation).
-func (c *Cluster) Load(off int, data []byte) error { return c.group().Load(off, data) }
+func (c *Cluster) Load(off int, data []byte) error { return mapErr(c.group().Load(off, data)) }
 
 // Read performs a charged, non-transactional read on the serving node,
 // serialized with the cluster's transactions.
-func (c *Cluster) Read(off int, dst []byte) error { return c.group().Read(off, dst) }
+func (c *Cluster) Read(off int, dst []byte) error { return mapErr(c.group().Read(off, dst)) }
 
 // ReadRaw copies database bytes without charging simulated time,
-// serialized with the cluster's transactions.
-func (c *Cluster) ReadRaw(off int, dst []byte) { c.group().ReadRaw(off, dst) }
+// serialized with the cluster's transactions. It panics if the span falls
+// outside the database — the DB contract, identical on both facades.
+func (c *Cluster) ReadRaw(off int, dst []byte) {
+	if off < 0 || off+len(dst) > c.DBSize() {
+		panic(fmt.Sprintf("repro: ReadRaw [%d,+%d) outside the database of %d bytes", off, len(dst), c.DBSize()))
+	}
+	c.group().ReadRaw(off, dst)
+}
+
+// DBSize returns the configured database size — the bound every offset is
+// validated against.
+func (c *Cluster) DBSize() int { return c.cfg.DBSize }
+
+// Capacity returns the allocated size; on a Cluster it equals DBSize.
+func (c *Cluster) Capacity() int { return c.cfg.DBSize }
+
+// Shards returns 1: a Cluster is a single replica group.
+func (c *Cluster) Shards() int { return 1 }
 
 // Committed returns the number of committed transactions recorded in the
 // serving node's reliable memory. Never blocks: the count is an atomic
@@ -352,14 +380,24 @@ func (c *Cluster) Settle() { c.group().Settle(c.group().QuiesceGrace()) }
 
 // CrashPrimary kills the primary mid-flight: doubled stores still sitting
 // in its write buffers are lost (the paper's 1-safe vulnerability window);
-// packets already posted reach the backup.
-func (c *Cluster) CrashPrimary() error { return c.group().Crash() }
+// packets already posted reach the backup. The optional selector is the
+// Admin surface's shard index (a Cluster is shard 0).
+func (c *Cluster) CrashPrimary(shard ...int) error {
+	if err := c.checkShard(shard); err != nil {
+		return err
+	}
+	return c.group().Crash()
+}
 
 // Failover performs takeover: the most-caught-up surviving backup recovers
 // from its replicated bytes and starts serving, with any remaining
 // survivors re-synced behind it (replication continues). Returns
-// ErrNoBackup on standalone clusters.
-func (c *Cluster) Failover() error {
+// ErrNoBackup on standalone clusters. The optional selector is the Admin
+// surface's shard index (a Cluster is shard 0).
+func (c *Cluster) Failover(shard ...int) error {
+	if err := c.checkShard(shard); err != nil {
+		return err
+	}
 	if _, err := c.group().Failover(); err != nil {
 		if errors.Is(err, replication.ErrNoBackup) {
 			return ErrNoBackup
@@ -374,7 +412,11 @@ func (c *Cluster) Failover() error {
 // partitioned ones) enroll behind the serving server through the same
 // incremental transfer RepairAsync uses, driven to completion before the
 // call returns. Concurrent transactions keep committing while it runs.
-func (c *Cluster) Repair() error {
+// The optional selector is the Admin surface's shard index.
+func (c *Cluster) Repair(shard ...int) error {
+	if err := c.checkShard(shard); err != nil {
+		return err
+	}
 	// Repair rewires the group in place and returns the same pointer.
 	if _, err := c.group().Repair(); err != nil {
 		if errors.Is(err, replication.ErrNotRepairable) {
@@ -396,8 +438,12 @@ func (c *Cluster) Repair() error {
 // Watch RepairProgress for completion; a joining backup starts counting
 // toward quorum at its cut-over.
 //
-// Returns ErrNotRepairable when there is nothing to repair.
-func (c *Cluster) RepairAsync() error {
+// Returns ErrNotRepairable when there is nothing to repair. The optional
+// selector is the Admin surface's shard index.
+func (c *Cluster) RepairAsync(shard ...int) error {
+	if err := c.checkShard(shard); err != nil {
+		return err
+	}
 	if err := c.group().RepairAsync(); err != nil {
 		if errors.Is(err, replication.ErrNotRepairable) {
 			return ErrNotRepairable
@@ -427,8 +473,12 @@ type RepairProgress struct {
 }
 
 // RepairProgress returns the progress of the current or most recent
-// RepairAsync/Repair.
-func (c *Cluster) RepairProgress() RepairProgress {
+// RepairAsync/Repair; the zero value is returned for an out-of-range
+// shard selector.
+func (c *Cluster) RepairProgress(shard ...int) RepairProgress {
+	if err := c.checkShard(shard); err != nil {
+		return RepairProgress{}
+	}
 	st := c.group().RepairStatus()
 	return RepairProgress{
 		Active:       st.Active,
@@ -440,8 +490,14 @@ func (c *Cluster) RepairProgress() RepairProgress {
 	}
 }
 
-// Backups returns the current number of backup nodes.
-func (c *Cluster) Backups() int { return c.group().Backups() }
+// Backups returns the current number of backup nodes; zero for an
+// out-of-range shard selector.
+func (c *Cluster) Backups(shard ...int) int {
+	if err := c.checkShard(shard); err != nil {
+		return 0
+	}
+	return c.group().Backups()
+}
 
 // Generation returns how many failovers (manual or unattended) the cluster
 // has completed.
@@ -453,7 +509,13 @@ func (c *Cluster) Generation() int { return c.group().Generation() }
 // commits once its lease runs out (ErrLeaseExpired), and with AutoFailover
 // the surviving majority promotes a replacement no earlier than that same
 // instant — the no-split-brain demonstration.
-func (c *Cluster) PartitionPrimary() error { return c.group().PartitionPrimary() }
+// The optional selector is the Admin surface's shard index.
+func (c *Cluster) PartitionPrimary(shard ...int) error {
+	if err := c.checkShard(shard); err != nil {
+		return err
+	}
+	return c.group().PartitionPrimary()
+}
 
 // FailureEvent is the recorded timeline of one fault the autopilot
 // handled. Zero-valued stamps mean "has not happened".
@@ -526,18 +588,35 @@ func (c *Cluster) AutopilotEvents() []FailureEvent {
 
 // CrashBackup kills backup i: it stops receiving and acknowledging and is
 // never promoted. With QuorumSafe, acked commits survive the loss of the
-// primary plus any minority of the backups.
-func (c *Cluster) CrashBackup(i int) error { return c.group().CrashBackup(i) }
+// primary plus any minority of the backups. The optional selector is the
+// Admin surface's shard index.
+func (c *Cluster) CrashBackup(i int, shard ...int) error {
+	if err := c.checkShard(shard); err != nil {
+		return err
+	}
+	return c.group().CrashBackup(i)
+}
 
 // PauseBackup partitions backup i away from the cluster; after
 // ResumeBackup it rejoins through RepairAsync/Repair, which ships only the
 // pages it missed (or nothing at all when nothing committed while it was
-// away).
-func (c *Cluster) PauseBackup(i int) error { return c.group().PauseBackup(i) }
+// away). The optional selector is the Admin surface's shard index.
+func (c *Cluster) PauseBackup(i int, shard ...int) error {
+	if err := c.checkShard(shard); err != nil {
+		return err
+	}
+	return c.group().PauseBackup(i)
+}
 
 // ResumeBackup reconnects a paused backup. It stays gated — excluded from
-// acknowledgement — until RepairAsync or Repair re-enrolls it.
-func (c *Cluster) ResumeBackup(i int) error { return c.group().ResumeBackup(i) }
+// acknowledgement — until RepairAsync or Repair re-enrolls it. The
+// optional selector is the Admin surface's shard index.
+func (c *Cluster) ResumeBackup(i int, shard ...int) error {
+	if err := c.checkShard(shard); err != nil {
+		return err
+	}
+	return c.group().ResumeBackup(i)
+}
 
 // Elapsed returns the simulated time consumed on the primary since the
 // cluster was built (or since the last measurement reset). Never blocks:
@@ -574,11 +653,4 @@ type Stats struct {
 func (c *Cluster) Stats() Stats {
 	s := c.group().Stats()
 	return Stats{Begins: s.Begins, Commits: s.Commits, Aborts: s.Aborts}
-}
-
-func mapErr(err error) error {
-	if errors.Is(err, replication.ErrCrashed) {
-		return ErrCrashed
-	}
-	return err
 }

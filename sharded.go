@@ -3,7 +3,6 @@ package repro
 import (
 	"errors"
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 )
@@ -44,43 +43,6 @@ type ShardedCluster struct {
 	// used after Commit/Abort.
 	txPool sync.Pool
 }
-
-// Sharded-cluster errors.
-var (
-	// ErrShardCount is returned for a non-positive shard count.
-	ErrShardCount = errors.New("repro: shard count must be at least 1")
-	// ErrNoSuchShard is returned for an out-of-range shard index.
-	ErrNoSuchShard = errors.New("repro: no such shard")
-)
-
-// PartialCommitError reports a sharded commit that failed part-way: the
-// shards in Committed had already committed when shard Failed's commit
-// returned Err, and the remaining touched shards were rolled back
-// (Aborted). Cross-shard atomicity is out of scope by design, so callers
-// that span shards must be prepared to observe — and, if needed,
-// compensate — the committed subset.
-type PartialCommitError struct {
-	// Committed lists shard indices whose commit completed, in commit
-	// order.
-	Committed []int
-	// Failed is the shard whose commit returned Err.
-	Failed int
-	// Aborted lists shard indices rolled back after the failure.
-	Aborted []int
-	// Err is the underlying commit failure on shard Failed.
-	Err error
-}
-
-// Error implements error.
-func (e *PartialCommitError) Error() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "repro: partial sharded commit: shard %d failed: %v", e.Failed, e.Err)
-	fmt.Fprintf(&b, " (committed %v, aborted %v)", e.Committed, e.Aborted)
-	return b.String()
-}
-
-// Unwrap exposes the underlying shard failure to errors.Is/As.
-func (e *PartialCommitError) Unwrap() error { return e.Err }
 
 // shardAlign keeps shard sizes page-friendly.
 const shardAlign = 4096
@@ -143,11 +105,27 @@ func (s *ShardedCluster) Shard(i int) *Cluster {
 }
 
 // checkRange validates [off, off+n) against the configured database size.
+// The returned error wraps ErrBounds — the same sentinel a Cluster's
+// out-of-range accesses return, keeping the two facades' error taxonomy
+// identical.
 func (s *ShardedCluster) checkRange(off, n int) error {
 	if off < 0 || n < 0 || off+n > s.dbSize {
-		return fmt.Errorf("repro: range [%d,+%d) outside the sharded database of %d bytes", off, n, s.dbSize)
+		return fmt.Errorf("repro: range [%d,+%d) outside the sharded database of %d bytes: %w", off, n, s.dbSize, ErrBounds)
 	}
 	return nil
+}
+
+// checkShard validates the Admin surface's optional shard selector
+// against the shard count, defaulting to shard 0.
+func (s *ShardedCluster) checkShard(shard []int) (int, error) {
+	i, err := shardArg(shard)
+	if err != nil {
+		return 0, err
+	}
+	if i < 0 || i >= len(s.shards) {
+		return 0, ErrNoSuchShard
+	}
+	return i, nil
 }
 
 // split walks [off, off+n) shard by shard.
@@ -191,8 +169,14 @@ func (s *ShardedCluster) Read(off int, dst []byte) error {
 	})
 }
 
-// ReadRaw copies database bytes without charging simulated time.
+// ReadRaw copies database bytes without charging simulated time. It
+// panics if the span falls outside the database — the DB contract,
+// identical on both facades (an out-of-range span used to no-op
+// silently here, diverging from Cluster.ReadRaw).
 func (s *ShardedCluster) ReadRaw(off int, dst []byte) {
+	if off < 0 || off+len(dst) > s.dbSize {
+		panic(fmt.Sprintf("repro: ReadRaw [%d,+%d) outside the database of %d bytes", off, len(dst), s.dbSize))
+	}
 	pos := 0
 	_ = s.split(off, len(dst), func(i, so, n int) error {
 		s.shards[i].ReadRaw(so, dst[pos:pos+n])
@@ -322,7 +306,9 @@ func (t *shardedTx) Abort() error { return t.finish(false) }
 
 func (t *shardedTx) finish(commit bool) error {
 	if t.done {
-		return fmt.Errorf("repro: sharded transaction already completed")
+		// Same sentinel a Cluster's completed handle returns, keeping the
+		// facades' error taxonomy identical.
+		return ErrTxDone
 	}
 	t.done = true
 	var firstErr, ackErr error
@@ -395,50 +381,102 @@ func (s *ShardedCluster) Flush() error {
 	return firstErr
 }
 
-// CrashPrimary kills shard i's primary; the other shards keep serving.
-func (s *ShardedCluster) CrashPrimary(i int) error {
-	if i < 0 || i >= len(s.shards) {
-		return ErrNoSuchShard
+// CrashPrimary kills the selected shard's primary (default shard 0); the
+// other shards keep serving.
+func (s *ShardedCluster) CrashPrimary(shard ...int) error {
+	i, err := s.checkShard(shard)
+	if err != nil {
+		return err
 	}
 	return s.shards[i].CrashPrimary()
 }
 
-// Failover performs takeover on shard i.
-func (s *ShardedCluster) Failover(i int) error {
-	if i < 0 || i >= len(s.shards) {
-		return ErrNoSuchShard
+// Failover performs takeover on the selected shard (default shard 0).
+func (s *ShardedCluster) Failover(shard ...int) error {
+	i, err := s.checkShard(shard)
+	if err != nil {
+		return err
 	}
 	return s.shards[i].Failover()
 }
 
-// Repair restores shard i to its configured replication degree, blocking
-// until the transfer completes (the other shards keep serving throughout;
-// so does shard i's own commit stream, which interleaves with the chunked
-// transfer).
-func (s *ShardedCluster) Repair(i int) error {
-	if i < 0 || i >= len(s.shards) {
-		return ErrNoSuchShard
+// Repair restores the selected shard (default 0) to its configured
+// replication degree, blocking until the transfer completes (the other
+// shards keep serving throughout; so does the shard's own commit stream,
+// which interleaves with the chunked transfer).
+func (s *ShardedCluster) Repair(shard ...int) error {
+	i, err := s.checkShard(shard)
+	if err != nil {
+		return err
 	}
 	return s.shards[i].Repair()
 }
 
-// RepairAsync starts an online repair of shard i and returns immediately:
-// the state transfer runs in the background of the shard's commit stream.
-// Watch RepairProgress(i) for completion.
-func (s *ShardedCluster) RepairAsync(i int) error {
-	if i < 0 || i >= len(s.shards) {
-		return ErrNoSuchShard
+// RepairAsync starts an online repair of the selected shard (default 0)
+// and returns immediately: the state transfer runs in the background of
+// the shard's commit stream. Watch RepairProgress for completion.
+func (s *ShardedCluster) RepairAsync(shard ...int) error {
+	i, err := s.checkShard(shard)
+	if err != nil {
+		return err
 	}
 	return s.shards[i].RepairAsync()
 }
 
-// RepairProgress reports shard i's current (or most recent) online repair;
-// the zero value is returned for an out-of-range index.
-func (s *ShardedCluster) RepairProgress(i int) RepairProgress {
-	if i < 0 || i >= len(s.shards) {
+// RepairProgress reports the selected shard's current (or most recent)
+// online repair; the zero value is returned for an out-of-range selector.
+func (s *ShardedCluster) RepairProgress(shard ...int) RepairProgress {
+	i, err := s.checkShard(shard)
+	if err != nil {
 		return RepairProgress{}
 	}
 	return s.shards[i].RepairProgress()
+}
+
+// CrashBackup kills backup i of the selected shard (default shard 0).
+func (s *ShardedCluster) CrashBackup(i int, shard ...int) error {
+	si, err := s.checkShard(shard)
+	if err != nil {
+		return err
+	}
+	return s.shards[si].CrashBackup(i)
+}
+
+// PauseBackup partitions backup i of the selected shard (default 0) away
+// from its SAN; ResumeBackup reconnects it.
+func (s *ShardedCluster) PauseBackup(i int, shard ...int) error {
+	si, err := s.checkShard(shard)
+	if err != nil {
+		return err
+	}
+	return s.shards[si].PauseBackup(i)
+}
+
+// ResumeBackup reconnects a paused backup of the selected shard (default
+// 0); it stays gated until Repair or RepairAsync re-enrolls it.
+func (s *ShardedCluster) ResumeBackup(i int, shard ...int) error {
+	si, err := s.checkShard(shard)
+	if err != nil {
+		return err
+	}
+	return s.shards[si].ResumeBackup(i)
+}
+
+// Backups returns the selected shard's current backup count (default
+// shard 0; every shard is configured to the same degree); zero for an
+// out-of-range selector.
+func (s *ShardedCluster) Backups(shard ...int) int {
+	i, err := s.checkShard(shard)
+	if err != nil {
+		return 0
+	}
+	return s.shards[i].Backups()
+}
+
+// AutopilotEnabled reports whether the unattended failure loop is on
+// (configured uniformly across shards).
+func (s *ShardedCluster) AutopilotEnabled() bool {
+	return s.shards[0].AutopilotEnabled()
 }
 
 // Committed returns the committed-transaction total across all shards.
@@ -478,11 +516,12 @@ func (s *ShardedCluster) NetTraffic() Traffic {
 	return out
 }
 
-// PartitionPrimary severs shard i's primary from the SAN (see
-// Cluster.PartitionPrimary).
-func (s *ShardedCluster) PartitionPrimary(i int) error {
-	if i < 0 || i >= len(s.shards) {
-		return ErrNoSuchShard
+// PartitionPrimary severs the selected shard's primary (default shard 0)
+// from the SAN (see Cluster.PartitionPrimary).
+func (s *ShardedCluster) PartitionPrimary(shard ...int) error {
+	i, err := s.checkShard(shard)
+	if err != nil {
+		return err
 	}
 	return s.shards[i].PartitionPrimary()
 }
