@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -92,10 +93,20 @@ func main() {
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
 }
 
+// requiredMetrics names, per output basename, the metrics every
+// benchmark in that file must report: a BENCH_server.json without its
+// latency percentiles (or with acked-write loss) is a broken artifact,
+// caught here instead of at reading time.
+var requiredMetrics = map[string][]string{
+	"BENCH_server.json": {"wall-ops/s", "p50-ms", "p99-ms", "p999-ms", "lost-acked-writes"},
+}
+
 // runCheck validates emitted BENCH_*.json files: each must unmarshal into
 // the Doc schema, contain at least one parsed benchmark with a Benchmark-
 // prefixed name and a positive iteration count, and preserve its raw
-// benchstat lines. Returns a process exit code.
+// benchstat lines. Files listed in requiredMetrics must additionally
+// carry their required metrics on every benchmark (and zero
+// lost-acked-writes). Returns a process exit code.
 func runCheck(files []string) int {
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: -check needs at least one file argument")
@@ -131,12 +142,22 @@ func checkFile(path string) error {
 	if len(doc.Raw) == 0 {
 		return fmt.Errorf("no raw benchstat lines preserved")
 	}
+	required := requiredMetrics[filepath.Base(path)]
 	for i, b := range doc.Benchmarks {
 		if !strings.HasPrefix(b.Name, "Benchmark") {
 			return fmt.Errorf("benchmark %d has non-benchmark name %q", i, b.Name)
 		}
 		if b.N <= 0 {
 			return fmt.Errorf("benchmark %q has non-positive iteration count %d", b.Name, b.N)
+		}
+		for _, m := range required {
+			v, ok := b.Metrics[m]
+			if !ok {
+				return fmt.Errorf("benchmark %q is missing required metric %q", b.Name, m)
+			}
+			if m == "lost-acked-writes" && v != 0 {
+				return fmt.Errorf("benchmark %q reports %g lost acknowledged writes", b.Name, v)
+			}
 		}
 	}
 	return nil

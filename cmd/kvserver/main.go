@@ -1,0 +1,122 @@
+// Command kvserver serves a replicated kv keyspace over TCP.
+//
+// It hosts one deployment — a primary/backup replica group (or a
+// sharded fleet of them) with the autopilot watching it — formats a
+// kv.Store inside the replicated bytes, and serves the kvwire protocol
+// on -addr. A primary crash costs no acknowledged writes: clients see
+// retryable errors while the autopilot promotes a survivor, the server
+// re-Opens the store in place, and the retries then land.
+//
+// Usage:
+//
+//	kvserver [-addr :7791] [-db-mb 8] [-backups 3]
+//	         [-safety 1safe|2safe|quorum] [-shards 1]
+//	         [-autopilot=true] [-window 64] [-q]
+//
+// SIGINT/SIGTERM drain gracefully: accepted requests are answered,
+// writers flush, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/kvserver"
+	"repro/kv"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7791", "TCP listen address")
+		dbMB      = flag.Int("db-mb", 8, "replicated database size in MiB (per shard)")
+		backups   = flag.Int("backups", 3, "backups per replica group (3 at quorum rides out a failover without losing the safety level)")
+		safety    = flag.String("safety", "quorum", "commit discipline (1safe, 2safe, quorum)")
+		shards    = flag.Int("shards", 1, "independent replica groups; keys are range-partitioned across them by the store")
+		autopilot = flag.Bool("autopilot", true, "run the autopilot (heartbeat failure detection + unattended failover)")
+		window    = flag.Int("window", 64, "per-connection in-flight response window")
+		quiet     = flag.Bool("q", false, "suppress serving log lines")
+	)
+	flag.Parse()
+
+	cfg := repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  *dbMB << 20,
+		Backups: *backups,
+	}
+	switch *safety {
+	case "1safe":
+		cfg.Safety = repro.OneSafe
+	case "2safe":
+		cfg.Safety = repro.TwoSafe
+	case "quorum":
+		cfg.Safety = repro.QuorumSafe
+	default:
+		fmt.Fprintf(os.Stderr, "kvserver: unknown safety level %q\n", *safety)
+		os.Exit(2)
+	}
+	if *autopilot {
+		cfg.Autopilot = repro.AutopilotConfig{
+			HeartbeatPeriod: 200 * time.Microsecond,
+			AutoFailover:    true,
+			AutoRepair:      true,
+			Spares:          1,
+		}
+	}
+
+	var db repro.DB
+	var err error
+	if *shards > 1 {
+		db, err = repro.NewSharded(cfg, *shards)
+	} else {
+		db, err = repro.New(cfg)
+	}
+	if err != nil {
+		log.Fatalf("kvserver: deployment: %v", err)
+	}
+	store, err := kv.Open(db)
+	if err != nil {
+		log.Fatalf("kvserver: kv.Open: %v", err)
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	srv := kvserver.New(store, kvserver.Config{Window: *window, Logf: logf})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("kvserver: listen: %v", err)
+	}
+	logf("kvserver: serving %s shards=%d backups=%d safety=%s autopilot=%v db=%dMiB",
+		l.Addr(), *shards, *backups, cfg.Safety, *autopilot, *dbMB)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	select {
+	case sig := <-sigc:
+		logf("kvserver: %v — draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("kvserver: drain: %v", err)
+		}
+		logf("kvserver: drained")
+	case err := <-serveErr:
+		if err != nil {
+			log.Fatalf("kvserver: serve: %v", err)
+		}
+	}
+}

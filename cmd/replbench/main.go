@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	replbench [-experiment all|paper|ablations|extensions|everything|fig1|table1|...|shard-scaling|parallel-shards|group-commit|availability|chaos|kv]
+//	replbench [-experiment <group>|<id>[,<id>...]]
+//	          groups: all, paper, ablations, extensions, everything
+//	          ids:    fig1 fig2 fig3 table1..table8
+//	                  ablation-2safe ablation-cpu ablation-packet ablation-san ablation-wbuf
+//	                  repl-degree shard-scaling parallel-shards group-commit
+//	                  availability chaos kv
 //	          [-repair] [-chaos] [-chaos-events N] [-kv] [-kv-ops N] [-kv-records N]
 //	          [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
 //	          [-backups K] [-shards N] [-clients C] [-commit-batch B]
@@ -42,17 +47,17 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "exhibit to regenerate (all, paper, ablations, extensions, everything, fig1, table1..table8, fig2, fig3, repl-degree, shard-scaling)")
+		experiment = flag.String("experiment", "all", "exhibits to regenerate: a group (all, paper, ablations, extensions, everything) or comma-separated ids (fig1..fig3, table1..table8, ablation-2safe/cpu/packet/san/wbuf, repl-degree, shard-scaling, parallel-shards, group-commit, availability, chaos, kv)")
 		dbMB       = flag.Int("db", 50, "database size in MB")
 		dcTxns     = flag.Int64("dc-txns", 0, "Debit-Credit transactions per cell (0 = default)")
 		oeTxns     = flag.Int64("oe-txns", 0, "Order-Entry transactions per cell (0 = default)")
 		warmup     = flag.Int64("warmup", 0, "warmup transactions per cell (0 = default)")
 		seed       = flag.Uint64("seed", 1, "workload seed")
-		backups    = flag.Int("backups", 3, "replication degree K for the extension experiments")
-		shards     = flag.Int("shards", 4, "largest shard count the shard-scaling experiments sweep to")
-		clients    = flag.Int("clients", 0, "concurrent client goroutines for parallel-shards (0 = one per shard)")
-		batch      = flag.Int("commit-batch", 0, "extra group-commit batch size for the group-commit experiment")
-		safety     = flag.String("safety", "1safe", "commit discipline for shard-scaling (1safe, 2safe, quorum)")
+		backups    = flag.Int("backups", 3, "replication degree K for the replicated cells: repl-degree sweeps 1..K; shard-scaling, parallel-shards, availability, chaos and kv build K-backup groups (group-commit pins K=3)")
+		shards     = flag.Int("shards", 4, "largest shard count the shard-scaling and parallel-shards sweeps reach")
+		clients    = flag.Int("clients", 0, "concurrent client goroutines, parallel-shards only (0 = one per shard; every other cell drives a single deterministic client)")
+		batch      = flag.Int("commit-batch", 0, "extra batch size appended to the group-commit sweep (1, 4, 16)")
+		safety     = flag.String("safety", "1safe", "commit discipline (1safe, 2safe, quorum) for shard-scaling, parallel-shards, availability, chaos and kv; repl-degree and group-commit sweep every level themselves")
 		repair     = flag.Bool("repair", false, "run the crash→failover→online-repair availability timeline (windowed txn/s + repair duration/bytes)")
 		chaos      = flag.Bool("chaos", false, "run the unattended chaos schedule against the autopilot (per-event MTTD/failover/repair/MTTR latencies; seeded by -seed)")
 		chaosN     = flag.Int("chaos-events", 0, "fault injections the -chaos schedule lands (0 = default 4)")

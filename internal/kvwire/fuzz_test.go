@@ -1,0 +1,63 @@
+package kvwire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseRequest: arbitrary bytes must decode to a Request or an
+// error — never a panic or an out-of-bounds slice. The seed corpus mixes
+// valid frames with near-valid corruptions; `go test` replays it on
+// every run, and `go test -fuzz FuzzParseRequest ./internal/kvwire`
+// explores further.
+func FuzzParseRequest(f *testing.F) {
+	valid := [][]byte{
+		AppendPut(nil, []byte("key"), []byte("value")),
+		AppendGet(nil, []byte("key")),
+		AppendDelete(nil, []byte("key")),
+		AppendScan(nil, []byte("key"), 10),
+		AppendTxn(nil, []Op{{Kind: TxnPut, Key: []byte("k"), Val: []byte("v")}, {Kind: TxnDelete, Key: []byte("d")}}),
+		AppendEmpty(nil, OpStats),
+		AppendEmpty(nil, OpPing),
+	}
+	for _, frame := range valid {
+		f.Add(frame[4:]) // frame body: opcode + payload
+	}
+	f.Add([]byte{OpTxn, 0, 2, 0, 0, 1, 'a'})
+	f.Add([]byte("GET / HTTP/1.1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req Request
+		if err := ParseRequest(body, &req); err != nil {
+			return
+		}
+		// A successfully decoded request must re-encode within limits.
+		if len(req.Key) > MaxKey || len(req.Val) > MaxValue || req.Limit > MaxScan || len(req.Ops) > MaxTxn {
+			t.Fatalf("decoded request exceeds protocol limits: %+v", req)
+		}
+		for _, op := range req.Ops {
+			if len(op.Key) > MaxKey || len(op.Val) > MaxValue {
+				t.Fatalf("decoded txn op exceeds protocol limits")
+			}
+		}
+	})
+}
+
+// FuzzReadFrame: a stream of arbitrary bytes either yields frames or
+// errors cleanly; it never reads past the declared body nor panics.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendGet(nil, []byte("key")))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		buf := make([]byte, 0, 64)
+		for i := 0; i < 16; i++ {
+			var err error
+			buf, err = ReadFrame(r, buf, MaxFrame)
+			if err != nil {
+				return
+			}
+		}
+	})
+}

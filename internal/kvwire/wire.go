@@ -1,0 +1,466 @@
+// Package kvwire is the client/server wire protocol of the kv serving
+// stack: a length-prefixed binary framing shared by cmd/kvserver,
+// package kvclient and cmd/kvload.
+//
+// # Framing
+//
+// Every message — request or response — is one frame:
+//
+//	u32  length of the body, big-endian (1 ≤ length ≤ MaxFrame)
+//	u8   opcode (request) or status (response)
+//	...  opcode/status-specific payload
+//
+// Requests on one connection are answered strictly in order, one
+// response per request, which is what makes pipelining work: a client
+// may write any number of requests before reading the first response and
+// match responses to requests by position alone.
+//
+// # Request payloads
+//
+//	OpPut    u16 klen, key, u32 vlen, value
+//	OpGet    u16 klen, key
+//	OpDelete u16 klen, key
+//	OpScan   u16 klen, start key (may be empty), u32 limit (≤ MaxScan)
+//	OpTxn    u16 n, then n times: u8 kind (0 put, 1 delete),
+//	         u16 klen, key, and for puts u32 vlen, value
+//	OpStats  empty
+//	OpPing   empty
+//
+// # Response payloads
+//
+//	StatusOK        Get: value. Scan: u32 n, then n × (u16 klen, key,
+//	                u32 vlen, value). Stats: JSON-encoded Stats.
+//	                Put/Delete/Txn/Ping: empty.
+//	StatusNotFound  empty (Get/Delete of an absent key)
+//	StatusRetry     message — the serving deployment is failing over;
+//	                the operation was not acknowledged and is safe to
+//	                retry against the same address
+//	StatusDegraded  message — the mutation is durable on the serving
+//	                node but the configured acknowledgement discipline
+//	                was not met (repro.ErrSafetyUnavailable)
+//	StatusErr       message — terminal operation error (key too large,
+//	                store full, ...); retrying the identical request
+//	                will fail the same way
+//	StatusBad       message — malformed frame; the server closes the
+//	                connection after sending it
+package kvwire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Frame geometry limits. A frame declaring more than MaxFrame body bytes
+// is rejected without buffering it — the first line of defense against
+// garbage (a stray HTTP request's "GET " reads as a 1.2 GB length).
+const (
+	MaxFrame = 1 << 20 // largest frame body either side accepts
+	MaxKey   = 1 << 10 // largest key the protocol carries
+	MaxValue = 1 << 16 // largest value the protocol carries
+	MaxScan  = 1 << 10 // largest scan limit
+	MaxTxn   = 1 << 10 // most operations in one Txn frame
+)
+
+// Request opcodes.
+const (
+	OpPut byte = iota + 1
+	OpGet
+	OpDelete
+	OpScan
+	OpTxn
+	OpStats
+	OpPing
+)
+
+// Response status codes.
+const (
+	StatusOK byte = iota
+	StatusNotFound
+	StatusRetry
+	StatusDegraded
+	StatusErr
+	StatusBad
+)
+
+// Txn operation kinds.
+const (
+	TxnPut    byte = 0
+	TxnDelete byte = 1
+)
+
+// ErrFrame reports a malformed frame or payload; the connection that
+// produced it cannot be resynchronized and must be closed.
+var ErrFrame = errors.New("kvwire: malformed frame")
+
+// Op is one operation of a Txn request.
+type Op struct {
+	Kind byte // TxnPut or TxnDelete
+	Key  []byte
+	Val  []byte // TxnPut only
+}
+
+// Request is a decoded request frame. Key, Val and Ops alias the frame
+// buffer — valid until the buffer is recycled.
+type Request struct {
+	Op    byte
+	Key   []byte
+	Val   []byte
+	Limit int  // OpScan
+	Ops   []Op // OpTxn
+}
+
+// Stats is the server-state document an OpStats request returns,
+// JSON-encoded in the response body.
+type Stats struct {
+	// Keys is the live key count of the served store.
+	Keys int `json:"keys"`
+	// Committed is the deployment's committed-transaction count.
+	Committed uint64 `json:"committed"`
+	// Conns is the number of currently open client connections.
+	Conns int `json:"conns"`
+	// Ops counts requests served since the server started.
+	Ops uint64 `json:"ops"`
+	// Retries counts StatusRetry responses sent (operations arriving
+	// while the deployment was failing over).
+	Retries uint64 `json:"retries"`
+	// Reopens counts successful store heals (failover + Reopen).
+	Reopens uint64 `json:"reopens"`
+	// BadFrames counts malformed frames received.
+	BadFrames uint64 `json:"bad_frames"`
+	// Draining reports whether the server has begun its graceful drain.
+	Draining bool `json:"draining"`
+}
+
+// bufPool recycles frame buffers across requests and responses — the
+// serving path's analogue of the facade's pooled redo encode buffers:
+// steady-state request handling allocates no per-op buffers.
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 4096) }}
+
+// GetBuf returns a pooled zero-length buffer.
+func GetBuf() []byte { return bufPool.Get().([]byte)[:0] }
+
+// PutBuf recycles a buffer obtained from GetBuf (or grown from one).
+func PutBuf(b []byte) {
+	if cap(b) > MaxFrame+8 {
+		return // oversized outlier: let it go instead of pinning it
+	}
+	bufPool.Put(b[:0]) //nolint:staticcheck // slice sizes are pooled intentionally
+}
+
+// BeginFrame starts a frame in buf: the 4-byte length placeholder plus
+// the opcode/status byte. Append the payload, then seal with EndFrame.
+func BeginFrame(buf []byte, code byte) []byte {
+	return append(buf[:0], 0, 0, 0, 0, code)
+}
+
+// EndFrame seals a frame begun with BeginFrame by writing the body
+// length into the placeholder.
+func EndFrame(buf []byte) []byte {
+	binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+	return buf
+}
+
+// appendU16 appends a big-endian u16 length word, which the limits above
+// guarantee fits.
+func appendU16(buf []byte, v int) []byte {
+	return append(buf, byte(v>>8), byte(v))
+}
+
+func appendU32(buf []byte, v int) []byte {
+	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// AppendPut appends a sealed OpPut request frame to buf.
+func AppendPut(buf, key, val []byte) []byte {
+	buf = BeginFrame(buf, OpPut)
+	buf = appendU16(buf, len(key))
+	buf = append(buf, key...)
+	buf = appendU32(buf, len(val))
+	buf = append(buf, val...)
+	return EndFrame(buf)
+}
+
+// AppendGet appends a sealed OpGet request frame to buf.
+func AppendGet(buf, key []byte) []byte {
+	buf = BeginFrame(buf, OpGet)
+	buf = appendU16(buf, len(key))
+	buf = append(buf, key...)
+	return EndFrame(buf)
+}
+
+// AppendDelete appends a sealed OpDelete request frame to buf.
+func AppendDelete(buf, key []byte) []byte {
+	buf = BeginFrame(buf, OpDelete)
+	buf = appendU16(buf, len(key))
+	buf = append(buf, key...)
+	return EndFrame(buf)
+}
+
+// AppendScan appends a sealed OpScan request frame to buf.
+func AppendScan(buf, start []byte, limit int) []byte {
+	buf = BeginFrame(buf, OpScan)
+	buf = appendU16(buf, len(start))
+	buf = append(buf, start...)
+	buf = appendU32(buf, limit)
+	return EndFrame(buf)
+}
+
+// AppendTxn appends a sealed OpTxn request frame to buf.
+func AppendTxn(buf []byte, ops []Op) []byte {
+	buf = BeginFrame(buf, OpTxn)
+	buf = appendU16(buf, len(ops))
+	for _, op := range ops {
+		buf = append(buf, op.Kind)
+		buf = appendU16(buf, len(op.Key))
+		buf = append(buf, op.Key...)
+		if op.Kind == TxnPut {
+			buf = appendU32(buf, len(op.Val))
+			buf = append(buf, op.Val...)
+		}
+	}
+	return EndFrame(buf)
+}
+
+// AppendEmpty appends a sealed payload-free frame (OpStats, OpPing, or
+// an empty-bodied response status) to buf.
+func AppendEmpty(buf []byte, code byte) []byte {
+	return EndFrame(BeginFrame(buf, code))
+}
+
+// AppendMsg appends a sealed frame whose payload is a message string
+// (the error-carrying response statuses).
+func AppendMsg(buf []byte, code byte, msg string) []byte {
+	buf = BeginFrame(buf, code)
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	buf = append(buf, msg...)
+	return EndFrame(buf)
+}
+
+// ReadFrame reads one frame body (code byte included) from r into buf,
+// growing it as needed, and returns the body. io.EOF surfaces unchanged
+// when the stream ends cleanly between frames; a declared length outside
+// (0, max] returns ErrFrame without consuming the body.
+func ReadFrame(r io.Reader, buf []byte, max int) ([]byte, error) {
+	var head [4]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return buf, fmt.Errorf("%w: truncated length prefix", ErrFrame)
+		}
+		return buf, err
+	}
+	n := int(binary.BigEndian.Uint32(head[:]))
+	if n < 1 || n > max {
+		return buf, fmt.Errorf("%w: declared body of %d bytes (max %d)", ErrFrame, n, max)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, fmt.Errorf("%w: truncated body: %v", ErrFrame, err)
+	}
+	return buf, nil
+}
+
+// reader is a bounds-checked cursor over a frame body.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrFrame
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (int, error) {
+	if r.off+2 > len(r.b) {
+		return 0, ErrFrame
+	}
+	v := int(binary.BigEndian.Uint16(r.b[r.off:]))
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (int, error) {
+	if r.off+4 > len(r.b) {
+		return 0, ErrFrame
+	}
+	v := int(binary.BigEndian.Uint32(r.b[r.off:]))
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.b) {
+		return nil, ErrFrame
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) key(max int) ([]byte, error) {
+	n, err := r.u16()
+	if err != nil {
+		return nil, err
+	}
+	if n > max {
+		return nil, fmt.Errorf("%w: key of %d bytes (max %d)", ErrFrame, n, max)
+	}
+	return r.bytes(n)
+}
+
+func (r *reader) value() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxValue {
+		return nil, fmt.Errorf("%w: value of %d bytes (max %d)", ErrFrame, n, MaxValue)
+	}
+	return r.bytes(n)
+}
+
+// ParseRequest decodes a request frame body into req. Every length is
+// bounds-checked against the body and the protocol limits, so arbitrary
+// garbage decodes to an error, never a panic or an out-of-range slice;
+// trailing bytes after the payload are also rejected (a desynchronized
+// peer should be disconnected, not humored). The decoded slices alias
+// body.
+func ParseRequest(body []byte, req *Request) error {
+	*req = Request{}
+	r := reader{b: body}
+	op, err := r.u8()
+	if err != nil {
+		return err
+	}
+	req.Op = op
+	switch op {
+	case OpPut:
+		if req.Key, err = r.key(MaxKey); err != nil {
+			return err
+		}
+		if req.Val, err = r.value(); err != nil {
+			return err
+		}
+	case OpGet, OpDelete:
+		if req.Key, err = r.key(MaxKey); err != nil {
+			return err
+		}
+	case OpScan:
+		if req.Key, err = r.key(MaxKey); err != nil {
+			return err
+		}
+		if req.Limit, err = r.u32(); err != nil {
+			return err
+		}
+		if req.Limit > MaxScan {
+			return fmt.Errorf("%w: scan limit %d (max %d)", ErrFrame, req.Limit, MaxScan)
+		}
+	case OpTxn:
+		n, err := r.u16()
+		if err != nil {
+			return err
+		}
+		if n > MaxTxn {
+			return fmt.Errorf("%w: txn of %d ops (max %d)", ErrFrame, n, MaxTxn)
+		}
+		req.Ops = make([]Op, 0, n)
+		for i := 0; i < n; i++ {
+			var o Op
+			if o.Kind, err = r.u8(); err != nil {
+				return err
+			}
+			if o.Kind != TxnPut && o.Kind != TxnDelete {
+				return fmt.Errorf("%w: unknown txn op kind %d", ErrFrame, o.Kind)
+			}
+			if o.Key, err = r.key(MaxKey); err != nil {
+				return err
+			}
+			if o.Kind == TxnPut {
+				if o.Val, err = r.value(); err != nil {
+					return err
+				}
+			}
+			req.Ops = append(req.Ops, o)
+		}
+	case OpStats, OpPing:
+		// No payload.
+	default:
+		return fmt.Errorf("%w: unknown opcode %d", ErrFrame, op)
+	}
+	if r.off != len(body) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(body)-r.off)
+	}
+	return nil
+}
+
+// Entry is one key/value pair of a scan response.
+type Entry struct {
+	Key []byte
+	Val []byte
+}
+
+// AppendScanEntry appends one entry to an open StatusOK scan response
+// whose count word was placed with appendU32; the server bumps the count
+// in place via FinishScan.
+func AppendScanEntry(buf, key, val []byte) []byte {
+	buf = appendU16(buf, len(key))
+	buf = append(buf, key...)
+	buf = appendU32(buf, len(val))
+	buf = append(buf, val...)
+	return buf
+}
+
+// BeginScanResponse starts a StatusOK scan response, returning the buffer
+// and the offset of its entry-count word.
+func BeginScanResponse(buf []byte) ([]byte, int) {
+	buf = BeginFrame(buf, StatusOK)
+	off := len(buf)
+	buf = appendU32(buf, 0)
+	return buf, off
+}
+
+// FinishScanResponse seals a scan response: writes the entry count into
+// its placeholder and the frame length into the header.
+func FinishScanResponse(buf []byte, countOff, n int) []byte {
+	binary.BigEndian.PutUint32(buf[countOff:], uint32(n))
+	return EndFrame(buf)
+}
+
+// ParseScanBody decodes a StatusOK scan response body (status byte
+// stripped) by calling fn for every entry; the slices alias body.
+func ParseScanBody(body []byte, fn func(key, val []byte) error) error {
+	r := reader{b: body}
+	n, err := r.u32()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		key, err := r.key(MaxKey)
+		if err != nil {
+			return err
+		}
+		val, err := r.value()
+		if err != nil {
+			return err
+		}
+		if err := fn(key, val); err != nil {
+			return err
+		}
+	}
+	if r.off != len(body) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(body)-r.off)
+	}
+	return nil
+}

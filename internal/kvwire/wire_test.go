@@ -1,0 +1,149 @@
+package kvwire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestRequestRoundTrip: every request kind encodes and parses back to
+// itself through the frame layer.
+func TestRequestRoundTrip(t *testing.T) {
+	key := []byte("user00000042")
+	val := bytes.Repeat([]byte("v"), 100)
+	frames := [][]byte{
+		AppendPut(GetBuf(), key, val),
+		AppendGet(GetBuf(), key),
+		AppendDelete(GetBuf(), key),
+		AppendScan(GetBuf(), key, 10),
+		AppendScan(GetBuf(), nil, 3),
+		AppendTxn(GetBuf(), []Op{
+			{Kind: TxnPut, Key: key, Val: val},
+			{Kind: TxnDelete, Key: []byte("other")},
+		}),
+		AppendEmpty(GetBuf(), OpStats),
+		AppendEmpty(GetBuf(), OpPing),
+	}
+	var stream bytes.Buffer
+	for _, f := range frames {
+		stream.Write(f)
+	}
+	buf := GetBuf()
+	var req Request
+	wantOps := []byte{OpPut, OpGet, OpDelete, OpScan, OpScan, OpTxn, OpStats, OpPing}
+	for i, want := range wantOps {
+		var err error
+		buf, err = ReadFrame(&stream, buf, MaxFrame)
+		if err != nil {
+			t.Fatalf("frame %d: read: %v", i, err)
+		}
+		if err := ParseRequest(buf, &req); err != nil {
+			t.Fatalf("frame %d: parse: %v", i, err)
+		}
+		if req.Op != want {
+			t.Fatalf("frame %d: op = %d, want %d", i, req.Op, want)
+		}
+		switch i {
+		case 0:
+			if !bytes.Equal(req.Key, key) || !bytes.Equal(req.Val, val) {
+				t.Fatalf("put round-trip mismatch")
+			}
+		case 3:
+			if req.Limit != 10 || !bytes.Equal(req.Key, key) {
+				t.Fatalf("scan round-trip mismatch: %+v", req)
+			}
+		case 4:
+			if req.Limit != 3 || len(req.Key) != 0 {
+				t.Fatalf("empty-start scan mismatch: %+v", req)
+			}
+		case 5:
+			if len(req.Ops) != 2 || req.Ops[0].Kind != TxnPut ||
+				!bytes.Equal(req.Ops[0].Val, val) || req.Ops[1].Kind != TxnDelete {
+				t.Fatalf("txn round-trip mismatch: %+v", req.Ops)
+			}
+		}
+	}
+	if _, err := ReadFrame(&stream, buf, MaxFrame); err != io.EOF {
+		t.Fatalf("stream end: err = %v, want io.EOF", err)
+	}
+}
+
+// TestScanResponseRoundTrip: the incremental scan-response builder and
+// its parser agree.
+func TestScanResponseRoundTrip(t *testing.T) {
+	buf, countOff := BeginScanResponse(GetBuf())
+	entries := []Entry{
+		{Key: []byte("a"), Val: []byte("1")},
+		{Key: []byte("bb"), Val: bytes.Repeat([]byte("x"), 300)},
+	}
+	for _, e := range entries {
+		buf = AppendScanEntry(buf, e.Key, e.Val)
+	}
+	buf = FinishScanResponse(buf, countOff, len(entries))
+
+	var stream bytes.Buffer
+	stream.Write(buf)
+	body, err := ReadFrame(&stream, GetBuf(), MaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body[0] != StatusOK {
+		t.Fatalf("status = %d", body[0])
+	}
+	i := 0
+	err = ParseScanBody(body[1:], func(key, val []byte) error {
+		if !bytes.Equal(key, entries[i].Key) || !bytes.Equal(val, entries[i].Val) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+		i++
+		return nil
+	})
+	if err != nil || i != len(entries) {
+		t.Fatalf("parse: err=%v entries=%d", err, i)
+	}
+}
+
+// TestMalformedFrames: garbage declared lengths and truncated or
+// overlong payloads all surface as ErrFrame, never a panic.
+func TestMalformedFrames(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"http-verb length", []byte("GET / HTTP/1.1\r\n")},
+		{"zero length", []byte{0, 0, 0, 0}},
+		{"huge length", []byte{0xff, 0xff, 0xff, 0xff, 1}},
+		{"truncated prefix", []byte{0, 0}},
+		{"truncated body", []byte{0, 0, 0, 9, OpGet, 0, 2, 'a'}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadFrame(bytes.NewReader(c.raw), GetBuf(), MaxFrame)
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("err = %v, want ErrFrame", err)
+			}
+		})
+	}
+
+	bodies := [][]byte{
+		{},                      // no opcode (cannot arrive via ReadFrame, but parse must hold)
+		{99},                    // unknown opcode
+		{OpGet},                 // missing key length
+		{OpGet, 0xff, 0xff},     // key length beyond MaxKey
+		{OpGet, 0, 1},           // key bytes missing
+		{OpGet, 0, 1, 'a', 'x'}, // trailing garbage
+		{OpPut, 0, 1, 'a'},      // missing value length
+		{OpPut, 0, 1, 'a', 0xff, 0xff, 0xff, 0xff}, // value length beyond MaxValue
+		{OpScan, 0, 0, 0xff, 0xff, 0xff, 0xff},     // scan limit beyond MaxScan
+		{OpTxn, 0xff, 0xff},                        // txn count beyond MaxTxn
+		{OpTxn, 0, 1, 7, 0, 1, 'a'},                // unknown txn kind
+		{OpStats, 1},                               // payload on a payload-free op
+	}
+	var req Request
+	for i, b := range bodies {
+		if err := ParseRequest(b, &req); !errors.Is(err, ErrFrame) {
+			t.Errorf("body %d: err = %v, want ErrFrame", i, err)
+		}
+	}
+}

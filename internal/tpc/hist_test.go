@@ -1,0 +1,85 @@
+package tpc
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketRoundTrip: every bucket's representative value indexes
+// back into the same bucket, and indices are monotone in the value.
+func TestHistBucketRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		v := histValue(i)
+		if got := histIndex(v); got != i {
+			t.Fatalf("histIndex(histValue(%d)) = %d", i, got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 1000, 1 << 20, 1 << 40, math.MaxUint64 / 2} {
+		idx := histIndex(v)
+		if idx < prev {
+			t.Fatalf("histIndex not monotone at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// TestHistPercentiles: a known uniform population reads back within the
+// bucketing's relative resolution.
+func TestHistPercentiles(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 10_000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 10_000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.5, 5000 * time.Microsecond},
+		{0.99, 9900 * time.Microsecond},
+		{0.999, 9990 * time.Microsecond},
+	}
+	for _, c := range checks {
+		got := h.Percentile(c.q)
+		rel := math.Abs(float64(got-c.want)) / float64(c.want)
+		if rel > 0.05 {
+			t.Errorf("p%g = %v, want ~%v (rel err %.3f)", c.q*100, got, c.want, rel)
+		}
+	}
+	if m := h.Mean(); m < 4500*time.Microsecond || m > 5500*time.Microsecond {
+		t.Errorf("mean = %v, want ~5ms", m)
+	}
+}
+
+// TestHistMergeConcurrent: concurrent recording plus a merge preserves
+// the total sample count and sum.
+func TestHistMergeConcurrent(t *testing.T) {
+	var a, b Hist
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				a.Record(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.Record(time.Millisecond)
+	b.Merge(&a)
+	if b.Count() != 8001 {
+		t.Fatalf("merged count = %d, want 8001", b.Count())
+	}
+	if b.Sum() != a.Sum()+time.Millisecond {
+		t.Fatalf("merged sum = %v, want %v", b.Sum(), a.Sum()+time.Millisecond)
+	}
+	if b.Percentile(1) < time.Millisecond {
+		t.Fatalf("max percentile %v below the merged max", b.Percentile(1))
+	}
+}

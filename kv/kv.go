@@ -53,7 +53,9 @@
 // mutation is durable on the serving node but its acknowledgement
 // discipline was not met — the key-level analogue of the facade's
 // degraded commit. After repro.ErrCrashed the Store is broken: fail the
-// deployment over and Open it again.
+// deployment over and Open it again, or call Reopen on the existing
+// handle to re-run the same recovery in place (what a long-lived server
+// does after the autopilot promotes a survivor).
 package kv
 
 import (
@@ -61,6 +63,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -219,6 +222,46 @@ func OpenWith(db repro.DB, opt Options) (*Store, error) {
 		return nil, ErrBadFormat
 	}
 	return s, nil
+}
+
+// Reopen re-runs Open-time recovery in place: it probes the deployment
+// for admission (which pumps the autopilot, so a dead primary with
+// AutoFailover configured is promoted by the probe itself), re-adopts
+// the persisted header, clears the broken flag and rebuilds the
+// in-memory acceleration from the replicated bytes — exactly what a
+// fresh Open would do, without invalidating the handle callers hold.
+//
+// It is the serving-path heal: a Store that observed ErrBroken after a
+// primary crash (or a lease-fenced deposition) becomes usable again once
+// the cluster has failed over, with every acknowledged mutation intact.
+// If the deployment still is not servable — no failover yet, lease still
+// expired, safety level unmet — Reopen returns that error and the Store
+// stays broken; retry after the cluster heals.
+func (s *Store) Reopen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tx, err := s.db.Begin()
+	if err != nil {
+		return err
+	}
+	if err := tx.Abort(); err != nil {
+		return err
+	}
+	var head [headerSize]byte
+	s.db.ReadRaw(0, head[:])
+	if !bytes.Equal(head[hMagic:hMagic+8], magic) {
+		return ErrBadFormat
+	}
+	if err := s.adoptHeader(head[:]); err != nil {
+		return err
+	}
+	wasBroken := s.broken
+	s.broken = false
+	if err := s.recover(); err != nil {
+		s.broken = s.broken || wasBroken
+		return err
+	}
+	return nil
 }
 
 // format computes the geometry for the database size and persists the
@@ -490,23 +533,39 @@ func grow(buf []byte, n int) []byte {
 // Get returns the value stored under key. The returned slice is freshly
 // allocated.
 func (s *Store) Get(key []byte) ([]byte, error) {
+	val, err := s.GetAppend(key, nil)
+	if err != nil {
+		return nil, err
+	}
+	if val == nil {
+		val = []byte{}
+	}
+	return val, nil
+}
+
+// GetAppend appends the value stored under key to dst and returns the
+// extended slice — the allocation-free variant of Get for serving paths
+// that copy the value straight into a pooled response buffer. On any
+// error dst is returned unextended.
+func (s *Store) GetAppend(key, dst []byte) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.check(key); err != nil {
-		return nil, err
+		return dst, err
 	}
 	p, err := s.probe(key, nil)
 	if err != nil {
-		return nil, s.observe(err)
+		return dst, s.observe(err)
 	}
 	if !p.found {
-		return nil, ErrNotFound
+		return dst, ErrNotFound
 	}
-	val := make([]byte, p.valLen)
-	if err := s.db.Read(s.geo.slotOff(p.slot)+slotHeader+len(key), val); err != nil {
-		return nil, s.observe(err)
+	off := len(dst)
+	out := slices.Grow(dst, p.valLen)[:off+p.valLen]
+	if err := s.db.Read(s.geo.slotOff(p.slot)+slotHeader+len(key), out[off:]); err != nil {
+		return dst, s.observe(err)
 	}
-	return val, nil
+	return out, nil
 }
 
 // Put stores value under key, overwriting any previous value. The record
@@ -705,28 +764,56 @@ func (s *Store) applyWrite(w *write, p probeResult) {
 // Scan visits up to limit live entries in bucket order, starting at
 // start's natural bucket (or bucket 0 when start is nil), wrapping once
 // around the table — the short range scan of YCSB-style workloads.
-// Iteration order is hash order, not key order. fn's slices are reused
-// between calls; copy what must outlive the callback. Returns the number
-// of entries visited; a non-nil fn error stops the scan and is returned.
+// Iteration order is hash order, not key order. The entries are staged
+// under the store's lock and fn runs after it is released, so a callback
+// is free to call back into the Store (Get, Put, even another Scan)
+// without deadlocking; what it sees is a consistent snapshot taken at
+// the Scan call, not the live table. fn's slices are reused between
+// calls; copy what must outlive the callback. Returns the number of
+// entries delivered to fn; a non-nil fn error stops the scan and is
+// returned. A read error during staging delivers nothing.
 func (s *Store) Scan(start []byte, limit int, fn func(key, value []byte) error) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	flat, bounds, err := s.stageScan(start, limit)
+	s.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	for i, bd := range bounds {
+		if err := fn(flat[bd.off:bd.off+bd.kl], flat[bd.off+bd.kl:bd.off+bd.kl+bd.vl]); err != nil {
+			return i + 1, err
+		}
+	}
+	return len(bounds), nil
+}
+
+// scanEntry locates one staged entry inside a scan's flat buffer.
+type scanEntry struct {
+	off, kl, vl int
+}
+
+// stageScan copies up to limit live entries out of the table into one
+// flat buffer, under s.mu. The buffer is call-local: it must survive
+// after the lock is released, and concurrent Scans must not share it, so
+// it cannot live in the Store's recycled scratch space.
+func (s *Store) stageScan(start []byte, limit int) ([]byte, []scanEntry, error) {
 	if s.broken {
-		return 0, ErrBroken
+		return nil, nil, ErrBroken
 	}
 	if limit <= 0 {
-		return 0, nil
+		return nil, nil, nil
 	}
 	b0 := uint64(0)
 	if len(start) > 0 {
 		b0 = hash(start) & s.geo.mask()
 	}
-	seen := 0
-	for i := uint64(0); i < s.geo.bucketCount && seen < limit; i++ {
+	var flat []byte
+	var bounds []scanEntry
+	for i := uint64(0); i < s.geo.bucketCount && len(bounds) < limit; i++ {
 		b := (b0 + i) & s.geo.mask()
 		w, err := s.readBucket(b)
 		if err != nil {
-			return seen, s.observe(err)
+			return nil, nil, s.observe(err)
 		}
 		if w == bucketEmpty || w == bucketTomb {
 			continue
@@ -734,16 +821,14 @@ func (s *Store) Scan(start []byte, limit int, fn func(key, value []byte) error) 
 		slot := w - bucketBase
 		kl, vl, err := s.readSlotHeader(slot)
 		if err != nil {
-			return seen, s.observe(err)
+			return nil, nil, s.observe(err)
 		}
-		s.kbuf = grow(s.kbuf, kl+vl)
-		if err := s.db.Read(s.geo.slotOff(slot)+slotHeader, s.kbuf); err != nil {
-			return seen, s.observe(err)
+		off := len(flat)
+		flat = slices.Grow(flat, kl+vl)[:off+kl+vl]
+		if err := s.db.Read(s.geo.slotOff(slot)+slotHeader, flat[off:]); err != nil {
+			return nil, nil, s.observe(err)
 		}
-		seen++
-		if err := fn(s.kbuf[:kl], s.kbuf[kl:kl+vl]); err != nil {
-			return seen, err
-		}
+		bounds = append(bounds, scanEntry{off: off, kl: kl, vl: vl})
 	}
-	return seen, nil
+	return flat, bounds, nil
 }

@@ -1,0 +1,487 @@
+// Package kvclient is the Go client for cmd/kvserver: a connection-
+// pooled, pipelining, retrying front door to a replicated kv keyspace
+// served over the kvwire protocol.
+//
+// A Client owns a small pool of TCP connections. Each connection
+// pipelines: any number of goroutines may issue operations through the
+// same connection, requests are written back to back, and responses —
+// which the server returns strictly in order — are matched to callers
+// by position. Operations that fail with the retryable wire class
+// (StatusRetry: the deployment is failing over) or with a transport
+// error are retried with exponential backoff against a fresh connection
+// until RetryBudget is exhausted; PUT, DELETE and TXN are last-writer-
+// wins idempotent, so re-sending a request whose response was lost is
+// safe.
+//
+// Error taxonomy mirrors the wire statuses: ErrNotFound (absent key),
+// ErrDegraded (safety level unmet — the mutation may be durable but was
+// not acknowledged at the deployment's configured discipline),
+// ErrRetryBudget (the failover outlasted the client's patience, wrapped
+// around the last underlying error) and ServerError (terminal operation
+// errors, message carried from the server).
+package kvclient
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/kvwire"
+)
+
+// Client errors.
+var (
+	// ErrNotFound is returned by Get and Delete for an absent key.
+	ErrNotFound = errors.New("kvclient: key not found")
+	// ErrDegraded is returned when the deployment cannot meet its
+	// configured safety level: the operation may be durable on the
+	// serving node but was not acknowledged at full strength.
+	ErrDegraded = errors.New("kvclient: deployment degraded below its safety level")
+	// ErrRetryBudget is returned when retryable failures (failover in
+	// progress, dropped connections) outlast Options.RetryBudget.
+	ErrRetryBudget = errors.New("kvclient: retry budget exhausted")
+	// ErrClosed is returned by operations on a closed Client.
+	ErrClosed = errors.New("kvclient: client is closed")
+	// ErrTooLarge is returned for keys or values beyond the protocol
+	// limits, before anything hits the wire.
+	ErrTooLarge = errors.New("kvclient: key or value exceeds the protocol limit")
+)
+
+// ServerError is a terminal operation error reported by the server
+// (StatusErr): retrying the identical request fails identically.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "kvclient: server: " + e.Msg }
+
+// Options tunes a Client. The zero value is serviceable.
+type Options struct {
+	// Conns is the connection-pool size (default 4). Operations are
+	// spread across the pool round-robin; each connection pipelines
+	// independently.
+	Conns int
+	// DialTimeout bounds each dial (default 5s).
+	DialTimeout time.Duration
+	// RetryBudget bounds the total time one operation may spend
+	// retrying the retryable error class (default 15s). Zero uses the
+	// default; negative disables retries.
+	RetryBudget time.Duration
+	// RetryDegraded additionally retries ErrDegraded responses.
+	// Mutations are idempotent, so this is safe — but a deployment
+	// stuck below its safety level turns every call into a full budget
+	// wait, so it is off by default.
+	RetryDegraded bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Conns <= 0 {
+		o.Conns = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.RetryBudget == 0 {
+		o.RetryBudget = 15 * time.Second
+	}
+	return o
+}
+
+// Entry is one key/value pair returned by Scan.
+type Entry struct {
+	Key []byte
+	Val []byte
+}
+
+// Op is one operation of a Txn: a put (Val set) or a delete.
+type Op struct {
+	Key    []byte
+	Val    []byte
+	Delete bool
+}
+
+// Stats mirrors the server's OpStats document.
+type Stats = kvwire.Stats
+
+// Client is a pooled, pipelining kvserver client. Safe for concurrent
+// use.
+type Client struct {
+	addr   string
+	opts   Options
+	next   atomic.Uint64
+	closed atomic.Bool
+
+	mu    sync.Mutex
+	conns []*conn
+
+	retries atomic.Uint64
+	redials atomic.Uint64
+}
+
+// Dial connects a Client to a kvserver address. Connections are
+// established lazily, so Dial succeeds even while the server is still
+// coming up; the first operation pays the dial.
+func Dial(addr string, opts Options) *Client {
+	opts = opts.withDefaults()
+	return &Client{addr: addr, opts: opts, conns: make([]*conn, opts.Conns)}
+}
+
+// Retries returns the number of operation retries performed (failovers
+// ridden out, connections re-dialed mid-operation).
+func (c *Client) Retries() uint64 { return c.retries.Load() }
+
+// Redials returns the number of pool connections re-established after
+// a transport failure.
+func (c *Client) Redials() uint64 { return c.redials.Load() }
+
+// Close tears down the pool. In-flight operations fail.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, cn := range c.conns {
+		if cn != nil {
+			cn.close(ErrClosed)
+			c.conns[i] = nil
+		}
+	}
+	return nil
+}
+
+// Put stores value under key.
+func (c *Client) Put(key, value []byte) error {
+	if len(key) > kvwire.MaxKey || len(value) > kvwire.MaxValue {
+		return ErrTooLarge
+	}
+	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendPut(buf, key, value) }, nil)
+	return err
+}
+
+// Get returns the value under key (freshly allocated).
+func (c *Client) Get(key []byte) ([]byte, error) {
+	if len(key) > kvwire.MaxKey {
+		return nil, ErrTooLarge
+	}
+	var val []byte
+	_, err := c.do(
+		func(buf []byte) []byte { return kvwire.AppendGet(buf, key) },
+		func(body []byte) error {
+			val = append([]byte(nil), body...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+// Delete removes key.
+func (c *Client) Delete(key []byte) error {
+	if len(key) > kvwire.MaxKey {
+		return ErrTooLarge
+	}
+	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendDelete(buf, key) }, nil)
+	return err
+}
+
+// Scan returns up to limit entries in the store's bucket order starting
+// at start's natural position (nil = the beginning). limit is capped at
+// kvwire.MaxScan; the server may return fewer entries than exist if the
+// response would outgrow a frame.
+func (c *Client) Scan(start []byte, limit int) ([]Entry, error) {
+	if len(start) > kvwire.MaxKey {
+		return nil, ErrTooLarge
+	}
+	if limit > kvwire.MaxScan {
+		limit = kvwire.MaxScan
+	}
+	var entries []Entry
+	_, err := c.do(
+		func(buf []byte) []byte { return kvwire.AppendScan(buf, start, limit) },
+		func(body []byte) error {
+			entries = entries[:0]
+			return kvwire.ParseScanBody(body, func(k, v []byte) error {
+				entries = append(entries, Entry{
+					Key: append([]byte(nil), k...),
+					Val: append([]byte(nil), v...),
+				})
+				return nil
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// Txn applies a batch of puts and deletes through the server's
+// multi-key transaction: on a single-shard deployment the batch commits
+// atomically.
+func (c *Client) Txn(ops []Op) error {
+	if len(ops) > kvwire.MaxTxn {
+		return fmt.Errorf("%w: %d ops (max %d)", ErrTooLarge, len(ops), kvwire.MaxTxn)
+	}
+	wireOps := make([]kvwire.Op, len(ops))
+	for i, op := range ops {
+		if len(op.Key) > kvwire.MaxKey || len(op.Val) > kvwire.MaxValue {
+			return ErrTooLarge
+		}
+		wireOps[i] = kvwire.Op{Kind: kvwire.TxnPut, Key: op.Key, Val: op.Val}
+		if op.Delete {
+			wireOps[i].Kind = kvwire.TxnDelete
+		}
+	}
+	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendTxn(buf, wireOps) }, nil)
+	return err
+}
+
+// Stats fetches the server's serving counters.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	_, err := c.do(
+		func(buf []byte) []byte { return kvwire.AppendEmpty(buf, kvwire.OpStats) },
+		func(body []byte) error { return json.Unmarshal(body, &st) })
+	return st, err
+}
+
+// Ping round-trips an empty frame.
+func (c *Client) Ping() error {
+	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendEmpty(buf, kvwire.OpPing) }, nil)
+	return err
+}
+
+// do runs one operation with the client's retry policy: encode sends
+// the request (into a pooled buffer), parseOK consumes a StatusOK body
+// (nil for empty-bodied operations).
+func (c *Client) do(encode func([]byte) []byte, parseOK func([]byte) error) (status byte, err error) {
+	deadline := time.Now().Add(c.opts.RetryBudget)
+	backoff := 200 * time.Microsecond
+	for attempt := 0; ; attempt++ {
+		if c.closed.Load() {
+			return 0, ErrClosed
+		}
+		status, err = c.doOnce(encode, parseOK)
+		if err == nil {
+			return status, nil
+		}
+		if !c.retryable(err) || c.opts.RetryBudget < 0 || time.Now().After(deadline) {
+			if c.retryable(err) {
+				return status, fmt.Errorf("%w (last error: %v)", ErrRetryBudget, err)
+			}
+			return status, err
+		}
+		c.retries.Add(1)
+		time.Sleep(backoff)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// retryable classifies an error for the retry loop: the wire's retry
+// class and transport failures are retryable; ErrDegraded only when
+// configured.
+func (c *Client) retryable(err error) bool {
+	var se *ServerError
+	switch {
+	case errors.Is(err, errWireRetry), errors.Is(err, errTransport):
+		return true
+	case errors.Is(err, ErrDegraded):
+		return c.opts.RetryDegraded
+	case errors.As(err, &se), errors.Is(err, ErrNotFound), errors.Is(err, ErrClosed), errors.Is(err, ErrTooLarge):
+		return false
+	default:
+		return false
+	}
+}
+
+// Sentinel classes used inside the retry loop.
+var (
+	errWireRetry = errors.New("kvclient: server failing over")
+	errTransport = errors.New("kvclient: connection failure")
+)
+
+// doOnce performs one attempt over one pooled connection.
+func (c *Client) doOnce(encode func([]byte) []byte, parseOK func([]byte) error) (byte, error) {
+	cn, err := c.conn(int(c.next.Add(1)))
+	if err != nil {
+		return 0, fmt.Errorf("%w: dial: %v", errTransport, err)
+	}
+	body, err := cn.roundTrip(encode)
+	if err != nil {
+		return 0, err
+	}
+	defer kvwire.PutBuf(body)
+	status := body[0]
+	switch status {
+	case kvwire.StatusOK:
+		if parseOK != nil {
+			if err := parseOK(body[1:]); err != nil {
+				return status, err
+			}
+		}
+		return status, nil
+	case kvwire.StatusNotFound:
+		return status, ErrNotFound
+	case kvwire.StatusRetry:
+		return status, fmt.Errorf("%w: %s", errWireRetry, body[1:])
+	case kvwire.StatusDegraded:
+		return status, fmt.Errorf("%w: %s", ErrDegraded, body[1:])
+	case kvwire.StatusErr:
+		return status, &ServerError{Msg: string(body[1:])}
+	case kvwire.StatusBad:
+		// The server is about to close the connection; surface as a
+		// terminal protocol error.
+		return status, &ServerError{Msg: "protocol: " + string(body[1:])}
+	default:
+		return status, &ServerError{Msg: fmt.Sprintf("unknown status %d", status)}
+	}
+}
+
+// conn returns pool slot i%Conns, dialing or re-dialing it if needed.
+func (c *Client) conn(i int) (*conn, error) {
+	slot := i % c.opts.Conns
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	if cn := c.conns[slot]; cn != nil && !cn.dead() {
+		return cn, nil
+	}
+	if c.conns[slot] != nil {
+		c.redials.Add(1)
+	}
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cn := newConn(nc)
+	c.conns[slot] = cn
+	return cn, nil
+}
+
+// conn is one pipelining connection: writes serialize on mu, responses
+// are matched to callers in FIFO order by the reader goroutine. The
+// waiter is enqueued before its request bytes go out, so a response can
+// never outrun its waiter.
+type conn struct {
+	c  net.Conn
+	mu sync.Mutex // serializes request writes + pending enqueue
+	bw *bufio.Writer
+	// pending is the client-side in-flight window: a caller issuing
+	// request N+cap blocks until response N has been read, bounding
+	// per-connection pipelining depth.
+	pending chan chan result
+	once    sync.Once
+	dying   chan struct{}         // closed on first failure
+	errp    atomic.Pointer[error] // set before dying closes
+}
+
+type result struct {
+	body []byte // pooled; receiver recycles
+	err  error
+}
+
+func newConn(nc net.Conn) *conn {
+	cn := &conn{
+		c:       nc,
+		bw:      bufio.NewWriterSize(nc, 16<<10),
+		pending: make(chan chan result, 128),
+		dying:   make(chan struct{}),
+	}
+	go cn.readLoop()
+	return cn
+}
+
+func (cn *conn) dead() bool { return cn.errp.Load() != nil }
+
+func (cn *conn) close(err error) {
+	cn.once.Do(func() {
+		cn.errp.Store(&err)
+		close(cn.dying)
+		cn.c.Close()
+	})
+}
+
+// roundTrip writes one request and waits for its response body (pooled;
+// caller recycles).
+func (cn *conn) roundTrip(encode func([]byte) []byte) ([]byte, error) {
+	waiter := make(chan result, 1)
+	buf := encode(kvwire.GetBuf())
+	cn.mu.Lock()
+	if cn.dead() {
+		cn.mu.Unlock()
+		kvwire.PutBuf(buf)
+		return nil, fmt.Errorf("%w: %v", errTransport, *cn.errp.Load())
+	}
+	// Enqueue before writing: the read loop matches responses to
+	// waiters positionally, so the waiter must exist before the server
+	// can possibly answer. The dying case keeps a full window from
+	// deadlocking against a read loop that has stopped draining.
+	select {
+	case cn.pending <- waiter:
+	case <-cn.dying:
+		cn.mu.Unlock()
+		kvwire.PutBuf(buf)
+		return nil, fmt.Errorf("%w: %v", errTransport, *cn.errp.Load())
+	}
+	_, werr := cn.bw.Write(buf)
+	if werr == nil {
+		werr = cn.bw.Flush()
+	}
+	cn.mu.Unlock()
+	kvwire.PutBuf(buf)
+	if werr != nil {
+		// The waiter is already queued; poisoning the connection makes
+		// the read loop fail it (and everything else in flight).
+		cn.close(werr)
+		return nil, fmt.Errorf("%w: write: %v", errTransport, werr)
+	}
+	res := <-waiter
+	if res.err != nil {
+		return nil, fmt.Errorf("%w: %v", errTransport, res.err)
+	}
+	return res.body, nil
+}
+
+// readLoop delivers responses to waiters in order; on any read error it
+// poisons the connection and fails every pending waiter (their
+// operations retry on a fresh connection). The drain runs under mu:
+// once it holds the lock, every enqueued waiter is in the channel and
+// no new one can enter (roundTrip checks dead() under the same lock),
+// so nothing is orphaned.
+func (cn *conn) readLoop() {
+	br := bufio.NewReaderSize(cn.c, 16<<10)
+	for {
+		buf, err := kvwire.ReadFrame(br, kvwire.GetBuf(), kvwire.MaxFrame)
+		if err == nil {
+			select {
+			case w := <-cn.pending:
+				w <- result{body: buf}
+				continue
+			default:
+				// A response nobody asked for: protocol desync.
+				err = errors.New("kvclient: unsolicited response")
+				kvwire.PutBuf(buf)
+			}
+		}
+		cn.close(err)
+		cn.mu.Lock()
+		for {
+			select {
+			case w := <-cn.pending:
+				w <- result{err: err}
+			default:
+				cn.mu.Unlock()
+				return
+			}
+		}
+	}
+}
