@@ -388,6 +388,54 @@ func BenchmarkKV(b *testing.B) {
 	}
 }
 
+// BenchmarkDurability runs the full-cluster kill-and-restart drill of
+// the disk tier at three snapshot intervals: commit a seeded workload,
+// power-fail every machine at once, tear the unsynced WAL tails (seeded
+// mixed mode), and cold-restart over the same directory. Reported per
+// interval: host wall time to recover, WAL records replayed on top of
+// the winning snapshot, and — the enforced invariant — lost acked
+// writes, which `benchjson -check` requires to be exactly zero.
+// `make bench` parses these into BENCH_durability.json.
+func BenchmarkDurability(b *testing.B) {
+	const db = 4 << 20
+	for _, every := range []int{32, 128, 512} {
+		b.Run(fmt.Sprintf("snap%d", every), func(b *testing.B) {
+			var res tpc.DurabilityResult
+			for b.Loop() {
+				dir := b.TempDir()
+				open := func() (tpc.FaultDB, error) {
+					return repro.New(repro.Config{
+						Version:     repro.V3InlineLog,
+						Backup:      repro.ActiveBackup,
+						DBSize:      db,
+						Backups:     2,
+						Safety:      repro.QuorumSafe,
+						CommitBatch: 8,
+						Durability: repro.DurabilityConfig{
+							Dir:           dir,
+							SnapshotEvery: every,
+						},
+					})
+				}
+				w, err := tpc.NewDebitCredit(db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = tpc.RunDurability(open, w, tpc.DurabilityOptions{
+					Txns: 240,
+					Seed: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.RecoveryWall.Seconds()*1e3, "recovery-ms")
+			b.ReportMetric(float64(res.Replayed), "replayed-records")
+			b.ReportMetric(float64(res.LostAckedWrites), "lost-acked-writes")
+		})
+	}
+}
+
 // BenchmarkFailover measures takeover cost: crash after a burst of
 // transactions and time the backup's recovery, reporting the simulated
 // takeover latency.

@@ -98,7 +98,8 @@ func main() {
 // latency percentiles (or with acked-write loss) is a broken artifact,
 // caught here instead of at reading time.
 var requiredMetrics = map[string][]string{
-	"BENCH_server.json": {"wall-ops/s", "p50-ms", "p99-ms", "p999-ms", "lost-acked-writes"},
+	"BENCH_server.json":     {"wall-ops/s", "p50-ms", "p99-ms", "p999-ms", "lost-acked-writes"},
+	"BENCH_durability.json": {"recovery-ms", "replayed-records", "lost-acked-writes"},
 }
 
 // runCheck validates emitted BENCH_*.json files: each must unmarshal into

@@ -10,8 +10,9 @@
 //	          ids:    fig1 fig2 fig3 table1..table8
 //	                  ablation-2safe ablation-cpu ablation-packet ablation-san ablation-wbuf
 //	                  repl-degree shard-scaling parallel-shards group-commit
-//	                  availability chaos kv
+//	                  availability chaos kv durability
 //	          [-repair] [-chaos] [-chaos-events N] [-kv] [-kv-ops N] [-kv-records N]
+//	          [-durability]
 //	          [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
 //	          [-backups K] [-shards N] [-clients C] [-commit-batch B]
 //	          [-safety 1safe|2safe|quorum] [-full] [-csv]
@@ -28,6 +29,7 @@
 //	replbench -repair                   # crash→failover→online-repair availability timeline
 //	replbench -chaos -seed 7            # seeded unattended fault schedule (MTTD/MTTR per event)
 //	replbench -kv                       # YCSB-style key-value mixes over both facades
+//	replbench -durability               # disk-tier kill-and-restart recovery matrix
 package main
 
 import (
@@ -47,7 +49,7 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "exhibits to regenerate: a group (all, paper, ablations, extensions, everything) or comma-separated ids (fig1..fig3, table1..table8, ablation-2safe/cpu/packet/san/wbuf, repl-degree, shard-scaling, parallel-shards, group-commit, availability, chaos, kv)")
+		experiment = flag.String("experiment", "all", "exhibits to regenerate: a group (all, paper, ablations, extensions, everything) or comma-separated ids (fig1..fig3, table1..table8, ablation-2safe/cpu/packet/san/wbuf, repl-degree, shard-scaling, parallel-shards, group-commit, availability, chaos, kv, durability)")
 		dbMB       = flag.Int("db", 50, "database size in MB")
 		dcTxns     = flag.Int64("dc-txns", 0, "Debit-Credit transactions per cell (0 = default)")
 		oeTxns     = flag.Int64("oe-txns", 0, "Order-Entry transactions per cell (0 = default)")
@@ -62,6 +64,7 @@ func run() int {
 		chaos      = flag.Bool("chaos", false, "run the unattended chaos schedule against the autopilot (per-event MTTD/failover/repair/MTTR latencies; seeded by -seed)")
 		chaosN     = flag.Int("chaos-events", 0, "fault injections the -chaos schedule lands (0 = default 4)")
 		kvFlag     = flag.Bool("kv", false, "run the key-value YCSB-style mixes over both facades through the DB interface")
+		durability = flag.Bool("durability", false, "run the disk tier's kill-and-restart recovery matrix (snapshot interval x corrupt-tail mode; seeded by -seed)")
 		kvOps      = flag.Int64("kv-ops", 0, "measured kv operations per mix cell (0 = default)")
 		kvRecords  = flag.Int("kv-records", 0, "preloaded kv keyspace size (0 = default)")
 		full       = flag.Bool("full", false, "paper-scale transaction counts (slow)")
@@ -112,6 +115,14 @@ func run() int {
 		e, ok := harness.Lookup("kv")
 		if !ok {
 			fmt.Fprintln(os.Stderr, "replbench: kv experiment not registered")
+			return 2
+		}
+		exps = append(exps, e)
+	case *durability:
+		// -durability runs the disk tier's recovery matrix alone.
+		e, ok := harness.Lookup("durability")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "replbench: durability experiment not registered")
 			return 2
 		}
 		exps = append(exps, e)

@@ -113,6 +113,22 @@ type Admin interface {
 	// AutopilotEnabled reports whether the unattended failure loop is
 	// on (per-shard on a sharded deployment, configured uniformly).
 	AutopilotEnabled() bool
+	// Durability returns the disk tier's status for the selected shard;
+	// the zero value with Config.Durability off.
+	Durability(shard ...int) DurabilityStatus
+	// PowerFail kills every machine of the selected shard at once —
+	// backups included; nothing past each replica's last fdatasync is
+	// guaranteed on disk. Returns ErrNoDurability without the disk
+	// tier. A fresh New/NewSharded over the same Durability.Dir
+	// performs the cold restart.
+	PowerFail(shard ...int) error
+	// WALTails returns, after a PowerFail, the selected shard's live
+	// WAL segments and their synced offsets — the handles a crash
+	// harness uses to tear the unsynced tail.
+	WALTails(shard ...int) []WALTail
+	// Close cleanly shuts the disk tier (flush + close every WAL);
+	// a no-op without Config.Durability.
+	Close() error
 }
 
 // Compile-time assertions: both facades satisfy the full redesigned

@@ -41,6 +41,8 @@ import (
 //	Admin.CrashBackup          ErrNoSuchShard, no-such-backup errors
 //	Admin.PauseBackup          ErrNoSuchShard, no-such-backup errors
 //	Admin.ResumeBackup         ErrNoSuchShard, no-such-backup errors
+//	Admin.PowerFail            ErrNoSuchShard, ErrNoDurability,
+//	                           ErrCrashed (power already off)
 //
 // The kv layer (package repro/kv) adds its own taxonomy on top of this
 // one; see that package's documentation.
@@ -61,6 +63,10 @@ var (
 	// so it refuses new commits (the surviving majority may already have
 	// promoted a replacement). See Config.Autopilot.
 	ErrLeaseExpired = replication.ErrLeaseExpired
+	// ErrNoDurability is returned by the durability-only operations
+	// (Admin.PowerFail) when the deployment runs without the disk tier
+	// (Config.Durability unset).
+	ErrNoDurability = replication.ErrNoDurability
 	// ErrBounds is returned for any access outside the configured
 	// database size: transactional SetRange/Write/Read, charged Read,
 	// and Load, on both facades.

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/tpc"
+)
+
+// The durability experiment is the disk tier's kill-and-restart matrix:
+// at each snapshot interval, a committed Debit-Credit run is cut down by
+// a full-cluster power loss, the unsynced WAL tails are corrupted per
+// mode, and a cold restart over the same directory must recover every
+// acked-durable transaction with a replay-exact image. The interval
+// column is the operational trade the tier exposes: tighter snapshots
+// buy shorter replay at the cost of more checkpoint writes.
+func init() {
+	register(Experiment{
+		ID:    "durability",
+		Title: "Disk tier: cold-restart recovery vs snapshot interval, with torn-write tails",
+		Run:   runDurability,
+	})
+}
+
+func runDurability(cfg RunConfig) (*Table, error) {
+	db := cfg.SMPDBSize
+	if db <= 0 {
+		db = 4 << 20
+	}
+	backups := cfg.Backups
+	if backups < 1 {
+		backups = 2
+	}
+	txns := int(cfg.DCTxns / 10)
+	if txns < 100 {
+		txns = 100
+	}
+
+	t := &Table{
+		ID:    "durability",
+		Title: "Cold-restart recovery: snapshot interval × corrupt-tail mode",
+		Headers: []string{"SnapshotEvery", "Tail", "Committed", "Durable", "Recovered",
+			"Replayed", "TruncBytes", "Recovery ms", "LostAcked"},
+		Notes: append(runNotes(cfg),
+			fmt.Sprintf("passive-style disk tier under the active scheme, K=%d, quorum commit, batch 8, kill after ~%d txns (seeded)", backups, txns),
+			"Durable = last fdatasync'd commit at the power loss; LostAcked must be 0 in every row",
+			"Recovery ms is host wall time (disk replay is host work, not simulated work)"),
+	}
+	for _, every := range []int{32, 128, 512} {
+		for _, mode := range []string{tpc.TailIntact, tpc.TailTorn, tpc.TailMixed} {
+			dir, err := os.MkdirTemp("", "repro-durability-*")
+			if err != nil {
+				return nil, err
+			}
+			open := func() (tpc.FaultDB, error) {
+				return repro.New(repro.Config{
+					Version:     repro.V3InlineLog,
+					Backup:      repro.ActiveBackup,
+					DBSize:      db,
+					Backups:     backups,
+					Safety:      repro.QuorumSafe,
+					CommitBatch: 8,
+					Durability: repro.DurabilityConfig{
+						Dir:           dir,
+						SnapshotEvery: every,
+					},
+				})
+			}
+			w, err := tpc.NewDebitCredit(db)
+			if err != nil {
+				os.RemoveAll(dir)
+				return nil, err
+			}
+			res, err := tpc.RunDurability(open, w, tpc.DurabilityOptions{
+				Txns:    txns,
+				Corrupt: mode,
+				Seed:    cfg.Seed,
+			})
+			os.RemoveAll(dir)
+			if err != nil {
+				return nil, fmt.Errorf("harness: durability snap=%d/%s: %w", every, mode, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", every),
+				mode,
+				fmt.Sprintf("%d", res.Total),
+				fmt.Sprintf("%d", res.AckedDurable),
+				fmt.Sprintf("%d", res.Recovered),
+				fmt.Sprintf("%d", res.Replayed),
+				fmt.Sprintf("%d", res.TruncatedBytes),
+				f1(res.RecoveryWall.Seconds() * 1e3),
+				fmt.Sprintf("%d", res.LostAckedWrites),
+			})
+		}
+	}
+	return t, nil
+}

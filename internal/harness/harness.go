@@ -101,9 +101,9 @@ var ablationExhibits = []string{"ablation-wbuf", "ablation-packet",
 
 // extensionExhibits lists the capability experiments that go beyond the
 // paper's two-node deployments: N-replica groups, the sharded cluster,
-// the autopilot's unattended chaos run, and the key-value layer's
-// YCSB-style mixes.
-var extensionExhibits = []string{"repl-degree", "shard-scaling", "chaos", "kv"}
+// the autopilot's unattended chaos run, the key-value layer's YCSB-style
+// mixes, and the disk tier's cold-restart recovery matrix.
+var extensionExhibits = []string{"repl-degree", "shard-scaling", "chaos", "kv", "durability"}
 
 // All returns the paper's experiments in exhibit order.
 func All() []Experiment { return byIDs(paperExhibits) }

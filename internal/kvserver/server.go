@@ -29,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -416,13 +417,14 @@ func (s *Server) triggerHeal() {
 // Admin.Failover and a background RepairAsync itself.
 func (s *Server) healLoop() {
 	defer s.healWg.Done()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	for {
 		select {
 		case <-s.done:
 			return
 		case <-s.healCh:
 		}
-		backoff := 500 * time.Microsecond
+		backoff := healBackoffBase
 		for {
 			select {
 			case <-s.done:
@@ -432,12 +434,39 @@ func (s *Server) healLoop() {
 			if s.tryHeal() {
 				break
 			}
-			time.Sleep(backoff)
-			if backoff < 20*time.Millisecond {
-				backoff *= 2
-			}
+			var sleep time.Duration
+			sleep, backoff = nextBackoff(backoff, rng)
+			time.Sleep(sleep)
 		}
 	}
+}
+
+// The heal retry delay doubles from healBackoffBase and is capped at
+// healBackoffCap, so a long outage (say, a quorum wait) never pushes the
+// retry period past the point where recovery detection feels instant.
+const (
+	healBackoffBase = 500 * time.Microsecond
+	healBackoffCap  = 20 * time.Millisecond
+)
+
+// nextBackoff returns the jittered delay to sleep now and the doubled,
+// capped backoff to carry into the next round. The ±25% jitter keeps a
+// fleet of healers (or a healer racing the autopilot's own probes) from
+// retrying in lockstep against a deployment that is mid-failover.
+func nextBackoff(cur time.Duration, rng *rand.Rand) (sleep, next time.Duration) {
+	if cur < healBackoffBase {
+		cur = healBackoffBase
+	}
+	if cur > healBackoffCap {
+		cur = healBackoffCap
+	}
+	spread := int64(cur / 2)
+	sleep = cur - cur/4 + time.Duration(rng.Int63n(spread+1))
+	next = cur * 2
+	if next > healBackoffCap {
+		next = healBackoffCap
+	}
+	return sleep, next
 }
 
 // tryHeal attempts one heal round. Reports whether the store serves

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -271,5 +272,53 @@ func TestServerScanAndTxn(t *testing.T) {
 	}
 	if st.Keys != 10 {
 		t.Fatalf("stats.Keys = %d, want 10", st.Keys)
+	}
+}
+
+// TestNextBackoff pins the healer's retry policy: exponential doubling
+// from the base, a hard cap, and jitter bounded to ±25% of the current
+// delay — never zero, never past 125% of the cap.
+func TestNextBackoff(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	// Doubling walk: base, 2x, 4x, ... until the cap, then flat.
+	cur := healBackoffBase
+	want := healBackoffBase
+	for i := 0; i < 12; i++ {
+		sleep, next := nextBackoff(cur, rng)
+		lo, hi := want-want/4, want+want/2
+		if sleep < lo || sleep > hi {
+			t.Fatalf("round %d: sleep %v outside [%v, %v]", i, sleep, lo, hi)
+		}
+		want *= 2
+		if want > healBackoffCap {
+			want = healBackoffCap
+		}
+		if next != want {
+			t.Fatalf("round %d: next backoff %v, want %v", i, next, want)
+		}
+		cur = next
+	}
+	if cur != healBackoffCap {
+		t.Fatalf("walk never reached the cap: %v", cur)
+	}
+
+	// Out-of-range inputs clamp instead of exploding.
+	if sleep, next := nextBackoff(0, rng); sleep <= 0 || next != 2*healBackoffBase {
+		t.Fatalf("zero input: sleep=%v next=%v", sleep, next)
+	}
+	if _, next := nextBackoff(time.Hour, rng); next != healBackoffCap {
+		t.Fatalf("huge input: next=%v, want cap %v", next, healBackoffCap)
+	}
+
+	// Jitter actually spreads: across many draws at the cap we should
+	// see at least two distinct sleeps.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 64; i++ {
+		sleep, _ := nextBackoff(healBackoffCap, rng)
+		seen[sleep] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("jitter produced a constant sleep: %v", seen)
 	}
 }

@@ -429,6 +429,7 @@ func (g *Group) PartitionPrimary() error {
 // crashPrimaryLocked is the shared death of the serving node: Crash uses it
 // for a real fault, the autopilot to depose a partitioned primary.
 func (g *Group) crashPrimaryLocked() {
+	g.durCrashLocked()
 	g.crashed = true
 	g.batchCount = 0
 	g.batchStart = 0

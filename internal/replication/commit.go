@@ -166,6 +166,13 @@ func (t *plainTx) Commit() error {
 	t.done = true
 	g.finishTxLocked(t)
 	g.freePlain = t
+	if err == nil {
+		// Plain commits never batch, so each one is its own durability
+		// flush (the Standalone and 1-safe-passive disk discipline).
+		if derr := g.durFlushLocked(); derr != nil {
+			err = derr
+		}
+	}
 	g.pumpRepairLocked(false, true)
 	g.autopilotPumpLocked()
 	return err
@@ -319,10 +326,20 @@ func (g *Group) flushLocked() error {
 	}
 	g.batchCount = 0
 	g.batchStart = 0
+	var err error
 	if g.redo != nil {
-		return g.redo.flush()
+		err = g.redo.flush()
+	} else {
+		err = g.flushPassiveLocked()
 	}
-	return g.flushPassiveLocked()
+	// The disk tier's fdatasync piggybacks on the sealed batch. It runs
+	// even when the acknowledgement discipline degraded (the commits are
+	// locally committed and must reach the WAL regardless); an ack error
+	// outranks a disk error in the return.
+	if derr := g.durFlushLocked(); err == nil {
+		err = derr
+	}
+	return err
 }
 
 // flushPassiveLocked closes the passive-era batch: one buffer drain and

@@ -71,6 +71,10 @@ type Group struct {
 	// self-healing); nil unless Config.Autopilot enables it.
 	autop *autopilot
 
+	// dur is the per-replica disk tier (redo WAL + snapshots); nil unless
+	// Config.Durability enables it.
+	dur *durable
+
 	// Online-repair state: the in-flight joins and the aggregate summary
 	// RepairStatus reports (see recovery.go).
 	jobs          []*repairJob
@@ -203,6 +207,11 @@ func NewGroup(cfg Config) (*Group, error) {
 		now := g.primary.Clock.Now()
 		g.autop.lease = detect.NewLease(cfg.Autopilot.detectConfig().DeadAfter(), now)
 		g.autop.rewatch(g, now)
+	}
+	// Cold-restart recovery (and the disk tier's first checkpoints) run
+	// before the measured interval opens.
+	if err := g.initDurability(); err != nil {
+		return nil, err
 	}
 	// Initialization traffic (heap formatting and the like) is not part
 	// of any measured interval.
@@ -491,6 +500,7 @@ func (g *Group) Settle(d sim.Dur) {
 	if !g.crashed {
 		g.pumpRepairLocked(false, true)
 		g.autopilotPumpLocked()
+		g.durSettleLocked()
 	}
 }
 
@@ -614,6 +624,7 @@ func (g *Group) failoverLocked() (*vista.Store, error) {
 	// Era transition complete: a fresh membership epoch fences any
 	// acknowledgement stamped by the old era, and the failure loop (when
 	// enabled) rebuilds its watch set around the promoted primary.
+	g.durFailoverLocked(best)
 	g.bumpEpochLocked()
 	if a := g.autop; a != nil {
 		now := g.primary.Clock.Now()

@@ -102,6 +102,10 @@ type backup struct {
 
 	// job is the in-flight join while Syncing/CatchingUp.
 	job *repairJob
+
+	// walIdx is this machine's durability slot (directory index) when the
+	// disk tier is enabled; meaningless otherwise.
+	walIdx int
 }
 
 // alive reports whether the backup still exists as a machine.
@@ -221,6 +225,9 @@ func (g *Group) pauseBackupLocked(b *backup) {
 	if g.autop != nil {
 		g.autop.noteFault(b.node.Name, g.primary.Clock.Now())
 	}
+	// A partition is not a power loss: the replica's WAL closes cleanly
+	// at its frozen prefix.
+	g.durDropBackupLocked(b, true)
 	b.setState(StatePaused)
 }
 
@@ -260,6 +267,7 @@ func (g *Group) CrashBackup(i int) error {
 	if g.autop != nil {
 		g.autop.noteFault(b.node.Name, g.primary.Clock.Now())
 	}
+	g.durDropBackupLocked(b, false)
 	b.setState(StateCrashed)
 	return nil
 }

@@ -141,6 +141,11 @@ type Config struct {
 	// repair). The zero value disables it, leaving every fault to the
 	// manual Crash/Failover/Repair calls exactly as before.
 	Autopilot AutopilotConfig
+	// Durability switches on the per-replica disk tier (redo WAL +
+	// snapshots + cold-restart recovery; see durability.go). The zero
+	// value disables it: no files are written and the simulation's
+	// metrics are bit-for-bit those of a purely memory-replicated group.
+	Durability DurabilityConfig
 }
 
 // TxHandle is the transactional surface shared by all modes; vista.Tx

@@ -179,6 +179,7 @@ func (g *Group) repairAsyncLocked() error {
 			b.setState(StateInSync)
 			b.fuzzy = false
 			b.gateEpochs = nil
+			g.durActivateBackupLocked(b)
 		} else {
 			g.startJoinLocked(b, g.deltaEpochsLocked(b))
 		}
@@ -422,6 +423,11 @@ func (g *Group) enrollFreshLocked(i int, wire bool) (*backup, error) {
 		node:   NewNode(backupName(g.generation, i), g.params, nil),
 		ackLag: ackStagger(g.params, i),
 	}
+	if g.dur != nil {
+		// A fresh machine brings a fresh disk: allocate its slot now so
+		// the cut-over checkpoint has a directory to land in.
+		b.walIdx = g.dur.newSlot()
+	}
 	b.setState(StateGated) // gated until its join opens the stream
 	if _, err := vista.PlaceRegions(b.node.Space, g.backupSpecs(specs), regionBase); err != nil {
 		return nil, err
@@ -543,6 +549,7 @@ func (g *Group) cutOverLocked(b *backup) {
 	b.gateEpochs = nil
 	b.epoch = g.epoch // full member of the current era from this instant
 	b.setState(StateInSync)
+	g.durActivateBackupLocked(b)
 }
 
 // finishRepairIfIdleLocked closes the repair summary once the last join

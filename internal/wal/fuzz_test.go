@@ -1,0 +1,62 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALDecode feeds arbitrary bytes to the on-disk parsers through the
+// full recovery path: whatever garbage lands in a replica directory must
+// recover by truncation — a valid (possibly empty) committed prefix,
+// deterministically, and never a panic. Same discipline as the
+// internal/kvwire frame fuzzing.
+func FuzzWALDecode(f *testing.F) {
+	const dbSize = 1024
+	img := make([]byte, dbSize)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	var seg []byte
+	seg = AppendCommitFrame(seg, 1, 1, []int{0, 64}, []int{8, 16}, bytes.Repeat([]byte{0x5A}, 24))
+	seg = AppendLoadFrame(seg, 1, 1, 128, []byte("loaded-span-data"))
+	seg = AppendCommitFrame(seg, 1, 2, []int{256}, []int{4}, []byte("four"))
+	hdr := encodeSnapHeader(1, 0, 0, img)
+	snap := append(hdr[:], img...)
+
+	f.Add(seg, snap)
+	f.Add([]byte{}, []byte{})
+	f.Add(seg[:len(seg)-3], snap[:20])
+	f.Add(bytes.Repeat([]byte{0xFF}, 200), bytes.Repeat([]byte{0x00}, 100))
+
+	f.Fuzz(func(t *testing.T, segBytes, snapBytes []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1, 0, 1)), segBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, snapName(1, 0, 0)), snapBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Recover(dir, dbSize)
+		if err != nil {
+			t.Fatalf("recover must absorb garbage, got error: %v", err)
+		}
+		if len(res.Data) != dbSize {
+			t.Fatalf("recovered image has %d bytes, want %d", len(res.Data), dbSize)
+		}
+		if res.Seq < res.SnapSeq {
+			t.Fatalf("recovered seq %d below its snapshot base %d", res.Seq, res.SnapSeq)
+		}
+		// Recovery is read-only and deterministic: a second pass over
+		// the same directory reproduces the same state.
+		res2, err := Recover(dir, dbSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Seq != res.Seq || res2.Replayed != res.Replayed || !bytes.Equal(res2.Data, res.Data) {
+			t.Fatalf("recovery is not deterministic: (%d,%d) vs (%d,%d)",
+				res.Seq, res.Replayed, res2.Seq, res2.Replayed)
+		}
+	})
+}

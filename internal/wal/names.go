@@ -1,0 +1,48 @@
+package wal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// segName builds a segment file name. base is the commit sequence number
+// the segment starts at (its first RecCommit carries base+1); gen is the
+// directory's rotation clock, which makes the name unique even when two
+// rotations land on the same (era, base).
+func segName(era uint32, base, gen uint64) string {
+	return fmt.Sprintf("wal-%08x-%016x-%08x.log", era, base, gen)
+}
+
+// snapName builds a snapshot file name; seq is the commit sequence the
+// image captures and gen the segment generation the same checkpoint
+// opened.
+func snapName(era uint32, seq, gen uint64) string {
+	return fmt.Sprintf("snap-%08x-%016x-%08x.snap", era, seq, gen)
+}
+
+// parseName decodes a segment or snapshot file name. kind is "wal" or
+// "snap"; ok=false for temporaries and foreign files, which recovery and
+// retention both ignore.
+func parseName(name string) (kind string, era uint32, pos, gen uint64, ok bool) {
+	var suffix string
+	switch {
+	case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+		kind, suffix = "wal", strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+		kind, suffix = "snap", strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")
+	default:
+		return "", 0, 0, 0, false
+	}
+	parts := strings.Split(suffix, "-")
+	if len(parts) != 3 {
+		return "", 0, 0, 0, false
+	}
+	e, err1 := strconv.ParseUint(parts[0], 16, 32)
+	p, err2 := strconv.ParseUint(parts[1], 16, 64)
+	g, err3 := strconv.ParseUint(parts[2], 16, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return "", 0, 0, 0, false
+	}
+	return kind, uint32(e), p, g, true
+}

@@ -1,0 +1,229 @@
+// Package wal is the durability tier under the replicated in-memory
+// store: a per-replica directory holding an append-only redo WAL
+// (CRC32C-framed, sequence-stamped records mirroring the redo stream the
+// primary ships to its backups) plus periodic full-image snapshot files.
+//
+// The write path is built for group commit: Append buffers frames in
+// memory and Sync writes-and-fsyncs them in one call, so durability
+// costs one fdatasync per sealed commit batch rather than one per
+// transaction. Checkpoint writes a snapshot of the committed image and
+// rotates to a fresh segment, bounding replay time; Recover loads the
+// newest valid snapshot, replays the chained segment tail, and truncates
+// at the first corrupt or torn record — arbitrary on-disk garbage
+// degrades to a shorter committed prefix, never to a panic or a wrong
+// image.
+//
+// # On-disk layout
+//
+// Every file name carries a generation number — a per-directory logical
+// clock bumped at each segment rotation — so creation order survives
+// restarts and recovery can chain segments without reading superseded
+// ones:
+//
+//	wal-<era>-<base>-<gen>.log    segment: frames only, no file header
+//	snap-<era>-<seq>-<gen>.snap   snapshot: 44-byte header + full image
+//
+// A record frame is little-endian:
+//
+//	[0:4)   magic "RWAL"
+//	[4:8)   CRC32C (Castagnoli) over bytes [8 : 28+payLen)
+//	[8]     type (RecCommit | RecLoad)
+//	[9:12)  zero padding
+//	[12:16) era — bumped at every failover and cold restart
+//	[16:24) seq — the commit sequence number after this record
+//	[24:28) payload length
+//	[28:..) payload: repeated spans of {off u32, len u32, bytes}
+//
+// A RecCommit frame carries one committed transaction's modified spans
+// and advances seq by one; a RecLoad frame carries one Load span and
+// leaves seq unchanged. The snapshot header is checksummed separately
+// from its data so a torn snapshot is detected and skipped in favor of
+// the previous one (the WAL is always synced through the snapshot's seq
+// before the snapshot is written, so falling back loses nothing).
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Record types.
+const (
+	// RecCommit is one committed transaction: its modified spans, with
+	// seq = the commit sequence number after applying it.
+	RecCommit byte = 1
+	// RecLoad is one Load (initial-content install): a single span, with
+	// seq = the commit sequence number it was applied at (unchanged).
+	RecLoad byte = 2
+)
+
+const (
+	recMagic  = 0x4C415752 // "RWAL"
+	snapMagic = 0x50414E53 // "SNAP"
+
+	recHdrSize  = 28
+	spanHdrSize = 8
+	snapHdrSize = 44
+
+	// maxPayload bounds a single frame: larger lengths in a header are
+	// treated as corruption rather than attempted as allocations.
+	maxPayload = 1 << 30
+)
+
+var le = binary.LittleEndian
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrameHeader reserves a record header at the end of dst; the CRC
+// is filled by finishFrame once the payload is in place.
+func appendFrameHeader(dst []byte, typ byte, era uint32, seq uint64, payLen int) []byte {
+	var h [recHdrSize]byte
+	le.PutUint32(h[0:], recMagic)
+	h[8] = typ
+	le.PutUint32(h[12:], era)
+	le.PutUint64(h[16:], seq)
+	le.PutUint32(h[24:], uint32(payLen))
+	return append(dst, h[:]...)
+}
+
+// finishFrame checksums the frame that starts at dst[start:].
+func finishFrame(dst []byte, start int) []byte {
+	crc := crc32.Checksum(dst[start+8:], castagnoli)
+	le.PutUint32(dst[start+4:], crc)
+	return dst
+}
+
+// AppendCommitFrame appends one RecCommit frame to dst and returns the
+// extended slice. The transaction's modified spans are given as parallel
+// offs/lens with their bytes concatenated in data.
+func AppendCommitFrame(dst []byte, era uint32, seq uint64, offs, lens []int, data []byte) []byte {
+	pay := 0
+	for _, n := range lens {
+		pay += spanHdrSize + n
+	}
+	start := len(dst)
+	dst = appendFrameHeader(dst, RecCommit, era, seq, pay)
+	pos := 0
+	var sh [spanHdrSize]byte
+	for i, off := range offs {
+		n := lens[i]
+		le.PutUint32(sh[0:], uint32(off))
+		le.PutUint32(sh[4:], uint32(n))
+		dst = append(dst, sh[:]...)
+		dst = append(dst, data[pos:pos+n]...)
+		pos += n
+	}
+	return finishFrame(dst, start)
+}
+
+// AppendLoadFrame appends one RecLoad frame (a single span at off) to
+// dst and returns the extended slice.
+func AppendLoadFrame(dst []byte, era uint32, seq uint64, off int, data []byte) []byte {
+	start := len(dst)
+	dst = appendFrameHeader(dst, RecLoad, era, seq, spanHdrSize+len(data))
+	var sh [spanHdrSize]byte
+	le.PutUint32(sh[0:], uint32(off))
+	le.PutUint32(sh[4:], uint32(len(data)))
+	dst = append(dst, sh[:]...)
+	dst = append(dst, data...)
+	return finishFrame(dst, start)
+}
+
+// frame is one decoded record.
+type frame struct {
+	typ     byte
+	era     uint32
+	seq     uint64
+	payload []byte
+}
+
+// decodeFrame parses the frame at the head of buf. ok=false means buf
+// does not start with a complete, checksummed frame — a torn tail or
+// garbage; the caller truncates there.
+func decodeFrame(buf []byte) (f frame, size int, ok bool) {
+	if len(buf) < recHdrSize {
+		return
+	}
+	if le.Uint32(buf[0:]) != recMagic {
+		return
+	}
+	payLen := int(le.Uint32(buf[24:]))
+	if payLen > maxPayload || recHdrSize+payLen > len(buf) {
+		return
+	}
+	size = recHdrSize + payLen
+	if crc32.Checksum(buf[8:size], castagnoli) != le.Uint32(buf[4:]) {
+		return frame{}, 0, false
+	}
+	f = frame{typ: buf[8], era: le.Uint32(buf[12:]), seq: le.Uint64(buf[16:]), payload: buf[recHdrSize:size]}
+	return f, size, true
+}
+
+// validSpans reports whether payload is a well-formed span sequence that
+// fits a database of dbSize bytes. Validation runs before application so
+// a corrupt frame never half-applies.
+func validSpans(payload []byte, dbSize int) bool {
+	for len(payload) > 0 {
+		if len(payload) < spanHdrSize {
+			return false
+		}
+		off := int(le.Uint32(payload[0:]))
+		n := int(le.Uint32(payload[4:]))
+		payload = payload[spanHdrSize:]
+		if n > len(payload) || off < 0 || n < 0 || off+n > dbSize {
+			return false
+		}
+		payload = payload[n:]
+	}
+	return true
+}
+
+// applySpans copies a validated span sequence into db.
+func applySpans(db, payload []byte) {
+	for len(payload) > 0 {
+		off := int(le.Uint32(payload[0:]))
+		n := int(le.Uint32(payload[4:]))
+		payload = payload[spanHdrSize:]
+		copy(db[off:off+n], payload[:n])
+		payload = payload[n:]
+	}
+}
+
+// encodeSnapHeader builds the 44-byte snapshot file header:
+//
+//	[0:4)   magic "SNAP"
+//	[4:8)   CRC32C over bytes [8:40) (the header fields)
+//	[8:12)  era
+//	[12:16) zero padding
+//	[16:24) seq
+//	[24:32) image size in bytes
+//	[32:40) gen of the segment the same checkpoint opened
+//	[40:44) CRC32C over the image data
+func encodeSnapHeader(era uint32, seq, gen uint64, data []byte) [snapHdrSize]byte {
+	var h [snapHdrSize]byte
+	le.PutUint32(h[0:], snapMagic)
+	le.PutUint32(h[8:], era)
+	le.PutUint64(h[16:], seq)
+	le.PutUint64(h[24:], uint64(len(data)))
+	le.PutUint64(h[32:], gen)
+	le.PutUint32(h[40:], crc32.Checksum(data, castagnoli))
+	le.PutUint32(h[4:], crc32.Checksum(h[8:40], castagnoli))
+	return h
+}
+
+// decodeSnapHeader validates a snapshot header; ok=false means torn or
+// garbage (the caller falls back to an older snapshot).
+func decodeSnapHeader(h []byte) (era uint32, seq, gen, size uint64, dataCrc uint32, ok bool) {
+	if len(h) < snapHdrSize || le.Uint32(h[0:]) != snapMagic {
+		return
+	}
+	if crc32.Checksum(h[8:40], castagnoli) != le.Uint32(h[4:]) {
+		return
+	}
+	era = le.Uint32(h[8:])
+	seq = le.Uint64(h[16:])
+	size = le.Uint64(h[24:])
+	gen = le.Uint64(h[32:])
+	dataCrc = le.Uint32(h[40:])
+	return era, seq, gen, size, dataCrc, true
+}

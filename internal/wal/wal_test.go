@@ -1,0 +1,364 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const testDBSize = 4096
+
+// txnSpan is the deterministic test workload: transaction k writes a
+// 16-byte self-describing value into slot k mod 61.
+func txnSpan(k uint64) (off int, data []byte) {
+	off = int(k%61) * 64
+	data = make([]byte, 16)
+	le.PutUint64(data, k)
+	le.PutUint64(data[8:], ^k)
+	return off, data
+}
+
+// oracle replays transactions 1..seq into a fresh image — the expected
+// recovery result at that sequence.
+func oracle(seq uint64) []byte {
+	img := make([]byte, testDBSize)
+	for k := uint64(1); k <= seq; k++ {
+		off, data := txnSpan(k)
+		copy(img[off:], data)
+	}
+	return img
+}
+
+// appendTxns appends and periodically syncs transactions (from+1)..to.
+func appendTxns(t *testing.T, r *Replica, era uint32, from, to uint64, syncEvery uint64) {
+	t.Helper()
+	for k := from + 1; k <= to; k++ {
+		off, data := txnSpan(k)
+		fr := AppendCommitFrame(nil, era, k, []int{off}, []int{len(data)}, data)
+		r.Append(fr, k)
+		if syncEvery > 0 && k%syncEvery == 0 {
+			if err := r.Sync(); err != nil {
+				t.Fatalf("sync at %d: %v", k, err)
+			}
+		}
+	}
+}
+
+func mustRecover(t *testing.T, dir string) *Result {
+	t.Helper()
+	res, err := Recover(dir, testDBSize)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return res
+}
+
+func checkImage(t *testing.T, res *Result) {
+	t.Helper()
+	if want := oracle(res.Seq); !bytes.Equal(res.Data, want) {
+		t.Fatalf("recovered image at seq %d does not match the oracle", res.Seq)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r, err := NewReplica(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 0, 100, 8)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRecover(t, dir)
+	if res.Seq != 100 || res.Replayed != 100 || res.Era != 1 || !res.HadState {
+		t.Fatalf("got seq=%d replayed=%d era=%d hadState=%v", res.Seq, res.Replayed, res.Era, res.HadState)
+	}
+	checkImage(t, res)
+}
+
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewReplica(dir)
+	if err := r.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 0, 100, 10) // synced through 100
+	appendTxns(t, r, 1, 100, 110, 0)
+	seg := r.SegmentPath()
+	syncedB := r.SyncedBytes()
+	r.Abandon() // unsynced tail written without fsync
+
+	// Tear the unsynced tail mid-record: cut the last record short.
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(seg, syncedB+(info.Size()-syncedB)/2+5); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRecover(t, dir)
+	if res.Seq < 100 || res.Seq >= 110 {
+		t.Fatalf("recovered seq %d outside [100,110)", res.Seq)
+	}
+	if res.TruncatedBytes == 0 {
+		t.Fatalf("expected truncated bytes at a torn tail")
+	}
+	checkImage(t, res)
+}
+
+func TestBitFlippedTail(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewReplica(dir)
+	if err := r.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 0, 50, 5)
+	seg := r.SegmentPath()
+	syncedB := r.SyncedBytes()
+	appendTxns(t, r, 1, 50, 60, 0)
+	r.Abandon()
+
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[syncedB+10] ^= 0x40 // corrupt the first unsynced record
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRecover(t, dir)
+	if res.Seq != 50 {
+		t.Fatalf("recovered seq %d, want the synced prefix 50", res.Seq)
+	}
+	if res.TruncatedBytes == 0 {
+		t.Fatalf("expected truncated bytes after a bit flip")
+	}
+	checkImage(t, res)
+}
+
+func TestCheckpointAndTail(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewReplica(dir)
+	if err := r.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 0, 50, 10)
+	if err := r.Checkpoint(1, 50, oracle(50)); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 50, 80, 10)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRecover(t, dir)
+	if res.SnapSeq != 50 || res.Replayed != 30 || res.Seq != 80 {
+		t.Fatalf("got snapSeq=%d replayed=%d seq=%d", res.SnapSeq, res.Replayed, res.Seq)
+	}
+	checkImage(t, res)
+}
+
+func TestSnapshotFallback(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewReplica(dir)
+	if err := r.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 0, 40, 10)
+	if err := r.Checkpoint(1, 40, oracle(40)); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 40, 90, 10)
+	if err := r.Checkpoint(1, 90, oracle(90)); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 90, 120, 10)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the newest snapshot's image: recovery must fall back to
+	// the previous one and still replay to 120 (the WAL is synced
+	// through every checkpoint before its snapshot is written).
+	newest := newestSnap(t, dir)
+	buf, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[snapHdrSize+7] ^= 0xFF
+	if err := os.WriteFile(newest, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRecover(t, dir)
+	if res.SnapSeq != 40 || res.Seq != 120 {
+		t.Fatalf("got snapSeq=%d seq=%d, want fallback to 40 and full replay to 120", res.SnapSeq, res.Seq)
+	}
+	checkImage(t, res)
+}
+
+func newestSnap(t *testing.T, dir string) string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestGen := "", uint64(0)
+	for _, e := range ents {
+		if kind, _, _, gen, ok := parseName(e.Name()); ok && kind == "snap" && (best == "" || gen > bestGen) {
+			best, bestGen = e.Name(), gen
+		}
+	}
+	if best == "" {
+		t.Fatal("no snapshot found")
+	}
+	return filepath.Join(dir, best)
+}
+
+func TestRetention(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewReplica(dir)
+	if err := r.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	seq := uint64(0)
+	for c := 0; c < 5; c++ {
+		appendTxns(t, r, 1, seq, seq+30, 10)
+		seq += 30
+		if err := r.Checkpoint(1, seq, oracle(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snaps, segs := 0, 0
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		switch kind, _, _, _, _ := parseName(e.Name()); kind {
+		case "snap":
+			snaps++
+		case "wal":
+			segs++
+		}
+	}
+	if snaps != 2 {
+		t.Fatalf("retention kept %d snapshots, want 2", snaps)
+	}
+	if segs > 2 {
+		t.Fatalf("retention kept %d segments, want at most 2", segs)
+	}
+	res := mustRecover(t, dir)
+	if res.Seq != seq {
+		t.Fatalf("recovered seq %d, want %d", res.Seq, seq)
+	}
+	checkImage(t, res)
+}
+
+func TestEraRotation(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewReplica(dir)
+	if err := r.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 0, 30, 10)
+	// A failover checkpoints every survivor into the next era.
+	if err := r.Checkpoint(2, 30, oracle(30)); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 2, 30, 55, 5)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRecover(t, dir)
+	if res.Era != 2 || res.Seq != 55 || res.MaxEra != 2 {
+		t.Fatalf("got era=%d seq=%d maxEra=%d", res.Era, res.Seq, res.MaxEra)
+	}
+	checkImage(t, res)
+}
+
+func TestLoadRecords(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewReplica(dir)
+	if err := r.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte{0xAB}, 200)
+	r.Append(AppendLoadFrame(nil, 1, 0, 3800, blob), 0)
+	if err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 0, 10, 5)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRecover(t, dir)
+	if res.Seq != 10 || res.Replayed != 11 {
+		t.Fatalf("got seq=%d replayed=%d", res.Seq, res.Replayed)
+	}
+	want := oracle(10)
+	copy(want[3800:], blob)
+	if !bytes.Equal(res.Data, want) {
+		t.Fatalf("recovered image missing the loaded span")
+	}
+}
+
+func TestFreshAndMissingDir(t *testing.T) {
+	res, err := Recover(filepath.Join(t.TempDir(), "never-created"), testDBSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HadState || res.Seq != 0 || !bytes.Equal(res.Data, make([]byte, testDBSize)) {
+		t.Fatalf("missing dir must recover the zero image")
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "unrelated.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Recover(dir, testDBSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HadState {
+		t.Fatalf("foreign files must not count as state")
+	}
+}
+
+func TestRestartContinuesGeneration(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := NewReplica(dir)
+	if err := r.Start(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r, 1, 0, 20, 5)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold restart: recover, then checkpoint into the next era and keep
+	// appending — the second writer's generations must not collide.
+	res := mustRecover(t, dir)
+	r2, err := NewReplica(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.nextGen != res.NextGen {
+		t.Fatalf("writer resumes at gen %d, recovery says %d", r2.nextGen, res.NextGen)
+	}
+	if err := r2.Checkpoint(res.Era+1, res.Seq, res.Data); err != nil {
+		t.Fatal(err)
+	}
+	appendTxns(t, r2, res.Era+1, res.Seq, res.Seq+15, 5)
+	if err := r2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res2 := mustRecover(t, dir)
+	if res2.Seq != 35 || res2.Era != 2 {
+		t.Fatalf("got seq=%d era=%d after restart", res2.Seq, res2.Era)
+	}
+	checkImage(t, res2)
+}

@@ -17,8 +17,10 @@
 // ErrDegraded (safety level unmet — the mutation may be durable but was
 // not acknowledged at the deployment's configured discipline),
 // ErrRetryBudget (the failover outlasted the client's patience, wrapped
-// around the last underlying error) and ServerError (terminal operation
-// errors, message carried from the server).
+// around the last underlying error), ErrOpTimeout (one attempt outlived
+// Options.OpTimeout; the outcome is unknown and the connection is
+// abandoned) and ServerError (terminal operation errors, message
+// carried from the server).
 package kvclient
 
 import (
@@ -47,6 +49,11 @@ var (
 	ErrRetryBudget = errors.New("kvclient: retry budget exhausted")
 	// ErrClosed is returned by operations on a closed Client.
 	ErrClosed = errors.New("kvclient: client is closed")
+	// ErrOpTimeout is returned when a single attempt outlives
+	// Options.OpTimeout. The operation's outcome is unknown: the request
+	// may have been applied and its response lost with the poisoned
+	// connection.
+	ErrOpTimeout = errors.New("kvclient: operation timed out")
 	// ErrTooLarge is returned for keys or values beyond the protocol
 	// limits, before anything hits the wire.
 	ErrTooLarge = errors.New("kvclient: key or value exceeds the protocol limit")
@@ -75,6 +82,14 @@ type Options struct {
 	// stuck below its safety level turns every call into a full budget
 	// wait, so it is off by default.
 	RetryDegraded bool
+	// OpTimeout bounds one attempt's round trip on the wire (0 = no
+	// deadline). Responses are matched to callers by position, so a
+	// timed-out waiter cannot be skipped: the deadline poisons the
+	// connection — failing every operation in flight on it, which
+	// retry on fresh connections — and the timed-out call itself
+	// returns ErrOpTimeout without retrying, since its outcome is
+	// unknown and the caller asked for bounded latency.
+	OpTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -291,7 +306,8 @@ func (c *Client) retryable(err error) bool {
 		return true
 	case errors.Is(err, ErrDegraded):
 		return c.opts.RetryDegraded
-	case errors.As(err, &se), errors.Is(err, ErrNotFound), errors.Is(err, ErrClosed), errors.Is(err, ErrTooLarge):
+	case errors.As(err, &se), errors.Is(err, ErrNotFound), errors.Is(err, ErrClosed),
+		errors.Is(err, ErrTooLarge), errors.Is(err, ErrOpTimeout):
 		return false
 	default:
 		return false
@@ -310,7 +326,7 @@ func (c *Client) doOnce(encode func([]byte) []byte, parseOK func([]byte) error) 
 	if err != nil {
 		return 0, fmt.Errorf("%w: dial: %v", errTransport, err)
 	}
-	body, err := cn.roundTrip(encode)
+	body, err := cn.roundTrip(encode, c.opts.OpTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -411,8 +427,10 @@ func (cn *conn) close(err error) {
 }
 
 // roundTrip writes one request and waits for its response body (pooled;
-// caller recycles).
-func (cn *conn) roundTrip(encode func([]byte) []byte) ([]byte, error) {
+// caller recycles). A positive opTimeout bounds the wait; on expiry the
+// connection is poisoned (see Options.OpTimeout) and ErrOpTimeout is
+// returned.
+func (cn *conn) roundTrip(encode func([]byte) []byte, opTimeout time.Duration) ([]byte, error) {
 	waiter := make(chan result, 1)
 	buf := encode(kvwire.GetBuf())
 	cn.mu.Lock()
@@ -444,7 +462,29 @@ func (cn *conn) roundTrip(encode func([]byte) []byte) ([]byte, error) {
 		cn.close(werr)
 		return nil, fmt.Errorf("%w: write: %v", errTransport, werr)
 	}
-	res := <-waiter
+	var res result
+	if opTimeout > 0 {
+		timer := time.NewTimer(opTimeout)
+		select {
+		case res = <-waiter:
+			timer.Stop()
+		case <-timer.C:
+			// The read loop matches responses to waiters positionally, so
+			// an abandoned waiter cannot be skipped: kill the connection.
+			// Its read loop then settles this waiter (and fails the rest
+			// of the in-flight window, which retries elsewhere).
+			terr := fmt.Errorf("%w after %v", ErrOpTimeout, opTimeout)
+			cn.close(terr)
+			if res = <-waiter; res.body != nil {
+				// The response raced the close; the outcome still counts
+				// as unknown to the caller, who asked for bounded latency.
+				kvwire.PutBuf(res.body)
+			}
+			return nil, terr
+		}
+	} else {
+		res = <-waiter
+	}
 	if res.err != nil {
 		return nil, fmt.Errorf("%w: %v", errTransport, res.err)
 	}

@@ -1,0 +1,178 @@
+package kvclient
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/kvwire"
+)
+
+// mute accepts one connection and reads (discards) everything written to
+// it without ever answering — the shape of a server that hangs mid-
+// failover. Returns the listen address and a stop func.
+func mute(t *testing.T) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	var (
+		mu    sync.Mutex
+		conns []net.Conn
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String(), func() {
+		l.Close()
+		<-done
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+}
+
+// TestConnDeathFailsAllInFlight pins the positional-FIFO failure
+// contract directly at the conn layer: many pipelined round trips are
+// parked on one connection; when the peer dies, every one of them must
+// fail promptly — none may hang waiting for a response slot that will
+// never be read.
+func TestConnDeathFailsAllInFlight(t *testing.T) {
+	addr, stop := mute(t)
+	defer stop()
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	cn := newConn(nc)
+	defer cn.close(errors.New("test over"))
+
+	const inflight = 32
+	errs := make(chan error, inflight)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := cn.roundTrip(func(buf []byte) []byte {
+				return kvwire.AppendEmpty(buf, kvwire.OpPing)
+			}, 0)
+			errs <- err
+		}()
+	}
+	// Let the requests land in the pending window, then kill the peer.
+	time.Sleep(50 * time.Millisecond)
+	stop()
+
+	waited := make(chan struct{})
+	go func() { wg.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight operations still blocked 5s after the connection died")
+	}
+	close(errs)
+	n := 0
+	for err := range errs {
+		n++
+		if err == nil {
+			t.Fatal("an in-flight operation succeeded against a dead connection")
+		}
+		if !errors.Is(err, errTransport) {
+			t.Fatalf("in-flight failure class = %v, want errTransport", err)
+		}
+	}
+	if n != inflight {
+		t.Fatalf("%d of %d in-flight operations reported", n, inflight)
+	}
+	if !cn.dead() {
+		t.Fatal("connection not marked dead after peer loss")
+	}
+}
+
+// TestOpTimeout pins the per-operation deadline: against a server that
+// never answers, an operation with OpTimeout set returns ErrOpTimeout
+// in bounded time (no retry — the outcome is unknown), other operations
+// in flight on the poisoned connection fail over, and the client dials
+// a fresh connection for the next call instead of reusing the corpse.
+func TestOpTimeout(t *testing.T) {
+	addr, stop := mute(t)
+	defer stop()
+
+	c := Dial(addr, Options{Conns: 1, OpTimeout: 100 * time.Millisecond, RetryBudget: -1})
+	defer c.Close()
+
+	start := time.Now()
+	err := c.Ping()
+	if !errors.Is(err, ErrOpTimeout) {
+		t.Fatalf("Ping against a mute server = %v, want ErrOpTimeout", err)
+	}
+	if wait := time.Since(start); wait > 3*time.Second {
+		t.Fatalf("deadline took %v to fire with OpTimeout=100ms", wait)
+	}
+
+	// The poisoned connection must not be handed out again: the next
+	// operation redials (and times out the same way — the server is
+	// still mute — rather than failing instantly on a dead conn).
+	if err := c.Ping(); !errors.Is(err, ErrOpTimeout) {
+		t.Fatalf("second Ping = %v, want ErrOpTimeout on a fresh connection", err)
+	}
+	if c.Redials() == 0 {
+		t.Fatal("client never re-dialed after the poisoned connection")
+	}
+}
+
+// TestOpTimeoutZeroMeansNoDeadline double-checks the default: with no
+// OpTimeout a waiter parks until the connection itself dies, and the
+// failure surfaces as the retryable transport class, not a timeout.
+func TestOpTimeoutZeroMeansNoDeadline(t *testing.T) {
+	addr, stop := mute(t)
+	defer stop()
+
+	c := Dial(addr, Options{Conns: 1, RetryBudget: -1})
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- c.Ping() }()
+	select {
+	case err := <-done:
+		t.Fatalf("Ping returned %v before the connection died", err)
+	case <-time.After(300 * time.Millisecond):
+	}
+	stop()
+	select {
+	case err := <-done:
+		if errors.Is(err, ErrOpTimeout) {
+			t.Fatalf("conn death surfaced as ErrOpTimeout: %v", err)
+		}
+		if err == nil {
+			t.Fatal("Ping succeeded against a mute server")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Ping still blocked 5s after the connection died")
+	}
+}

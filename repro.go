@@ -182,6 +182,12 @@ type Config struct {
 	// cluster the configuration applies per shard (each shard runs its
 	// own detector and spare pool).
 	Autopilot AutopilotConfig
+	// Durability switches on the per-replica disk tier: redo WAL +
+	// snapshots + cold-restart recovery (see DurabilityConfig). Off
+	// (zero) by default — nothing touches the filesystem and every
+	// simulated metric is bit-for-bit unchanged. On a sharded cluster
+	// each shard persists under its own Dir/shard-NNN subdirectory.
+	Durability DurabilityConfig
 }
 
 // AutopilotConfig times and scopes the unattended failure loop. The zero
@@ -311,6 +317,11 @@ func New(cfg Config) (*Cluster, error) {
 			AutoFailover:    cfg.Autopilot.AutoFailover,
 			AutoRepair:      cfg.Autopilot.AutoRepair,
 			Spares:          cfg.Autopilot.Spares,
+		},
+		Durability: replication.DurabilityConfig{
+			Dir:           cfg.Durability.Dir,
+			SnapshotEvery: cfg.Durability.SnapshotEvery,
+			SyncEvery:     cfg.Durability.SyncEvery,
 		},
 	})
 	if err != nil {

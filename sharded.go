@@ -66,6 +66,9 @@ func NewSharded(cfg Config, shards int) (*ShardedCluster, error) {
 	for i := 0; i < shards; i++ {
 		scfg := cfg
 		scfg.DBSize = size
+		if cfg.Durability.Enabled() {
+			scfg.Durability.Dir = shardDurabilityDir(cfg.Durability.Dir, i)
+		}
 		c, err := New(scfg)
 		if err != nil {
 			return nil, fmt.Errorf("repro: shard %d: %w", i, err)
