@@ -40,7 +40,10 @@ test-race:
 # duration/bytes, min-window tps, time-to-restored-quorum), and the
 # unattended chaos run in BENCH_chaos.json (mean/max MTTD, mean MTTR,
 # worst window, faults handled), the key-value YCSB-style mixes in
-# BENCH_kv.json (sim ops/s and SAN B/op per mix), the disk-tier
+# BENCH_kv.json (sim ops/s and SAN B/op per mix), the read-scaling
+# cell in BENCH_readscale.json (read-heavy sim ops/s per read mode on a
+# K=3 group, replica/primary read split, and zero stale-read
+# violations), the disk-tier
 # kill-and-restart drill in BENCH_durability.json (recovery wall time,
 # replayed records, and zero lost acked writes across three snapshot
 # intervals), and the served-over-TCP
@@ -64,6 +67,9 @@ bench:
 	$(GO) test -bench 'KV' -benchtime 2000x -run XXX -count 1 . > bench.kv.tmp || { cat bench.kv.tmp; rm -f bench.kv.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -o BENCH_kv.json < bench.kv.tmp
 	@rm -f bench.kv.tmp
+	$(GO) test -bench 'ReadScale' -benchtime 2000x -run XXX -count 1 . > bench.rs.tmp || { cat bench.rs.tmp; rm -f bench.rs.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_readscale.json < bench.rs.tmp
+	@rm -f bench.rs.tmp
 	$(GO) test -bench 'BenchmarkDurability' -benchtime 5x -run XXX -count 1 . > bench.dur.tmp || { cat bench.dur.tmp; rm -f bench.dur.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -o BENCH_durability.json < bench.dur.tmp
 	@rm -f bench.dur.tmp
@@ -71,7 +77,7 @@ bench:
 		> bench.server.tmp || { cat bench.server.tmp; rm -f bench.server.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -o BENCH_server.json < bench.server.tmp
 	@rm -f bench.server.tmp
-	$(GO) run ./cmd/benchjson -check BENCH_parallel.json BENCH_availability.json BENCH_chaos.json BENCH_kv.json BENCH_durability.json BENCH_server.json
+	$(GO) run ./cmd/benchjson -check BENCH_parallel.json BENCH_availability.json BENCH_chaos.json BENCH_kv.json BENCH_readscale.json BENCH_durability.json BENCH_server.json
 
 # The CI smoke run: every bench family at one iteration, emitted into a
 # scratch directory (the committed BENCH_*.json stay untouched), then
@@ -88,14 +94,16 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_chaos.json < .benchsmoke/chaos.txt > /dev/null
 	$(GO) test -bench 'KV' -benchtime 100x -run XXX -count 1 . > .benchsmoke/kv.txt || { cat .benchsmoke/kv.txt; exit 1; }
 	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_kv.json < .benchsmoke/kv.txt > /dev/null
+	$(GO) test -bench 'ReadScale' -benchtime 100x -run XXX -count 1 . > .benchsmoke/rs.txt || { cat .benchsmoke/rs.txt; exit 1; }
+	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_readscale.json < .benchsmoke/rs.txt > /dev/null
 	$(GO) test -bench 'BenchmarkDurability' -benchtime 1x -run XXX -count 1 . > .benchsmoke/dur.txt || { cat .benchsmoke/dur.txt; exit 1; }
 	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_durability.json < .benchsmoke/dur.txt > /dev/null
 	$(GO) run ./cmd/kvload -selfhost -conns 64 -ops 3000 -keys 1000 -crash 500 -q -benchfmt \
 		> .benchsmoke/server.txt || { cat .benchsmoke/server.txt; exit 1; }
 	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_server.json < .benchsmoke/server.txt > /dev/null
 	$(GO) run ./cmd/benchjson -check .benchsmoke/BENCH_parallel.json .benchsmoke/BENCH_availability.json \
-		.benchsmoke/BENCH_chaos.json .benchsmoke/BENCH_kv.json .benchsmoke/BENCH_durability.json \
-		.benchsmoke/BENCH_server.json
+		.benchsmoke/BENCH_chaos.json .benchsmoke/BENCH_kv.json .benchsmoke/BENCH_readscale.json \
+		.benchsmoke/BENCH_durability.json .benchsmoke/BENCH_server.json
 	@rm -rf .benchsmoke
 
 bench-all:

@@ -388,6 +388,51 @@ func BenchmarkKV(b *testing.B) {
 	}
 }
 
+// BenchmarkReadScale is the read-scaling acceptance cell: the read-heavy
+// mix on a K=3 QuorumSafe group with group commit, once per read mode.
+// The primary sub-bench is the baseline (all reads serialized through the
+// primary); ryw/bounded/quorum route reads to backup views, and the
+// reported sim-ops/s uses the replica-aware wall clock (primary and read-
+// serving backups run in parallel). RunKV's built-in staleness audit
+// feeds stale-read-violations, which `benchjson -check` requires to be
+// exactly zero — every replica-served read must honor its mode's
+// advertised bound. `make bench` parses these into BENCH_readscale.json.
+func BenchmarkReadScale(b *testing.B) {
+	const db = 8 << 20
+	for _, mode := range []string{"primary", "ryw", "bounded", "quorum"} {
+		b.Run(mode, func(b *testing.B) {
+			c, err := repro.New(repro.Config{
+				Version:     repro.V3InlineLog,
+				Backup:      repro.ActiveBackup,
+				DBSize:      db,
+				Backups:     3,
+				Safety:      repro.QuorumSafe,
+				CommitBatch: 96,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := tpc.RunKV(c, tpc.KVOptions{
+				Mix:            tpc.MixReadHeavy,
+				Records:        2000,
+				Ops:            int64(b.N),
+				Warmup:         200,
+				Seed:           1,
+				ReadMode:       mode,
+				StalenessBound: 128,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.OPS, "sim-ops/s")
+			b.ReportMetric(3, "replicas")
+			b.ReportMetric(float64(res.StaleViolations), "stale-read-violations")
+			b.ReportMetric(float64(res.ReplicaReads), "replica-reads")
+			b.ReportMetric(float64(res.PrimaryReads), "primary-reads")
+		})
+	}
+}
+
 // BenchmarkDurability runs the full-cluster kill-and-restart drill of
 // the disk tier at three snapshot intervals: commit a seeded workload,
 // power-fail every machine at once, tear the unsynced WAL tails (seeded

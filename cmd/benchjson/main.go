@@ -100,14 +100,25 @@ func main() {
 var requiredMetrics = map[string][]string{
 	"BENCH_server.json":     {"wall-ops/s", "p50-ms", "p99-ms", "p999-ms", "lost-acked-writes"},
 	"BENCH_durability.json": {"recovery-ms", "replayed-records", "lost-acked-writes"},
+	"BENCH_readscale.json":  {"sim-ops/s", "replicas", "stale-read-violations"},
+}
+
+// zeroMetrics names the metrics that must be exactly zero wherever they
+// appear: any other value is a correctness violation (acked writes lost,
+// a replica read served outside its advertised staleness bound), not a
+// slow result.
+var zeroMetrics = map[string]bool{
+	"lost-acked-writes":     true,
+	"stale-read-violations": true,
 }
 
 // runCheck validates emitted BENCH_*.json files: each must unmarshal into
 // the Doc schema, contain at least one parsed benchmark with a Benchmark-
 // prefixed name and a positive iteration count, and preserve its raw
 // benchstat lines. Files listed in requiredMetrics must additionally
-// carry their required metrics on every benchmark (and zero
-// lost-acked-writes). Returns a process exit code.
+// carry their required metrics on every benchmark, and the zeroMetrics
+// correctness counters must be zero wherever reported. Returns a process
+// exit code.
 func runCheck(files []string) int {
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: -check needs at least one file argument")
@@ -152,12 +163,13 @@ func checkFile(path string) error {
 			return fmt.Errorf("benchmark %q has non-positive iteration count %d", b.Name, b.N)
 		}
 		for _, m := range required {
-			v, ok := b.Metrics[m]
-			if !ok {
+			if _, ok := b.Metrics[m]; !ok {
 				return fmt.Errorf("benchmark %q is missing required metric %q", b.Name, m)
 			}
-			if m == "lost-acked-writes" && v != 0 {
-				return fmt.Errorf("benchmark %q reports %g lost acknowledged writes", b.Name, v)
+		}
+		for m, v := range b.Metrics {
+			if zeroMetrics[m] && v != 0 {
+				return fmt.Errorf("benchmark %q reports %s = %g, want 0", b.Name, m, v)
 			}
 		}
 	}

@@ -29,6 +29,8 @@
 //	replbench -repair                   # crash→failover→online-repair availability timeline
 //	replbench -chaos -seed 7            # seeded unattended fault schedule (MTTD/MTTR per event)
 //	replbench -kv                       # YCSB-style key-value mixes over both facades
+//	replbench -experiment readscale     # replica reads per consistency mode vs the primary baseline
+//	replbench -experiment readscale -read-mode bounded  # one mode alongside the baseline
 //	replbench -durability               # disk-tier kill-and-restart recovery matrix
 package main
 
@@ -49,7 +51,7 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "exhibits to regenerate: a group (all, paper, ablations, extensions, everything) or comma-separated ids (fig1..fig3, table1..table8, ablation-2safe/cpu/packet/san/wbuf, repl-degree, shard-scaling, parallel-shards, group-commit, availability, chaos, kv, durability)")
+		experiment = flag.String("experiment", "all", "exhibits to regenerate: a group (all, paper, ablations, extensions, everything) or comma-separated ids (fig1..fig3, table1..table8, ablation-2safe/cpu/packet/san/wbuf, repl-degree, shard-scaling, parallel-shards, group-commit, availability, chaos, kv, readscale, durability)")
 		dbMB       = flag.Int("db", 50, "database size in MB")
 		dcTxns     = flag.Int64("dc-txns", 0, "Debit-Credit transactions per cell (0 = default)")
 		oeTxns     = flag.Int64("oe-txns", 0, "Order-Entry transactions per cell (0 = default)")
@@ -67,6 +69,8 @@ func run() int {
 		durability = flag.Bool("durability", false, "run the disk tier's kill-and-restart recovery matrix (snapshot interval x corrupt-tail mode; seeded by -seed)")
 		kvOps      = flag.Int64("kv-ops", 0, "measured kv operations per mix cell (0 = default)")
 		kvRecords  = flag.Int("kv-records", 0, "preloaded kv keyspace size (0 = default)")
+		kvScanLen  = flag.Int("kv-scan-len", 0, "range-scan length of the kv and readscale scan mixes (0 = default 10)")
+		readMode   = flag.String("read-mode", "", "restrict the readscale experiment to one replica-read mode (ryw, bounded, quorum) next to the primary baseline (\"\" = sweep every mode)")
 		full       = flag.Bool("full", false, "paper-scale transaction counts (slow)")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		quiet      = flag.Bool("q", false, "suppress progress output")
@@ -107,6 +111,8 @@ func run() int {
 	cfg.ChaosEvents = *chaosN
 	cfg.KVOps = *kvOps
 	cfg.KVRecords = *kvRecords
+	cfg.KVScanLen = *kvScanLen
+	cfg.ReadMode = *readMode
 
 	var exps []harness.Experiment
 	switch {

@@ -459,3 +459,197 @@ func TestKVRecoveryRandomized(t *testing.T) {
 		}
 	}
 }
+
+// writeAt commits one record through the DB facade and returns it.
+func writeAt(t *testing.T, db repro.DB, off int, fill byte) []byte {
+	t.Helper()
+	payload := bytes.Repeat([]byte{fill}, 12)
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(off, len(payload)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(off, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// TestDBConformanceReadOpts: the ReadAt consistency surface behaves
+// identically on a Cluster and on both ShardedCluster arities — the zero
+// ReadOpts is exactly Read, every mode returns committed bytes under its
+// advertised floor, and a pinned unavailable replica surfaces
+// ErrReplicaUnavailable instead of silently falling back.
+func TestDBConformanceReadOpts(t *testing.T) {
+	for name, db := range conformanceTargets(t, replicatedCfg()) {
+		t.Run(name, func(t *testing.T) {
+			const off = 64
+			want := writeAt(t, db, off, 0x5A)
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			db.Settle()
+			tok := db.Token(nil)
+			if len(tok) != db.Shards() {
+				t.Fatalf("token length %d, shards %d", len(tok), db.Shards())
+			}
+
+			buf := make([]byte, len(want))
+			// The zero ReadOpts is exactly Read: primary-served.
+			res, err := db.ReadAt(off, buf, repro.ReadOpts{})
+			if err != nil || !bytes.Equal(buf, want) {
+				t.Fatalf("default ReadAt = %q, %v", buf, err)
+			}
+			if res.Replica != 0 || res.Seq != res.Primary {
+				t.Fatalf("default ReadAt not primary-served: %+v", res)
+			}
+
+			// Every mode returns the committed bytes within its floor.
+			for _, opts := range []repro.ReadOpts{
+				{Mode: repro.ReadYourWrites, Token: tok},
+				{Mode: repro.ReadBounded, Bound: 1 << 20},
+				{Mode: repro.ReadQuorum},
+			} {
+				clear(buf)
+				res, err := db.ReadAt(off, buf, opts)
+				if err != nil || !bytes.Equal(buf, want) {
+					t.Fatalf("%v ReadAt = %q, %v", opts.Mode, buf, err)
+				}
+				if opts.Mode == repro.ReadYourWrites && res.Replica > 0 && res.Seq < tok[0] {
+					t.Fatalf("ryw served below the token floor: %+v (token %d)", res, tok[0])
+				}
+				if opts.Mode == repro.ReadBounded && res.Primary-res.Seq > opts.Bound {
+					t.Fatalf("bounded served outside the bound: %+v", res)
+				}
+				if opts.Mode == repro.ReadQuorum && res.Seq < tok[0] {
+					t.Fatalf("quorum view missed an acked commit: %+v (token %d)", res, tok[0])
+				}
+			}
+
+			// A settled backup serves a pinned read; a nonexistent replica
+			// index refuses rather than falling back.
+			if res, err := db.ReadAt(off, buf, repro.ReadOpts{Replica: 1}); err != nil || res.Replica != 1 {
+				t.Fatalf("pinned read on healthy backup: %+v, %v", res, err)
+			}
+			if _, err := db.ReadAt(off, buf, repro.ReadOpts{Replica: 9}); !errors.Is(err, repro.ErrReplicaUnavailable) {
+				t.Fatalf("pinned read on nonexistent replica = %v", err)
+			}
+		})
+	}
+}
+
+// TestDBConformanceMidJoinNeverServes: a replica being rebuilt by the
+// online repair holds a fuzzy copy — a pinned ReadAt must refuse it for
+// the whole transfer, on every facade.
+func TestDBConformanceMidJoinNeverServes(t *testing.T) {
+	cfg := replicatedCfg()
+	cfg.Safety = repro.OneSafe // commits must keep flowing while degraded
+	for name, db := range conformanceTargets(t, cfg) {
+		t.Run(name, func(t *testing.T) {
+			const off = 64
+			writeAt(t, db, off, 0x11)
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			db.Settle()
+			if err := db.CrashBackup(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.RepairAsync(); err != nil {
+				t.Fatal(err)
+			}
+
+			buf := make([]byte, 12)
+			probes := 0
+			for i := 0; i < 200000 && db.RepairProgress().Active; i++ {
+				writeAt(t, db, off+64+(i%32)*16, byte(i))
+				if db.RepairProgress().Joining > 0 {
+					probes++
+					// The repair drops the crashed backup and appends the
+					// joiner after the survivors: it is replica index 2.
+					if _, err := db.ReadAt(off, buf, repro.ReadOpts{Replica: 2}); !errors.Is(err, repro.ErrReplicaUnavailable) {
+						t.Fatalf("mid-join replica served a pinned read: %v", err)
+					}
+					// The surviving enrolled backup keeps serving throughout.
+					if res, err := db.ReadAt(off, buf, repro.ReadOpts{Replica: 1}); err != nil || res.Replica != 1 {
+						t.Fatalf("survivor refused a pinned read mid-repair: %+v, %v", res, err)
+					}
+				}
+				if i%100 == 0 {
+					db.Settle()
+				}
+			}
+			if db.RepairProgress().Active {
+				t.Fatal("repair never completed")
+			}
+			if probes == 0 {
+				t.Fatal("never observed the joiner mid-transfer")
+			}
+			db.Settle()
+			if res, err := db.ReadAt(off, buf, repro.ReadOpts{Replica: 2}); err != nil || res.Replica != 2 {
+				t.Fatalf("re-enrolled replica refuses pinned reads: %+v, %v", res, err)
+			}
+		})
+	}
+}
+
+// TestDBConformanceTokenPortability: tokens are plain data, portable
+// across deployments and shard counts — a token from shard A is always
+// valid on shard B (missing elements are unconstrained, over-large floors
+// just fall back to the primary), and sessions merge by element-wise max.
+func TestDBConformanceTokenPortability(t *testing.T) {
+	mk4, err := repro.NewSharded(replicatedCfg(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk1, err := repro.New(replicatedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardSize := mk4.DBSize() / 4
+
+	// Populate both deployments and capture their tokens.
+	w4 := writeAt(t, mk4, 3*shardSize+64, 0xC4) // shard 3 of the wide one
+	w1 := writeAt(t, mk1, 64, 0xC1)
+	for _, db := range []repro.DB{mk4, mk1} {
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		db.Settle()
+	}
+	tok4, tok1 := mk4.Token(nil), mk1.Token(nil)
+	if len(tok4) != 4 || len(tok1) != 1 {
+		t.Fatalf("token lengths %d/%d", len(tok4), len(tok1))
+	}
+
+	// The wide token on the narrow deployment: element 0 may exceed the
+	// narrow committed counter — the read falls back to the primary, it
+	// never errors.
+	buf := make([]byte, 12)
+	if _, err := mk1.ReadAt(64, buf, repro.ReadOpts{Mode: repro.ReadYourWrites, Token: tok4}); err != nil || !bytes.Equal(buf, w1) {
+		t.Fatalf("wide token on narrow deployment: %q, %v", buf, err)
+	}
+	// The narrow token on shard 3 of the wide deployment: no element for
+	// shard 3, so that shard is unconstrained.
+	clear(buf)
+	if _, err := mk4.ReadAt(3*shardSize+64, buf, repro.ReadOpts{Mode: repro.ReadYourWrites, Token: tok1}); err != nil || !bytes.Equal(buf, w4) {
+		t.Fatalf("narrow token on wide deployment: %q, %v", buf, err)
+	}
+	// A nil token constrains nothing.
+	clear(buf)
+	if _, err := mk4.ReadAt(3*shardSize+64, buf, repro.ReadOpts{Mode: repro.ReadYourWrites}); err != nil || !bytes.Equal(buf, w4) {
+		t.Fatalf("nil token: %q, %v", buf, err)
+	}
+
+	// Sessions merge tokens by element-wise max, growing as needed.
+	got := repro.Token{5, 1}.Merge(repro.Token{2, 7, 3})
+	want := repro.Token{5, 7, 3}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Merge = %v, want %v", got, want)
+	}
+}

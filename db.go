@@ -25,6 +25,29 @@ type DB interface {
 	// the deployment's transactions. Returns ErrBounds outside the
 	// database and ErrCrashed on a dead primary.
 	Read(off int, dst []byte) error
+	// ReadAt performs a charged read under an explicit consistency
+	// discipline, letting backup replicas serve when the mode permits
+	// (active scheme, fully enrolled replicas only — a mid-join replica
+	// never serves). The zero ReadOpts is exactly Read, bit-for-bit in
+	// the sim metrics. ReadYourWrites routes to any backup whose applied
+	// sequence has reached the caller's token, ReadBounded to any within
+	// ReadOpts.Bound commit sequences of the primary, ReadQuorum reads a
+	// majority and serves the max-sequence view with read repair; each
+	// falls back to the primary when no backup qualifies. Errors as Read,
+	// plus ErrReplicaUnavailable for pinned reads (ReadOpts.Replica > 0)
+	// the pinned replica cannot serve.
+	ReadAt(off int, dst []byte, opts ReadOpts) (ReadResult, error)
+	// Token fills dst (growing it as needed) with the deployment's
+	// per-shard commit-sequence vector — the floor a subsequent
+	// ReadYourWrites read must observe. Capture it after Commit returns;
+	// merge tokens across shards/sessions with Token.Merge. Never blocks.
+	Token(dst Token) Token
+	// ReplicaElapsed returns the longest simulated time any node —
+	// primary or read-serving backup, across all shards — has accumulated
+	// since the last measurement reset: the wall time of a read-scaled
+	// workload. Equals Elapsed when no backup served a read. Never
+	// blocks the shards.
+	ReplicaElapsed() time.Duration
 	// ReadRaw copies database bytes without charging simulated time
 	// (test oracles, state dumps). It panics if [off, off+len(dst))
 	// falls outside DBSize() — identically on both facades.

@@ -32,6 +32,11 @@ import (
 //	                           *PartialCommitError (sharded multi-shard)
 //	Tx.Abort                   ErrTxDone, ErrCrashed
 //	DB.Read / DB.Load          ErrBounds, ErrCrashed (Read only)
+//	DB.ReadAt                  ErrBounds, ErrCrashed,
+//	                           ErrReplicaUnavailable (only for reads
+//	                           pinned via ReadOpts.Replica; routed reads
+//	                           fall back to the primary instead)
+//	DB.Token / ReplicaElapsed  none
 //	DB.ReadRaw                 none — panics on an out-of-range span
 //	DB.Flush                   ErrSafetyUnavailable
 //	Admin.CrashPrimary         ErrNoSuchShard, ErrCrashed (already dead)
@@ -67,6 +72,13 @@ var (
 	// (Admin.PowerFail) when the deployment runs without the disk tier
 	// (Config.Durability unset).
 	ErrNoDurability = replication.ErrNoDurability
+	// ErrReplicaUnavailable is returned by ReadAt for a read pinned to a
+	// specific replica (ReadOpts.Replica > 0) that the replica cannot
+	// serve: passive scheme, not fully enrolled (mid-join, paused, gated,
+	// crashed, epoch-fenced), or unable to satisfy the requested
+	// consistency mode. Automatically routed reads never return it — they
+	// fall back to the primary.
+	ErrReplicaUnavailable = replication.ErrReplicaUnavailable
 	// ErrBounds is returned for any access outside the configured
 	// database size: transactional SetRange/Write/Read, charged Read,
 	// and Load, on both facades.

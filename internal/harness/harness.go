@@ -102,8 +102,9 @@ var ablationExhibits = []string{"ablation-wbuf", "ablation-packet",
 // extensionExhibits lists the capability experiments that go beyond the
 // paper's two-node deployments: N-replica groups, the sharded cluster,
 // the autopilot's unattended chaos run, the key-value layer's YCSB-style
-// mixes, and the disk tier's cold-restart recovery matrix.
-var extensionExhibits = []string{"repl-degree", "shard-scaling", "chaos", "kv", "durability"}
+// mixes, the replica-read scaling cell, and the disk tier's cold-restart
+// recovery matrix.
+var extensionExhibits = []string{"repl-degree", "shard-scaling", "chaos", "kv", "readscale", "durability"}
 
 // All returns the paper's experiments in exhibit order.
 func All() []Experiment { return byIDs(paperExhibits) }
@@ -164,6 +165,13 @@ type RunConfig struct {
 	// measured operations per mix cell (0 = the cell's defaults).
 	KVRecords int
 	KVOps     int64
+	// KVScanLen is the range-scan length of the kv and readscale scan
+	// operations (0 = tpc.RunKV's default of 10).
+	KVScanLen int
+	// ReadMode restricts the readscale experiment to one replica-read
+	// consistency mode ("ryw", "bounded", "quorum"), always alongside the
+	// primary baseline row ("" = sweep every mode).
+	ReadMode string
 }
 
 // DefaultRunConfig returns the scaled-down default configuration.

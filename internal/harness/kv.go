@@ -80,6 +80,7 @@ func runKV(cfg RunConfig) (*Table, error) {
 			}
 			res, err := tpc.RunKV(dep, tpc.KVOptions{
 				Mix: mix, Records: records, Ops: ops, Warmup: warm, Seed: cfg.Seed,
+				ScanLen: cfg.KVScanLen,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("harness: kv %s/%s: %w", d.name, mix, err)

@@ -1,0 +1,96 @@
+package kvserver
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/kvclient"
+)
+
+// TestServerReplicaReads is the wire-level consistency contract: clients
+// running each read mode against one server see their own writes held to
+// the mode's guarantee, session commit tokens flow back on mutations, and
+// a pre-extension client (no read mode) keeps working unchanged against
+// the extended server.
+func TestServerReplicaReads(t *testing.T) {
+	srv, _, addr := serve(t, repro.Config{Backups: 3, Safety: repro.QuorumSafe})
+	defer srv.Close()
+
+	modes := []struct {
+		name   string
+		mode   byte
+		strict bool // the mode guarantees read-your-writes
+	}{
+		{"ryw", kvclient.ReadYourWrites, true},
+		{"quorum", kvclient.ReadQuorum, true},
+		{"bounded", kvclient.ReadBounded, false},
+	}
+	for _, m := range modes {
+		t.Run(m.name, func(t *testing.T) {
+			cl := kvclient.Dial(addr, kvclient.Options{Conns: 1, ReadMode: m.mode, StalenessBound: 1 << 20})
+			defer cl.Close()
+
+			for i := 0; i < 40; i++ {
+				key := []byte(fmt.Sprintf("%s%04d", m.name, i))
+				val := []byte(fmt.Sprintf("val-%s-%04d", m.name, i))
+				if err := cl.Put(key, val); err != nil {
+					t.Fatalf("put %d: %v", i, err)
+				}
+				got, err := cl.Get(key)
+				if m.strict {
+					// Read-your-writes over the wire: the token from the
+					// Put response anchors the very next Get.
+					if err != nil || !bytes.Equal(got, val) {
+						t.Fatalf("get %d after put: %q, %v", i, got, err)
+					}
+				} else if err != nil && !errors.Is(err, kvclient.ErrNotFound) {
+					// Bounded reads may serve a lagging (in-bound) view —
+					// staleness is legal, errors are not.
+					t.Fatalf("bounded get %d: %v", i, err)
+				}
+			}
+			if len(cl.Token()) == 0 {
+				t.Fatal("session token never flowed back on mutations")
+			}
+
+			// The session's scans see the session's writes too.
+			if m.strict {
+				entries, err := cl.Scan([]byte(m.name), 100)
+				if err != nil {
+					t.Fatalf("scan: %v", err)
+				}
+				n := 0
+				for _, e := range entries {
+					if bytes.HasPrefix(e.Key, []byte(m.name)) {
+						n++
+					}
+				}
+				if n != 40 {
+					t.Fatalf("session scan saw %d of its 40 writes", n)
+				}
+			}
+		})
+	}
+
+	// A classic client on the same server: no flags byte on its reads, no
+	// token tracking, same answers.
+	cl := kvclient.Dial(addr, kvclient.Options{Conns: 1})
+	defer cl.Close()
+	if err := cl.Put([]byte("classic"), []byte("works")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Get([]byte("classic"))
+	if err != nil || string(got) != "works" {
+		t.Fatalf("classic client get: %q, %v", got, err)
+	}
+	if len(cl.Token()) != 0 {
+		t.Fatal("primary-mode client tracked a token")
+	}
+	// And it reads keys the consistency-mode sessions wrote.
+	if got, err := cl.Get([]byte("ryw0007")); err != nil || !bytes.Equal(got, []byte("val-ryw-0007")) {
+		t.Fatalf("classic read of ryw write: %q, %v", got, err)
+	}
+}

@@ -5,7 +5,10 @@
 // connection behind a bounded in-flight window, recycles every frame
 // buffer through kvwire's pool (no per-operation allocations or
 // goroutines on the steady-state path — two goroutines per connection,
-// period), and maps the deployment's failure taxonomy onto the wire:
+// period), routes GETs and SCANs carrying a kvwire consistency block
+// through the store's replica read views (answering mutations with the
+// commit token that anchors read-your-writes sessions), and maps the
+// deployment's failure taxonomy onto the wire:
 //
 //   - kv.ErrBroken / repro.ErrCrashed / repro.ErrLeaseExpired become
 //     StatusRetry — the client retries, and the server's healer
@@ -258,6 +261,7 @@ func (s *Server) handleConn(c net.Conn) {
 	br := bufio.NewReaderSize(c, 16<<10)
 	buf := kvwire.GetBuf()
 	var req kvwire.Request
+	var sess session
 	for {
 		if s.isDraining() {
 			break
@@ -271,7 +275,7 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 			break
 		}
-		resp, fatal := s.execute(buf, &req)
+		resp, fatal := s.execute(buf, &req, &sess)
 		out <- resp
 		if fatal {
 			break
@@ -286,10 +290,38 @@ func (s *Server) handleConn(c net.Conn) {
 // outgrow the protocol limit; the entries already staged are delivered.
 var errScanTruncated = errors.New("kvserver: scan response at frame limit")
 
+// session is the per-connection read-consistency state, owned by the
+// connection's reader goroutine: the commit token captured after the
+// connection's last mutation. A read carrying its own token uses that
+// (client-merged session state wins); one carrying a consistency block
+// without a token falls back to this floor, giving single-connection
+// clients read-your-writes with no client-side bookkeeping.
+type session struct {
+	tok repro.Token
+}
+
+// readOpts assembles the facade ReadOpts for one GET/SCAN request.
+func (sess *session) readOpts(req *kvwire.Request) repro.ReadOpts {
+	opts := repro.ReadOpts{Mode: repro.ReadMode(req.Mode), Bound: req.Bound}
+	if len(req.Token) > 0 {
+		opts.Token = repro.Token(req.Token)
+	} else {
+		opts.Token = sess.tok
+	}
+	return opts
+}
+
+// wrote refreshes the session floor after a successful mutation and
+// seals the response carrying it.
+func (s *Server) wrote(sess *session) []byte {
+	sess.tok = s.db.Token(sess.tok)
+	return kvwire.AppendOKToken(kvwire.GetBuf(), sess.tok)
+}
+
 // execute runs one decoded request against the store and encodes the
 // response into a pooled buffer. fatal reports that the connection must
 // close after the response (malformed frame).
-func (s *Server) execute(frame []byte, req *kvwire.Request) (resp []byte, fatal bool) {
+func (s *Server) execute(frame []byte, req *kvwire.Request, sess *session) (resp []byte, fatal bool) {
 	s.ops.Add(1)
 	if err := kvwire.ParseRequest(frame, req); err != nil {
 		s.badFrames.Add(1)
@@ -300,11 +332,19 @@ func (s *Server) execute(frame []byte, req *kvwire.Request) (resp []byte, fatal 
 		if err := s.store.Put(req.Key, req.Val); err != nil {
 			return s.errResp(err), false
 		}
-		return kvwire.AppendEmpty(kvwire.GetBuf(), kvwire.StatusOK), false
+		return s.wrote(sess), false
 
 	case kvwire.OpGet:
 		buf := kvwire.BeginFrame(kvwire.GetBuf(), kvwire.StatusOK)
-		out, err := s.store.GetAppend(req.Key, buf)
+		var (
+			out []byte
+			err error
+		)
+		if req.Mode == kvwire.ModePrimary {
+			out, err = s.store.GetAppend(req.Key, buf)
+		} else {
+			out, _, err = s.store.GetAppendAt(req.Key, buf, sess.readOpts(req))
+		}
 		if err != nil {
 			kvwire.PutBuf(out)
 			return s.errResp(err), false
@@ -315,19 +355,25 @@ func (s *Server) execute(frame []byte, req *kvwire.Request) (resp []byte, fatal 
 		if err := s.store.Delete(req.Key); err != nil {
 			return s.errResp(err), false
 		}
-		return kvwire.AppendEmpty(kvwire.GetBuf(), kvwire.StatusOK), false
+		return s.wrote(sess), false
 
 	case kvwire.OpScan:
 		buf, countOff := kvwire.BeginScanResponse(kvwire.GetBuf())
 		n := 0
-		_, err := s.store.Scan(req.Key, req.Limit, func(k, v []byte) error {
+		entry := func(k, v []byte) error {
 			if len(buf)+len(k)+len(v)+6 > s.maxFrame {
 				return errScanTruncated
 			}
 			buf = kvwire.AppendScanEntry(buf, k, v)
 			n++
 			return nil
-		})
+		}
+		var err error
+		if req.Mode == kvwire.ModePrimary {
+			_, err = s.store.Scan(req.Key, req.Limit, entry)
+		} else {
+			_, _, err = s.store.ScanAt(req.Key, req.Limit, sess.readOpts(req), entry)
+		}
 		if err != nil && !errors.Is(err, errScanTruncated) {
 			kvwire.PutBuf(buf)
 			return s.errResp(err), false
@@ -338,7 +384,7 @@ func (s *Server) execute(frame []byte, req *kvwire.Request) (resp []byte, fatal 
 		if err := s.executeTxn(req.Ops); err != nil {
 			return s.errResp(err), false
 		}
-		return kvwire.AppendEmpty(kvwire.GetBuf(), kvwire.StatusOK), false
+		return s.wrote(sess), false
 
 	case kvwire.OpStats:
 		data, err := json.Marshal(s.Stats())

@@ -1,0 +1,164 @@
+package kvwire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestReadFlagsRoundTrip: GET and SCAN frames carrying a consistency
+// block parse back to the mode, bound, and token they were built with.
+func TestReadFlagsRoundTrip(t *testing.T) {
+	key := []byte("user00000007")
+	token := []uint64{42, 0, 7}
+	var req Request
+
+	frame := AppendGetAt(GetBuf(), key, ModeRYW, 16, token)
+	if err := ParseRequest(frame[4:], &req); err != nil {
+		t.Fatalf("parse GetAt: %v", err)
+	}
+	if req.Op != OpGet || !bytes.Equal(req.Key, key) {
+		t.Fatalf("GetAt base fields: %+v", req)
+	}
+	if req.Mode != ModeRYW || req.Bound != 16 {
+		t.Fatalf("GetAt consistency fields: mode %d bound %d", req.Mode, req.Bound)
+	}
+	if len(req.Token) != 3 || req.Token[0] != 42 || req.Token[2] != 7 {
+		t.Fatalf("GetAt token: %v", req.Token)
+	}
+
+	// The parsed token slice is recycled across frames, never leaked.
+	frame = AppendScanAt(GetBuf(), key[:4], 25, ModeBounded, 1<<40, nil)
+	if err := ParseRequest(frame[4:], &req); err != nil {
+		t.Fatalf("parse ScanAt: %v", err)
+	}
+	if req.Op != OpScan || req.Limit != 25 || !bytes.Equal(req.Key, key[:4]) {
+		t.Fatalf("ScanAt base fields: %+v", req)
+	}
+	if req.Mode != ModeBounded || req.Bound != 1<<40 || len(req.Token) != 0 {
+		t.Fatalf("ScanAt consistency fields: %+v", req)
+	}
+
+	// ModeQuorum with an empty bound.
+	frame = AppendGetAt(GetBuf(), key, ModeQuorum, 0, []uint64{9})
+	if err := ParseRequest(frame[4:], &req); err != nil {
+		t.Fatalf("parse quorum GetAt: %v", err)
+	}
+	if req.Mode != ModeQuorum || req.Bound != 0 || len(req.Token) != 1 || req.Token[0] != 9 {
+		t.Fatalf("quorum GetAt: %+v", req)
+	}
+}
+
+// TestReadFlagsForwardCompat is the wire-evolution contract: a classic
+// GET/SCAN frame (no flags byte) parses as ModePrimary with no token —
+// old clients keep working against the extended server bit-for-bit — and
+// a frame with an unknown flag bit is rejected, not misread.
+func TestReadFlagsForwardCompat(t *testing.T) {
+	key := []byte("k")
+	var req Request
+
+	// A pre-extension frame: absent tail ≡ flags 0.
+	req.Mode, req.Bound, req.Token = ModeQuorum, 99, []uint64{1} // stale state must be cleared
+	frame := AppendGet(GetBuf(), key)
+	if err := ParseRequest(frame[4:], &req); err != nil {
+		t.Fatalf("parse classic GET: %v", err)
+	}
+	if req.Mode != ModePrimary || req.Bound != 0 || len(req.Token) != 0 {
+		t.Fatalf("classic GET not ModePrimary/zero: %+v", req)
+	}
+	frame = AppendScan(GetBuf(), nil, 5)
+	if err := ParseRequest(frame[4:], &req); err != nil {
+		t.Fatalf("parse classic SCAN: %v", err)
+	}
+	if req.Mode != ModePrimary || len(req.Token) != 0 {
+		t.Fatalf("classic SCAN not ModePrimary: %+v", req)
+	}
+
+	// An explicit flags 0 byte is also the classic read.
+	body := append([]byte{OpGet, 0, 1, 'k'}, 0)
+	if err := ParseRequest(body, &req); err != nil {
+		t.Fatalf("parse flags-0 GET: %v", err)
+	}
+	if req.Mode != ModePrimary {
+		t.Fatalf("flags-0 GET mode %d", req.Mode)
+	}
+
+	// Unknown flag bits: a frame from a future protocol revision must be
+	// refused so its bytes are never misinterpreted.
+	body = append([]byte{OpGet, 0, 1, 'k'}, 1<<5)
+	if err := ParseRequest(body, &req); !errors.Is(err, ErrFrame) {
+		t.Fatalf("unknown flag bit accepted: %v", err)
+	}
+}
+
+// TestReadFlagsMalformed: truncated or out-of-range consistency blocks
+// surface as ErrFrame, never a panic or a misparse.
+func TestReadFlagsMalformed(t *testing.T) {
+	get := func(tail ...byte) []byte { return append([]byte{OpGet, 0, 1, 'k'}, tail...) }
+	bodies := [][]byte{
+		get(FlagConsistency),          // flags announced, block missing
+		get(FlagConsistency, ModeRYW), // bound missing
+		get(FlagConsistency, ModeQuorum+1, 0, 0, 0, 0, 0, 0, 0, 0, 0),         // undefined mode
+		get(FlagConsistency, ModeRYW, 0, 0, 0, 0, 0, 0, 0, 0),                 // token length missing
+		get(FlagConsistency, ModeRYW, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0),           // token entries truncated
+		append(AppendGetAt(GetBuf(), []byte("k"), ModeRYW, 0, nil)[4:], 0xEE), // trailing garbage after block
+	}
+	var req Request
+	for i, b := range bodies {
+		if err := ParseRequest(b, &req); !errors.Is(err, ErrFrame) {
+			t.Errorf("body %d: err = %v, want ErrFrame", i, err)
+		}
+	}
+}
+
+// TestTokenTruncation: tokens longer than MaxTokenLen are truncated on
+// encode (the floor loses precision, never correctness) and rejected on
+// decode if a peer sends them anyway.
+func TestTokenTruncation(t *testing.T) {
+	long := make([]uint64, MaxTokenLen+40)
+	for i := range long {
+		long[i] = uint64(i)
+	}
+	frame := AppendGetAt(GetBuf(), []byte("k"), ModeRYW, 0, long)
+	var req Request
+	if err := ParseRequest(frame[4:], &req); err != nil {
+		t.Fatalf("parse truncated-token GET: %v", err)
+	}
+	if len(req.Token) != MaxTokenLen || req.Token[MaxTokenLen-1] != MaxTokenLen-1 {
+		t.Fatalf("token truncation: len %d", len(req.Token))
+	}
+}
+
+// TestOKTokenBody: mutation responses carry the session commit token; an
+// empty token is the classic empty StatusOK body, so pre-extension
+// clients parse both.
+func TestOKTokenBody(t *testing.T) {
+	frame := AppendOKToken(GetBuf(), []uint64{3, 1, 4})
+	if frame[4] != StatusOK {
+		t.Fatalf("status byte %d", frame[4])
+	}
+	tok, err := ParseTokenBody(frame[5:], nil)
+	if err != nil || len(tok) != 3 || tok[0] != 3 || tok[2] != 4 {
+		t.Fatalf("token body round-trip: %v, %v", tok, err)
+	}
+
+	// Empty token: body-free StatusOK, exactly the pre-extension frame.
+	frame = AppendOKToken(GetBuf(), nil)
+	if !bytes.Equal(frame, AppendEmpty(GetBuf(), StatusOK)) {
+		t.Fatalf("empty token body diverges from classic OK: % x", frame)
+	}
+	if tok, err := ParseTokenBody(nil, tok[:0]); err != nil || len(tok) != 0 {
+		t.Fatalf("empty token body: %v, %v", tok, err)
+	}
+
+	// Truncated and overlong bodies are refused.
+	if _, err := ParseTokenBody([]byte{2, 0}, nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("truncated token body: %v", err)
+	}
+	if _, err := ParseTokenBody([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF}, nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("trailing bytes after token: %v", err)
+	}
+	if _, err := ParseTokenBody(append([]byte{200}, make([]byte, 1600)...), nil); !errors.Is(err, ErrFrame) {
+		t.Fatalf("overlong token accepted: %v", err)
+	}
+}

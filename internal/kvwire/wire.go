@@ -18,19 +18,41 @@
 // # Request payloads
 //
 //	OpPut    u16 klen, key, u32 vlen, value
-//	OpGet    u16 klen, key
+//	OpGet    u16 klen, key [, flags tail]
 //	OpDelete u16 klen, key
 //	OpScan   u16 klen, start key (may be empty), u32 limit (≤ MaxScan)
+//	         [, flags tail]
 //	OpTxn    u16 n, then n times: u8 kind (0 put, 1 delete),
 //	         u16 klen, key, and for puts u32 vlen, value
 //	OpStats  empty
 //	OpPing   empty
 //
+// # Read flags tail
+//
+// OpGet and OpScan accept an optional trailing extension: one flags byte
+// followed by the blocks the set bits announce, in bit order. A frame
+// ending at the base payload means flags 0 — every frame an old client
+// produces parses unchanged — and a flags byte with any bit this decoder
+// does not know is rejected as malformed (ErrFrame), so an old server
+// visibly refuses new-client extensions instead of silently ignoring
+// their semantics. One bit is assigned:
+//
+//	FlagConsistency (bit 0): u8 read mode (ModePrimary..ModeQuorum),
+//	u64 staleness bound, u8 token length n (≤ MaxTokenLen), n × u64
+//	per-shard commit-sequence token.
+//
+// Clients only append the tail when a non-default read mode is in use:
+// plain reads stay byte-identical to the pre-extension protocol in both
+// directions.
+//
 // # Response payloads
 //
 //	StatusOK        Get: value. Scan: u32 n, then n × (u16 klen, key,
 //	                u32 vlen, value). Stats: JSON-encoded Stats.
-//	                Put/Delete/Txn/Ping: empty.
+//	                Put/Delete/Txn: empty, or a commit token (u8 length
+//	                n, n × u64) — the session floor for read-your-writes
+//	                reads. Clients that don't track tokens ignore the
+//	                body; old servers send none. Ping: empty.
 //	StatusNotFound  empty (Get/Delete of an absent key)
 //	StatusRetry     message — the serving deployment is failing over;
 //	                the operation was not acknowledged and is safe to
@@ -91,6 +113,29 @@ const (
 	TxnDelete byte = 1
 )
 
+// Read-flags tail bits (OpGet/OpScan). Unknown bits are rejected.
+const (
+	// FlagConsistency announces a consistency block: u8 mode, u64
+	// staleness bound, u8 token length, n × u64 token.
+	FlagConsistency byte = 1 << 0
+
+	knownFlags = FlagConsistency
+)
+
+// Read modes carried in the consistency block. Values mirror the repro
+// facade's ReadMode so the server forwards them without translation.
+const (
+	ModePrimary byte = iota
+	ModeRYW
+	ModeBounded
+	ModeQuorum
+)
+
+// MaxTokenLen caps the per-shard commit token length carried on the
+// wire — far above any real shard count, low enough that a garbage
+// length byte cannot stage a large read.
+const MaxTokenLen = 128
+
 // ErrFrame reports a malformed frame or payload; the connection that
 // produced it cannot be resynchronized and must be closed.
 var ErrFrame = errors.New("kvwire: malformed frame")
@@ -103,13 +148,20 @@ type Op struct {
 }
 
 // Request is a decoded request frame. Key, Val and Ops alias the frame
-// buffer — valid until the buffer is recycled.
+// buffer — valid until the buffer is recycled. Token is owned by the
+// Request and recycled across ParseRequest calls.
 type Request struct {
 	Op    byte
 	Key   []byte
 	Val   []byte
 	Limit int  // OpScan
 	Ops   []Op // OpTxn
+
+	// Read consistency (OpGet/OpScan flags tail; zero values when the
+	// frame carried none).
+	Mode  byte     // ModePrimary..ModeQuorum
+	Bound uint64   // bounded-staleness lag bound
+	Token []uint64 // per-shard commit-sequence floor (nil = none)
 }
 
 // Stats is the server-state document an OpStats request returns,
@@ -173,6 +225,29 @@ func appendU32(buf []byte, v int) []byte {
 	return append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
 }
 
+func appendU64(buf []byte, v uint64) []byte {
+	return append(buf, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+// appendConsistency appends the read-flags tail announcing a consistency
+// block. Token lengths beyond MaxTokenLen are truncated: the floor loses
+// precision only for shards past the cap, which the protocol does not
+// serve anyway.
+func appendConsistency(buf []byte, mode byte, bound uint64, token []uint64) []byte {
+	buf = append(buf, FlagConsistency)
+	buf = append(buf, mode)
+	buf = appendU64(buf, bound)
+	if len(token) > MaxTokenLen {
+		token = token[:MaxTokenLen]
+	}
+	buf = append(buf, byte(len(token)))
+	for _, t := range token {
+		buf = appendU64(buf, t)
+	}
+	return buf
+}
+
 // AppendPut appends a sealed OpPut request frame to buf.
 func AppendPut(buf, key, val []byte) []byte {
 	buf = BeginFrame(buf, OpPut)
@@ -206,6 +281,75 @@ func AppendScan(buf, start []byte, limit int) []byte {
 	buf = append(buf, start...)
 	buf = appendU32(buf, limit)
 	return EndFrame(buf)
+}
+
+// AppendGetAt appends a sealed OpGet request frame carrying a
+// consistency tail. Old servers reject the tail as trailing bytes and
+// close the connection — send it only to servers that advertise (or are
+// known to speak) the extension.
+func AppendGetAt(buf, key []byte, mode byte, bound uint64, token []uint64) []byte {
+	buf = BeginFrame(buf, OpGet)
+	buf = appendU16(buf, len(key))
+	buf = append(buf, key...)
+	buf = appendConsistency(buf, mode, bound, token)
+	return EndFrame(buf)
+}
+
+// AppendScanAt appends a sealed OpScan request frame carrying a
+// consistency tail (see AppendGetAt for the compatibility caveat).
+func AppendScanAt(buf, start []byte, limit int, mode byte, bound uint64, token []uint64) []byte {
+	buf = BeginFrame(buf, OpScan)
+	buf = appendU16(buf, len(start))
+	buf = append(buf, start...)
+	buf = appendU32(buf, limit)
+	buf = appendConsistency(buf, mode, bound, token)
+	return EndFrame(buf)
+}
+
+// AppendOKToken appends a sealed StatusOK response frame carrying a
+// commit token (mutation responses). With an empty token it degrades to
+// the classic empty-bodied OK.
+func AppendOKToken(buf []byte, token []uint64) []byte {
+	buf = BeginFrame(buf, StatusOK)
+	if len(token) > 0 {
+		if len(token) > MaxTokenLen {
+			token = token[:MaxTokenLen]
+		}
+		buf = append(buf, byte(len(token)))
+		for _, t := range token {
+			buf = appendU64(buf, t)
+		}
+	}
+	return EndFrame(buf)
+}
+
+// ParseTokenBody decodes a mutation StatusOK body into dst (reusing its
+// capacity): a commit token when present, dst[:0] for the classic empty
+// body (old servers).
+func ParseTokenBody(body []byte, dst []uint64) ([]uint64, error) {
+	dst = dst[:0]
+	if len(body) == 0 {
+		return dst, nil
+	}
+	r := reader{b: body}
+	n, err := r.u8()
+	if err != nil {
+		return dst, err
+	}
+	if int(n) > MaxTokenLen {
+		return dst, fmt.Errorf("%w: token of %d entries (max %d)", ErrFrame, n, MaxTokenLen)
+	}
+	for i := 0; i < int(n); i++ {
+		v, err := r.u64()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	if r.off != len(body) {
+		return dst, fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(body)-r.off)
+	}
+	return dst, nil
 }
 
 // AppendTxn appends a sealed OpTxn request frame to buf.
@@ -300,6 +444,15 @@ func (r *reader) u32() (int, error) {
 	return v, nil
 }
 
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, ErrFrame
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
 func (r *reader) bytes(n int) ([]byte, error) {
 	if n < 0 || r.off+n > len(r.b) {
 		return nil, ErrFrame
@@ -338,7 +491,8 @@ func (r *reader) value() ([]byte, error) {
 // peer should be disconnected, not humored). The decoded slices alias
 // body.
 func ParseRequest(body []byte, req *Request) error {
-	*req = Request{}
+	tok := req.Token[:0:cap(req.Token)]
+	*req = Request{Token: tok}
 	r := reader{b: body}
 	op, err := r.u8()
 	if err != nil {
@@ -353,7 +507,14 @@ func ParseRequest(body []byte, req *Request) error {
 		if req.Val, err = r.value(); err != nil {
 			return err
 		}
-	case OpGet, OpDelete:
+	case OpGet:
+		if req.Key, err = r.key(MaxKey); err != nil {
+			return err
+		}
+		if err = parseReadFlags(&r, req); err != nil {
+			return err
+		}
+	case OpDelete:
 		if req.Key, err = r.key(MaxKey); err != nil {
 			return err
 		}
@@ -366,6 +527,9 @@ func ParseRequest(body []byte, req *Request) error {
 		}
 		if req.Limit > MaxScan {
 			return fmt.Errorf("%w: scan limit %d (max %d)", ErrFrame, req.Limit, MaxScan)
+		}
+		if err = parseReadFlags(&r, req); err != nil {
+			return err
 		}
 	case OpTxn:
 		n, err := r.u16()
@@ -401,6 +565,48 @@ func ParseRequest(body []byte, req *Request) error {
 	}
 	if r.off != len(body) {
 		return fmt.Errorf("%w: %d trailing bytes", ErrFrame, len(body)-r.off)
+	}
+	return nil
+}
+
+// parseReadFlags decodes an OpGet/OpScan frame's optional flags tail. A
+// frame ending at the base payload is flags 0 (old clients); unknown
+// flag bits are malformed (old servers reject new extensions visibly).
+func parseReadFlags(r *reader, req *Request) error {
+	if r.off == len(r.b) {
+		return nil
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return err
+	}
+	if flags&^knownFlags != 0 {
+		return fmt.Errorf("%w: unknown read flags %#x", ErrFrame, flags&^knownFlags)
+	}
+	if flags&FlagConsistency != 0 {
+		if req.Mode, err = r.u8(); err != nil {
+			return err
+		}
+		if req.Mode > ModeQuorum {
+			return fmt.Errorf("%w: unknown read mode %d", ErrFrame, req.Mode)
+		}
+		if req.Bound, err = r.u64(); err != nil {
+			return err
+		}
+		n, err := r.u8()
+		if err != nil {
+			return err
+		}
+		if int(n) > MaxTokenLen {
+			return fmt.Errorf("%w: token of %d entries (max %d)", ErrFrame, n, MaxTokenLen)
+		}
+		for i := 0; i < int(n); i++ {
+			v, err := r.u64()
+			if err != nil {
+				return err
+			}
+			req.Token = append(req.Token, v)
+		}
 	}
 	return nil
 }

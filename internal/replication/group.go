@@ -101,6 +101,12 @@ type Group struct {
 	ackBuf     []sim.Time
 	freePlain  *plainTx
 	freeSafety *safetyTx
+
+	// Replica-read state (see readview.go): the measurement generation
+	// read-view anchors are tied to, and the round-robin cursor that
+	// spreads routed reads across eligible backups.
+	measureGen uint64
+	readCursor uint64
 }
 
 // measureRef pairs the serving node with the origin of its measured
@@ -426,6 +432,11 @@ func (g *Group) resetMeasurementLocked() {
 		g.link.ResetStats()
 	}
 	g.servingRef.Store(&measureRef{node: g.primary, origin: g.primary.Clock.Now()})
+	// Invalidate the replica read-view anchors: a backup that serves reads
+	// in the new interval pins a fresh origin on its first served read
+	// (see readBackupLocked), so ReplicaElapsed only counts replicas that
+	// actually served.
+	g.measureGen++
 }
 
 // Elapsed returns the serving node's simulated time since the last

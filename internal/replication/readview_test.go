@@ -1,0 +1,350 @@
+package replication_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/vista"
+)
+
+// TestReadAtServesInSyncBackups: every fully enrolled backup of an active
+// group serves ReadAt with the primary's committed data and reports the
+// applied sequence it read at.
+func TestReadAtServesInSyncBackups(t *testing.T) {
+	g := newGroup(t, replication.Active, 2, replication.QuorumSafe)
+	for i := 0; i < 5; i++ {
+		commitSlot(t, g, i, byte(0xA0+i))
+	}
+	g.Settle(10 * sim.Microsecond)
+
+	dst := make([]byte, 64)
+	for r := 0; r < 2; r++ {
+		seq, err := g.ReadAt(r, 3*64, dst)
+		if err != nil {
+			t.Fatalf("ReadAt(backup %d): %v", r, err)
+		}
+		if seq != g.Committed() {
+			t.Fatalf("backup %d applied seq %d, committed %d", r, seq, g.Committed())
+		}
+		if !bytes.Equal(dst, bytes.Repeat([]byte{0xA3}, 64)) {
+			t.Fatalf("backup %d served wrong bytes: % x...", r, dst[:8])
+		}
+	}
+	if _, err := g.ReadAt(7, 0, dst); err == nil {
+		t.Fatal("out-of-range replica index served")
+	}
+	if _, err := g.ReadAt(0, -64, dst); err == nil {
+		t.Fatal("negative offset served")
+	}
+}
+
+// TestReadAtRefusesNotFullyEnrolled: paused, crashed, and epoch-fenced
+// replicas are not read views — exactly the acknowledgement predicate.
+func TestReadAtRefusesNotFullyEnrolled(t *testing.T) {
+	g := newGroup(t, replication.Active, 3, replication.QuorumSafe)
+	commitSlot(t, g, 0, 0x11)
+	g.Settle(10 * sim.Microsecond)
+
+	dst := make([]byte, 64)
+	if err := g.PauseBackup(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ReadAt(0, 0, dst); !errors.Is(err, replication.ErrReplicaUnavailable) {
+		t.Fatalf("paused backup served: %v", err)
+	}
+	if err := g.CrashBackup(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ReadAt(1, 0, dst); !errors.Is(err, replication.ErrReplicaUnavailable) {
+		t.Fatalf("crashed backup served: %v", err)
+	}
+	g.SetBackupEpochForTest(2, g.Epoch()+1)
+	if _, err := g.ReadAt(2, 0, dst); !errors.Is(err, replication.ErrReplicaUnavailable) {
+		t.Fatalf("epoch-fenced backup served: %v", err)
+	}
+}
+
+// TestReadAtPassiveNeverServes: the passive scheme's mirror copies are
+// torn mid-transaction, so they are never read views.
+func TestReadAtPassiveNeverServes(t *testing.T) {
+	g := newGroup(t, replication.Passive, 2, replication.OneSafe)
+	commitSlot(t, g, 0, 0x22)
+	g.Settle(10 * sim.Microsecond)
+	dst := make([]byte, 64)
+	if _, err := g.ReadAt(0, 0, dst); !errors.Is(err, replication.ErrReplicaUnavailable) {
+		t.Fatalf("passive mirror served a replica read: %v", err)
+	}
+	// Routed reads still work — they fall back to the primary.
+	res, err := g.RouteRead(0, dst, replication.ReadSpec{Mode: replication.ReadQuorum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replica != 0 {
+		t.Fatalf("passive group routed to replica %d", res.Replica)
+	}
+}
+
+// TestReadAtMidJoinNeverServes is the enrollment-gate acceptance test: a
+// replica being rebuilt by the online repair (Syncing/CatchingUp from the
+// join state machine) holds a fuzzy copy and must refuse reads for the
+// whole transfer, then serve again once cut over to InSync.
+func TestReadAtMidJoinNeverServes(t *testing.T) {
+	g := newActiveGroup(t, 2, replication.OneSafe)
+	for i := 0; i < 30; i++ {
+		commitSlot(t, g, i, byte(i))
+	}
+	g.Settle(g.QuiesceGrace())
+	if err := g.CrashBackup(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RepairAsync(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.RepairStatus().Active {
+		t.Fatal("repair not active after RepairAsync")
+	}
+
+	dst := make([]byte, 64)
+	probes := 0
+	for i := 0; i < 200000 && g.RepairStatus().Active; i++ {
+		commitSlot(t, g, i%64, byte(i))
+		if st := g.BackupState(1); st == replication.StateSyncing || st == replication.StateCatchingUp {
+			probes++
+			if _, err := g.ReadAt(1, 0, dst); !errors.Is(err, replication.ErrReplicaUnavailable) {
+				t.Fatalf("mid-join replica (state %v) served: %v", st, err)
+			}
+		}
+		if i%100 == 0 {
+			g.Settle(g.QuiesceGrace())
+		}
+	}
+	if g.RepairStatus().Active {
+		t.Fatal("repair never completed")
+	}
+	if probes == 0 {
+		t.Fatal("never observed the joiner mid-transfer")
+	}
+	g.Settle(g.QuiesceGrace())
+	if got := g.BackupState(1); got != replication.StateInSync {
+		t.Fatalf("joiner state %v after cut-over", got)
+	}
+	if _, err := g.ReadAt(1, 0, dst); err != nil {
+		t.Fatalf("re-enrolled replica refuses reads: %v", err)
+	}
+}
+
+// TestRouteReadYourWrites: a backup at or past the caller's token serves;
+// a token past every backup falls back to the primary; a pinned read
+// never falls back.
+func TestRouteReadYourWrites(t *testing.T) {
+	g := newGroup(t, replication.Active, 2, replication.QuorumSafe)
+	for i := 0; i < 10; i++ {
+		commitSlot(t, g, i, byte(0x30+i))
+	}
+	g.Settle(10 * sim.Microsecond)
+	tok := g.Committed()
+
+	dst := make([]byte, 64)
+	res, err := g.RouteRead(2*64, dst, replication.ReadSpec{Mode: replication.ReadYourWrites, MinSeq: tok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replica == 0 || res.Seq < tok {
+		t.Fatalf("caught-up backup not chosen: %+v (token %d)", res, tok)
+	}
+	if !bytes.Equal(dst, bytes.Repeat([]byte{0x32}, 64)) {
+		t.Fatalf("replica served wrong bytes: % x...", dst[:8])
+	}
+
+	// A token from the future (no backup can have applied it): primary.
+	res, err = g.RouteRead(2*64, dst, replication.ReadSpec{Mode: replication.ReadYourWrites, MinSeq: tok + 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replica != 0 || res.Seq != res.Primary {
+		t.Fatalf("unsatisfiable token did not fall back to primary: %+v", res)
+	}
+
+	// Pinned reads surface the refusal instead of falling back.
+	_, err = g.RouteRead(2*64, dst, replication.ReadSpec{
+		Mode: replication.ReadYourWrites, MinSeq: tok + 100, Replica: 1,
+	})
+	if !errors.Is(err, replication.ErrReplicaUnavailable) {
+		t.Fatalf("pinned unsatisfiable read fell back: %v", err)
+	}
+}
+
+// TestRouteReadBounded: with group commit holding a batch open the primary's
+// committed counter runs ahead of every backup (parked commits are local),
+// giving a deterministic lag to route against.
+func TestRouteReadBounded(t *testing.T) {
+	g, err := replication.NewGroup(replication.Config{
+		Mode:        replication.Active,
+		Store:       vista.Config{Version: vista.V3InlineLog, DBSize: testDB},
+		Backups:     2,
+		Safety:      replication.QuorumSafe,
+		CommitBatch: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		commitSlot(t, g, i, byte(0x50+i)) // parked in the open batch
+	}
+	if got := g.Committed(); got != 5 {
+		t.Fatalf("committed %d with open batch, want 5", got)
+	}
+
+	// Lag 5 > bound 2: no backup qualifies, the primary serves.
+	dst := make([]byte, 64)
+	res, err := g.RouteRead(0, dst, replication.ReadSpec{Mode: replication.ReadBounded, Bound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replica != 0 || res.Seq != 5 {
+		t.Fatalf("over-bound lag not routed to primary: %+v", res)
+	}
+
+	// Lag 5 ≤ bound 16: a backup serves its (stale but in-bound) view.
+	res, err = g.RouteRead(0, dst, replication.ReadSpec{Mode: replication.ReadBounded, Bound: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replica == 0 {
+		t.Fatalf("in-bound backup not chosen: %+v", res)
+	}
+	if res.Primary-res.Seq > 16 {
+		t.Fatalf("served view exceeds the advertised bound: %+v", res)
+	}
+
+	// After a flush + settle the lag collapses and even Bound: 0 is
+	// satisfiable from a backup.
+	if err := g.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	g.Settle(10 * sim.Microsecond)
+	res, err = g.RouteRead(0, dst, replication.ReadSpec{Mode: replication.ReadBounded, Bound: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replica == 0 || res.Seq != res.Primary {
+		t.Fatalf("caught-up backup not chosen at bound 0: %+v", res)
+	}
+	if !bytes.Equal(dst, bytes.Repeat([]byte{0x50}, 64)) {
+		t.Fatalf("bounded read served wrong bytes: % x...", dst[:8])
+	}
+}
+
+// TestRouteReadQuorum: a majority of enrolled backups is inspected and the
+// max-sequence view serves; when the enrolled set falls below the read
+// quorum, the primary completes it.
+func TestRouteReadQuorum(t *testing.T) {
+	g := newGroup(t, replication.Active, 3, replication.QuorumSafe)
+	for i := 0; i < 20; i++ {
+		commitSlot(t, g, i, byte(0x70+i))
+	}
+	g.Settle(10 * sim.Microsecond)
+
+	dst := make([]byte, 64)
+	res, err := g.RouteRead(4*64, dst, replication.ReadSpec{Mode: replication.ReadQuorum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replica == 0 {
+		t.Fatalf("quorum read served by primary with 3 healthy backups: %+v", res)
+	}
+	if res.Seq != g.Committed() {
+		// Any read-majority intersects every commit quorum, so the max view
+		// has everything acknowledged — here everything, period (settled).
+		t.Fatalf("quorum view seq %d, committed %d", res.Seq, g.Committed())
+	}
+	if !bytes.Equal(dst, bytes.Repeat([]byte{0x74}, 64)) {
+		t.Fatalf("quorum read served wrong bytes: % x...", dst[:8])
+	}
+
+	// Two of three paused: one servable backup < read quorum of 2 — the
+	// primary completes the quorum and serves.
+	if err := g.PauseBackup(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PauseBackup(1); err != nil {
+		t.Fatal(err)
+	}
+	res, err = g.RouteRead(4*64, dst, replication.ReadSpec{Mode: replication.ReadQuorum})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replica != 0 || res.Seq != res.Primary {
+		t.Fatalf("undersized quorum not completed by primary: %+v", res)
+	}
+
+	// A crashed group serves nothing.
+	if err := g.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.RouteRead(0, dst, replication.ReadSpec{Mode: replication.ReadQuorum}); !errors.Is(err, replication.ErrCrashed) {
+		t.Fatalf("crashed group routed a read: %v", err)
+	}
+	if _, err := g.ReadAt(2, 0, dst); !errors.Is(err, replication.ErrCrashed) {
+		t.Fatalf("crashed group served ReadAt: %v", err)
+	}
+}
+
+// TestReplicaElapsed: backup-served reads run on the backups' clocks, in
+// parallel with the primary — the measured interval is the max over
+// serving nodes, equals Elapsed when no backup served, and resets with
+// ResetMeasurement.
+func TestReplicaElapsed(t *testing.T) {
+	g := newGroup(t, replication.Active, 2, replication.QuorumSafe)
+	for i := 0; i < 8; i++ {
+		commitSlot(t, g, i, byte(i))
+	}
+	g.Settle(10 * sim.Microsecond)
+	if e, re := g.Elapsed(), g.ReplicaElapsed(); re != e {
+		t.Fatalf("no replica reads yet, ReplicaElapsed %v != Elapsed %v", re, e)
+	}
+
+	// An interval of pure backup reads: the primary sits idle while the
+	// backup's clock accumulates the charged reads.
+	g.ResetMeasurement()
+	dst := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		if _, err := g.ReadAt(0, (i%8)*64, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e, re := g.Elapsed(), g.ReplicaElapsed(); re <= e {
+		t.Fatalf("200 backup reads invisible: ReplicaElapsed %v <= Elapsed %v", re, e)
+	}
+
+	// The next interval starts clean.
+	g.ResetMeasurement()
+	if e, re := g.Elapsed(), g.ReplicaElapsed(); re != e {
+		t.Fatalf("after reset, ReplicaElapsed %v != Elapsed %v", re, e)
+	}
+}
+
+// TestReadModeNames pins the mode names used across flags, metrics, and
+// bench output.
+func TestReadModeNames(t *testing.T) {
+	want := map[replication.ReadMode]string{
+		replication.ReadPrimary:    "primary",
+		replication.ReadYourWrites: "ryw",
+		replication.ReadBounded:    "bounded",
+		replication.ReadQuorum:     "quorum",
+	}
+	for m, name := range want {
+		if m.String() != name {
+			t.Errorf("mode %d: %q, want %q", m, m.String(), name)
+		}
+		if !m.Valid() {
+			t.Errorf("mode %q invalid", name)
+		}
+	}
+	if replication.ReadMode(9).Valid() {
+		t.Error("ReadMode(9) claims valid")
+	}
+}

@@ -183,6 +183,13 @@ type Store struct {
 	hdr  [slotHeader]byte
 	kbuf []byte
 	vbuf []byte
+
+	// readPrimary is db.Read bound once, so the hot paths stay
+	// allocation-free; vw/vwRead are the recycled replica read view for
+	// GetAt/ScanAt (valid under mu, like the scratch buffers).
+	readPrimary readFn
+	vw          view
+	vwRead      readFn
 }
 
 // Open opens (or, on an all-zero database, formats) a key-value store
@@ -201,6 +208,9 @@ func OpenWith(db repro.DB, opt Options) (*Store, error) {
 		return nil, fmt.Errorf("kv: slot size %d below the 64-byte minimum", opt.SlotSize)
 	}
 	s := &Store{db: db, singleTx: db.Shards() == 1}
+	s.readPrimary = db.Read
+	s.vwRead = s.vw.read
+	s.vw.s = s
 	var head [headerSize]byte
 	if db.DBSize() < headerSize {
 		return nil, ErrTooSmall
@@ -441,17 +451,23 @@ func (s *Store) runTx(body func(tx repro.Tx) error) error {
 	return nil
 }
 
+// readFn is one operation's charged-read routing: the primary's
+// serialized read (Store.readPrimary) or a replica read view (see
+// readat.go). Injected so the probe and scan walks are identical — same
+// offsets, same charges — wherever they are served.
+type readFn func(off int, dst []byte) error
+
 // readBucket reads bucket b's word with a charged read.
-func (s *Store) readBucket(b uint64) (uint64, error) {
-	if err := s.db.Read(s.geo.bucketOff(b), s.word[:]); err != nil {
+func (s *Store) readBucket(rd readFn, b uint64) (uint64, error) {
+	if err := rd(s.geo.bucketOff(b), s.word[:]); err != nil {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint64(s.word[:]), nil
 }
 
 // readSlotHeader reads slot i's record header with a charged read.
-func (s *Store) readSlotHeader(i uint64) (keyLen, valLen int, err error) {
-	if err := s.db.Read(s.geo.slotOff(i), s.hdr[:]); err != nil {
+func (s *Store) readSlotHeader(rd readFn, i uint64) (keyLen, valLen int, err error) {
+	if err := rd(s.geo.slotOff(i), s.hdr[:]); err != nil {
 		return 0, 0, err
 	}
 	return int(binary.LittleEndian.Uint32(s.hdr[:4])), int(binary.LittleEndian.Uint32(s.hdr[4:])), nil
@@ -473,7 +489,7 @@ type probeResult struct {
 // with a transaction's planned flips — a planned live word never matches
 // (a transaction probes each distinct key once), so it only occupies the
 // bucket.
-func (s *Store) probe(key []byte, overlay map[uint64]uint64) (probeResult, error) {
+func (s *Store) probe(rd readFn, key []byte, overlay map[uint64]uint64) (probeResult, error) {
 	h := hash(key)
 	mask := s.geo.mask()
 	firstFree := uint64(0)
@@ -483,7 +499,7 @@ func (s *Store) probe(key []byte, overlay map[uint64]uint64) (probeResult, error
 		w, fromOverlay := overlay[b]
 		if !fromOverlay {
 			var err error
-			if w, err = s.readBucket(b); err != nil {
+			if w, err = s.readBucket(rd, b); err != nil {
 				return probeResult{}, err
 			}
 		}
@@ -501,13 +517,13 @@ func (s *Store) probe(key []byte, overlay map[uint64]uint64) (probeResult, error
 			// Another key's planned record: occupied, cannot match.
 		default:
 			slot := w - bucketBase
-			kl, vl, err := s.readSlotHeader(slot)
+			kl, vl, err := s.readSlotHeader(rd, slot)
 			if err != nil {
 				return probeResult{}, err
 			}
 			if kl == len(key) {
 				s.kbuf = grow(s.kbuf, kl)
-				if err := s.db.Read(s.geo.slotOff(slot)+slotHeader, s.kbuf); err != nil {
+				if err := rd(s.geo.slotOff(slot)+slotHeader, s.kbuf); err != nil {
 					return probeResult{}, err
 				}
 				if bytes.Equal(s.kbuf, key) {
@@ -553,7 +569,14 @@ func (s *Store) GetAppend(key, dst []byte) ([]byte, error) {
 	if err := s.check(key); err != nil {
 		return dst, err
 	}
-	p, err := s.probe(key, nil)
+	return s.getAppend(s.readPrimary, key, dst)
+}
+
+// getAppend is the lookup body — probe, then the value read — with the
+// charged reads routed through rd. Callers hold s.mu and have validated
+// the key.
+func (s *Store) getAppend(rd readFn, key, dst []byte) ([]byte, error) {
+	p, err := s.probe(rd, key, nil)
 	if err != nil {
 		return dst, s.observe(err)
 	}
@@ -562,7 +585,7 @@ func (s *Store) GetAppend(key, dst []byte) ([]byte, error) {
 	}
 	off := len(dst)
 	out := slices.Grow(dst, p.valLen)[:off+p.valLen]
-	if err := s.db.Read(s.geo.slotOff(p.slot)+slotHeader+len(key), out[off:]); err != nil {
+	if err := rd(s.geo.slotOff(p.slot)+slotHeader+len(key), out[off:]); err != nil {
 		return dst, s.observe(err)
 	}
 	return out, nil
@@ -580,7 +603,7 @@ func (s *Store) Put(key, value []byte) error {
 	if len(key)+len(value) > s.geo.payload() {
 		return ErrTooLarge
 	}
-	p, err := s.probe(key, nil)
+	p, err := s.probe(s.readPrimary, key, nil)
 	if err != nil {
 		return s.observe(err)
 	}
@@ -611,7 +634,7 @@ func (s *Store) Delete(key []byte) error {
 	if err := s.check(key); err != nil {
 		return err
 	}
-	p, err := s.probe(key, nil)
+	p, err := s.probe(s.readPrimary, key, nil)
 	if err != nil {
 		return s.observe(err)
 	}
@@ -774,7 +797,7 @@ func (s *Store) applyWrite(w *write, p probeResult) {
 // returned. A read error during staging delivers nothing.
 func (s *Store) Scan(start []byte, limit int, fn func(key, value []byte) error) (int, error) {
 	s.mu.Lock()
-	flat, bounds, err := s.stageScan(start, limit)
+	flat, bounds, err := s.stageScan(s.readPrimary, start, limit)
 	s.mu.Unlock()
 	if err != nil {
 		return 0, err
@@ -796,7 +819,7 @@ type scanEntry struct {
 // flat buffer, under s.mu. The buffer is call-local: it must survive
 // after the lock is released, and concurrent Scans must not share it, so
 // it cannot live in the Store's recycled scratch space.
-func (s *Store) stageScan(start []byte, limit int) ([]byte, []scanEntry, error) {
+func (s *Store) stageScan(rd readFn, start []byte, limit int) ([]byte, []scanEntry, error) {
 	if s.broken {
 		return nil, nil, ErrBroken
 	}
@@ -811,7 +834,7 @@ func (s *Store) stageScan(start []byte, limit int) ([]byte, []scanEntry, error) 
 	var bounds []scanEntry
 	for i := uint64(0); i < s.geo.bucketCount && len(bounds) < limit; i++ {
 		b := (b0 + i) & s.geo.mask()
-		w, err := s.readBucket(b)
+		w, err := s.readBucket(rd, b)
 		if err != nil {
 			return nil, nil, s.observe(err)
 		}
@@ -819,13 +842,13 @@ func (s *Store) stageScan(start []byte, limit int) ([]byte, []scanEntry, error) 
 			continue
 		}
 		slot := w - bucketBase
-		kl, vl, err := s.readSlotHeader(slot)
+		kl, vl, err := s.readSlotHeader(rd, slot)
 		if err != nil {
 			return nil, nil, s.observe(err)
 		}
 		off := len(flat)
 		flat = slices.Grow(flat, kl+vl)[:off+kl+vl]
-		if err := s.db.Read(s.geo.slotOff(slot)+slotHeader, flat[off:]); err != nil {
+		if err := rd(s.geo.slotOff(slot)+slotHeader, flat[off:]); err != nil {
 			return nil, nil, s.observe(err)
 		}
 		bounds = append(bounds, scanEntry{off: off, kl: kl, vl: vl})

@@ -1,0 +1,144 @@
+// Replica-served lookups: GetAt and ScanAt are Get and Scan with the
+// charged reads routed through the deployment's replica read views
+// (repro.ReadOpts), so backups serve the read traffic the primary would
+// otherwise absorb.
+//
+// One operation, one view: the first routed read picks a serving replica
+// (or the primary) per the consistency mode, and every subsequent read of
+// the operation is pinned to that same replica — the probe chain and the
+// value bytes come from a single consistent snapshot, never a mix of
+// views. A backup's copy is transaction-consistent at every applied
+// commit (active scheme), and its applied sequence only advances during
+// the operation, so the pinned walk observes a monotone view that already
+// satisfies the mode's floor:
+//
+//   - ReadYourWrites with the session's token (repro.DB.Token captured
+//     after the session's last commit) observes every write the session
+//     made — including the probe chain the write went through.
+//   - ReadBounded may miss recent writes, but never more than the
+//     advertised bound (in commit sequences, per shard).
+//   - ReadQuorum's first read inspects a majority of the replica group,
+//     so the pinned view has seen every acknowledged commit.
+//
+// If the pinned replica loses eligibility mid-operation (crashed, paused,
+// deposed by a membership change, or — on another shard of a sharded
+// deployment — unable to satisfy the mode's floor there), the operation
+// observes repro.ErrReplicaUnavailable and transparently restarts on the
+// primary, which can always serve.
+package kv
+
+import (
+	"errors"
+
+	"repro"
+)
+
+// view routes one operation's charged reads per the caller's ReadOpts,
+// pinning the replica the first routed read chose. It is recycled under
+// the Store mutex (Store.vw/vwRead), so GetAt/ScanAt stay allocation-free.
+type view struct {
+	s    *Store
+	opts repro.ReadOpts
+	res  repro.ReadResult
+}
+
+// begin arms the recycled view for one operation.
+func (v *view) begin(opts repro.ReadOpts) {
+	v.opts = opts
+	v.res = repro.ReadResult{}
+}
+
+// read is the operation's readFn.
+func (v *view) read(off int, dst []byte) error {
+	if v.opts.Mode == repro.ReadPrimary && v.opts.Replica == 0 {
+		return v.s.db.Read(off, dst)
+	}
+	res, err := v.s.db.ReadAt(off, dst, v.opts)
+	if err != nil {
+		return err
+	}
+	if v.opts.Replica == 0 {
+		if res.Replica > 0 {
+			// Pin the chosen replica: the rest of the operation reads the
+			// same view (re-validated per shard against the mode's floor).
+			v.opts.Replica = res.Replica
+		} else {
+			// The primary served; keep the whole operation there.
+			v.opts.Mode = repro.ReadPrimary
+		}
+	}
+	v.res = res
+	return nil
+}
+
+// GetAt returns the value stored under key, served under opts' consistency
+// discipline (see repro.ReadOpts), plus where the lookup was served. The
+// returned slice is freshly allocated. The zero ReadOpts is exactly Get.
+func (s *Store) GetAt(key []byte, opts repro.ReadOpts) ([]byte, repro.ReadResult, error) {
+	val, res, err := s.GetAppendAt(key, nil, opts)
+	if err != nil {
+		return nil, res, err
+	}
+	if val == nil {
+		val = []byte{}
+	}
+	return val, res, nil
+}
+
+// GetAppendAt is the allocation-free GetAt: it appends the value to dst
+// and returns the extended slice (unextended on error), the serving
+// replica, and any error. A lookup whose pinned replica cannot serve
+// restarts on the primary; callers never see ErrReplicaUnavailable.
+func (s *Store) GetAppendAt(key, dst []byte, opts repro.ReadOpts) ([]byte, repro.ReadResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.check(key); err != nil {
+		return dst, repro.ReadResult{}, err
+	}
+	if opts.Mode == repro.ReadPrimary && opts.Replica == 0 {
+		out, err := s.getAppend(s.readPrimary, key, dst)
+		return out, repro.ReadResult{}, err
+	}
+	s.vw.begin(opts)
+	out, err := s.getAppend(s.vwRead, key, dst)
+	if err != nil && errors.Is(err, repro.ErrReplicaUnavailable) {
+		out, err = s.getAppend(s.readPrimary, key, dst)
+		return out, repro.ReadResult{}, err
+	}
+	return out, s.vw.res, err
+}
+
+// ScanAt is Scan served under opts' consistency discipline: the staged
+// snapshot comes from one replica view (or the primary), with the same
+// restart-on-primary fallback as GetAt. fn runs after the store lock is
+// released, on slices reused between calls.
+func (s *Store) ScanAt(start []byte, limit int, opts repro.ReadOpts, fn func(key, value []byte) error) (int, repro.ReadResult, error) {
+	s.mu.Lock()
+	var (
+		flat   []byte
+		bounds []scanEntry
+		res    repro.ReadResult
+		err    error
+	)
+	if opts.Mode == repro.ReadPrimary && opts.Replica == 0 {
+		flat, bounds, err = s.stageScan(s.readPrimary, start, limit)
+	} else {
+		s.vw.begin(opts)
+		flat, bounds, err = s.stageScan(s.vwRead, start, limit)
+		if err != nil && errors.Is(err, repro.ErrReplicaUnavailable) {
+			flat, bounds, err = s.stageScan(s.readPrimary, start, limit)
+		} else {
+			res = s.vw.res
+		}
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return 0, res, err
+	}
+	for i, bd := range bounds {
+		if err := fn(flat[bd.off:bd.off+bd.kl], flat[bd.off+bd.kl:bd.off+bd.kl+bd.vl]); err != nil {
+			return i + 1, res, err
+		}
+	}
+	return len(bounds), res, nil
+}

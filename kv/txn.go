@@ -140,7 +140,7 @@ func (t *Txn) Commit() error {
 	for _, k := range t.order {
 		op := t.ops[k]
 		key := []byte(k)
-		p, err := s.probe(key, overlay)
+		p, err := s.probe(s.readPrimary, key, overlay)
 		if err != nil {
 			return fail(s.observe(err))
 		}

@@ -6,7 +6,11 @@
 // pipelines: any number of goroutines may issue operations through the
 // same connection, requests are written back to back, and responses —
 // which the server returns strictly in order — are matched to callers
-// by position. Operations that fail with the retryable wire class
+// by position. With Options.ReadMode set, reads are served under an
+// explicit consistency discipline (read-your-writes, bounded staleness
+// or quorum) by the deployment's backup replicas: the client tracks the
+// commit tokens mutation responses carry and sends the merged session
+// floor with every read. Operations that fail with the retryable wire class
 // (StatusRetry: the deployment is failing over) or with a transport
 // error are retried with exponential backoff against a fresh connection
 // until RetryBudget is exhausted; PUT, DELETE and TXN are last-writer-
@@ -65,12 +69,41 @@ type ServerError struct{ Msg string }
 
 func (e *ServerError) Error() string { return "kvclient: server: " + e.Msg }
 
+// Read modes for Options.ReadMode: where GETs and SCANs may be served.
+// They mirror the repro facade's consistency knob (see repro.ReadOpts).
+const (
+	// ReadPrimary serializes every read through the primary — the
+	// protocol's classic behavior and the default.
+	ReadPrimary byte = kvwire.ModePrimary
+	// ReadYourWrites lets backup replicas serve reads that have caught
+	// up to the session's last acknowledged mutation (the client tracks
+	// the commit tokens mutation responses carry and sends the merged
+	// floor with every read).
+	ReadYourWrites byte = kvwire.ModeRYW
+	// ReadBounded lets any backup within Options.StalenessBound commit
+	// sequences of the primary serve.
+	ReadBounded byte = kvwire.ModeBounded
+	// ReadQuorum reads a majority of the replica group and serves the
+	// freshest view, read-repairing laggards.
+	ReadQuorum byte = kvwire.ModeQuorum
+)
+
 // Options tunes a Client. The zero value is serviceable.
 type Options struct {
 	// Conns is the connection-pool size (default 4). Operations are
 	// spread across the pool round-robin; each connection pipelines
 	// independently.
 	Conns int
+	// ReadMode routes GETs and SCANs through the deployment's replica
+	// read views (ReadYourWrites, ReadBounded, ReadQuorum). The default
+	// ReadPrimary sends byte-identical classic frames; any other mode
+	// appends the kvwire consistency tail, which pre-extension servers
+	// reject as malformed — point non-default modes only at servers
+	// that speak it.
+	ReadMode byte
+	// StalenessBound is ReadBounded's advertised lag bound in commit
+	// sequences (default 128).
+	StalenessBound uint64
 	// DialTimeout bounds each dial (default 5s).
 	DialTimeout time.Duration
 	// RetryBudget bounds the total time one operation may spend
@@ -102,6 +135,9 @@ func (o Options) withDefaults() Options {
 	if o.RetryBudget == 0 {
 		o.RetryBudget = 15 * time.Second
 	}
+	if o.StalenessBound == 0 {
+		o.StalenessBound = 128
+	}
 	return o
 }
 
@@ -131,6 +167,13 @@ type Client struct {
 
 	mu    sync.Mutex
 	conns []*conn
+
+	// Session commit token (non-default ReadMode only): the element-wise
+	// maximum over every mutation response's token. Pipelined responses
+	// may land out of order across the pool, so merging — never
+	// overwriting — keeps the floor monotone.
+	tokMu sync.Mutex
+	tok   []uint64
 
 	retries atomic.Uint64
 	redials atomic.Uint64
@@ -166,23 +209,78 @@ func (c *Client) Close() error {
 	return nil
 }
 
+// mergeToken folds a mutation response's commit token into the session
+// floor, element-wise maximum (see Client.tok).
+func (c *Client) mergeToken(t []uint64) {
+	c.tokMu.Lock()
+	for len(c.tok) < len(t) {
+		c.tok = append(c.tok, 0)
+	}
+	for i, v := range t {
+		if v > c.tok[i] {
+			c.tok[i] = v
+		}
+	}
+	c.tokMu.Unlock()
+}
+
+// trackToken is the mutation parseOK when a read mode is in play: it
+// harvests the response's commit token. Old servers send an empty body,
+// which parses to no token.
+func (c *Client) trackToken(body []byte) error {
+	tok, err := kvwire.ParseTokenBody(body, nil)
+	if err != nil {
+		return err
+	}
+	c.mergeToken(tok)
+	return nil
+}
+
+// mutParse returns the StatusOK body parser for mutations: token
+// harvesting with a read mode configured, nil (body ignored) otherwise.
+func (c *Client) mutParse() func([]byte) error {
+	if c.opts.ReadMode == ReadPrimary {
+		return nil
+	}
+	return c.trackToken
+}
+
+// Token returns a copy of the session's commit token — the floor a
+// subsequent read-your-writes read is guaranteed to observe. Empty until
+// the first mutation under a non-default ReadMode.
+func (c *Client) Token() []uint64 {
+	c.tokMu.Lock()
+	defer c.tokMu.Unlock()
+	return append([]uint64(nil), c.tok...)
+}
+
 // Put stores value under key.
 func (c *Client) Put(key, value []byte) error {
 	if len(key) > kvwire.MaxKey || len(value) > kvwire.MaxValue {
 		return ErrTooLarge
 	}
-	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendPut(buf, key, value) }, nil)
+	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendPut(buf, key, value) }, c.mutParse())
 	return err
 }
 
-// Get returns the value under key (freshly allocated).
+// Get returns the value under key (freshly allocated), served per
+// Options.ReadMode.
 func (c *Client) Get(key []byte) ([]byte, error) {
 	if len(key) > kvwire.MaxKey {
 		return nil, ErrTooLarge
 	}
 	var val []byte
+	var tokBuf []uint64
 	_, err := c.do(
-		func(buf []byte) []byte { return kvwire.AppendGet(buf, key) },
+		func(buf []byte) []byte {
+			if c.opts.ReadMode == ReadPrimary {
+				return kvwire.AppendGet(buf, key)
+			}
+			c.tokMu.Lock()
+			tokBuf = append(tokBuf[:0], c.tok...)
+			c.tokMu.Unlock()
+			return kvwire.AppendGetAt(buf, key, c.opts.ReadMode, c.opts.StalenessBound, tokBuf)
+		},
 		func(body []byte) error {
 			val = append([]byte(nil), body...)
 			return nil
@@ -198,14 +296,14 @@ func (c *Client) Delete(key []byte) error {
 	if len(key) > kvwire.MaxKey {
 		return ErrTooLarge
 	}
-	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendDelete(buf, key) }, nil)
+	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendDelete(buf, key) }, c.mutParse())
 	return err
 }
 
 // Scan returns up to limit entries in the store's bucket order starting
-// at start's natural position (nil = the beginning). limit is capped at
-// kvwire.MaxScan; the server may return fewer entries than exist if the
-// response would outgrow a frame.
+// at start's natural position (nil = the beginning), served per
+// Options.ReadMode. limit is capped at kvwire.MaxScan; the server may
+// return fewer entries than exist if the response would outgrow a frame.
 func (c *Client) Scan(start []byte, limit int) ([]Entry, error) {
 	if len(start) > kvwire.MaxKey {
 		return nil, ErrTooLarge
@@ -214,8 +312,17 @@ func (c *Client) Scan(start []byte, limit int) ([]Entry, error) {
 		limit = kvwire.MaxScan
 	}
 	var entries []Entry
+	var tokBuf []uint64
 	_, err := c.do(
-		func(buf []byte) []byte { return kvwire.AppendScan(buf, start, limit) },
+		func(buf []byte) []byte {
+			if c.opts.ReadMode == ReadPrimary {
+				return kvwire.AppendScan(buf, start, limit)
+			}
+			c.tokMu.Lock()
+			tokBuf = append(tokBuf[:0], c.tok...)
+			c.tokMu.Unlock()
+			return kvwire.AppendScanAt(buf, start, limit, c.opts.ReadMode, c.opts.StalenessBound, tokBuf)
+		},
 		func(body []byte) error {
 			entries = entries[:0]
 			return kvwire.ParseScanBody(body, func(k, v []byte) error {
@@ -249,7 +356,7 @@ func (c *Client) Txn(ops []Op) error {
 			wireOps[i].Kind = kvwire.TxnDelete
 		}
 	}
-	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendTxn(buf, wireOps) }, nil)
+	_, err := c.do(func(buf []byte) []byte { return kvwire.AppendTxn(buf, wireOps) }, c.mutParse())
 	return err
 }
 

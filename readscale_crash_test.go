@@ -1,0 +1,149 @@
+// Crash-during-replica-read suite: randomized workloads where the primary
+// or the currently serving backup dies between replica reads, exercising
+// the re-route + failover path of every consistency mode. The session
+// property under test is read monotonicity: a session's reads of a slot
+// never go backwards — never older than the session's last acknowledged
+// write of that slot, never older than a version the session has already
+// observed, and never a version nobody wrote.
+package repro_test
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro"
+)
+
+// TestCrashDuringQuorumReadRandomized: ≥40 randomized iterations; in each,
+// a mixed write/quorum-read/ryw-read session loses its primary or the
+// backup that served its last replica read at a random point mid-stream,
+// fails over when needed, and keeps reading. Every acknowledged write
+// (QuorumSafe, no group commit: Commit returns acked) must stay visible
+// and session reads must stay monotonic across the crash.
+func TestCrashDuringQuorumReadRandomized(t *testing.T) {
+	const (
+		iters = 44
+		slots = 48
+	)
+	for it := 0; it < iters; it++ {
+		t.Run(fmt.Sprintf("seed%d", it), func(t *testing.T) {
+			db, err := repro.New(repro.Config{
+				Version: repro.V3InlineLog,
+				Backup:  repro.ActiveBackup,
+				DBSize:  64 << 10,
+				Backups: 3,
+				Safety:  repro.QuorumSafe,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rand.New(rand.NewPCG(0x9e3779b9, uint64(it)))
+
+			var (
+				tok      repro.Token
+				acked    [slots]uint64 // last version this session committed, per slot
+				seen     [slots]uint64 // highest version this session has read, per slot
+				nextVer  uint64
+				lastRead repro.ReadResult // where the last replica read was served
+				buf      = make([]byte, 64)
+			)
+			write := func(slot int) {
+				t.Helper()
+				nextVer++
+				tx, err := db.Begin()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.SetRange(slot*64, 64); err != nil {
+					t.Fatal(err)
+				}
+				binary.BigEndian.PutUint64(buf[:8], nextVer)
+				if err := tx.Write(slot*64, buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				acked[slot] = nextVer
+				tok = db.Token(tok)
+			}
+			read := func(slot int, opts repro.ReadOpts) {
+				t.Helper()
+				res, err := db.ReadAt(slot*64, buf, opts)
+				if err != nil {
+					t.Fatalf("%v read slot %d: %v", opts.Mode, slot, err)
+				}
+				v := binary.BigEndian.Uint64(buf[:8])
+				switch {
+				case v > nextVer:
+					t.Fatalf("%v read slot %d: version %d was never written (max %d)", opts.Mode, slot, v, nextVer)
+				case v < acked[slot]:
+					t.Fatalf("%v read slot %d: version %d older than acked write %d (served %+v)", opts.Mode, slot, v, acked[slot], res)
+				case v < seen[slot]:
+					t.Fatalf("%v read slot %d: version %d went backwards from %d (served %+v)", opts.Mode, slot, v, seen[slot], res)
+				}
+				seen[slot] = v
+				lastRead = res
+			}
+
+			ops := 60 + r.IntN(60)
+			crashAt := 10 + r.IntN(ops-10)
+			crashPrimary := r.IntN(2) == 0
+			crashed := false
+			for i := 0; i < ops; i++ {
+				if i == crashAt {
+					// The crash lands between two reads of the same
+					// session: either under the primary, or under the
+					// backup that served the session's last replica read.
+					if crashPrimary {
+						if err := db.CrashPrimary(); err != nil {
+							t.Fatal(err)
+						}
+						if err := db.Failover(); err != nil {
+							t.Fatal(err)
+						}
+					} else {
+						victim := lastRead.Replica - 1
+						if victim < 0 {
+							victim = r.IntN(3)
+						}
+						if err := db.CrashBackup(victim); err != nil {
+							t.Fatal(err)
+						}
+					}
+					crashed = true
+				}
+				slot := r.IntN(slots)
+				switch r.IntN(4) {
+				case 0:
+					write(slot)
+				case 1:
+					read(slot, repro.ReadOpts{Mode: repro.ReadYourWrites, Token: tok})
+				default:
+					read(slot, repro.ReadOpts{Mode: repro.ReadQuorum})
+				}
+			}
+			if !crashed {
+				t.Fatal("crash point never fired")
+			}
+
+			// Final audit: on the degraded group every slot the session
+			// wrote still reads back at exactly its last acked version,
+			// through the quorum path.
+			for slot := 0; slot < slots; slot++ {
+				if acked[slot] == 0 {
+					continue
+				}
+				res, err := db.ReadAt(slot*64, buf, repro.ReadOpts{Mode: repro.ReadQuorum})
+				if err != nil {
+					t.Fatalf("final quorum read slot %d: %v", slot, err)
+				}
+				if v := binary.BigEndian.Uint64(buf[:8]); v != acked[slot] {
+					t.Fatalf("final quorum read slot %d: version %d, want %d (served %+v)", slot, v, acked[slot], res)
+				}
+			}
+		})
+	}
+}

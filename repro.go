@@ -127,6 +127,98 @@ const (
 // String names the safety level.
 func (s Safety) String() string { return replication.Safety(s).String() }
 
+// ReadMode selects the consistency discipline of a ReadAt: which replicas
+// may serve the read and how stale a view the caller tolerates. The zero
+// value is ReadPrimary — exactly today's Read, bit-for-bit identical sim
+// metrics — so existing callers pay nothing.
+type ReadMode int
+
+// Read modes. Replica reads require the active backup scheme (whose
+// backup copies are transaction-consistent at every applied commit);
+// under the passive scheme or standalone every mode degrades to the
+// primary.
+const (
+	// ReadPrimary serializes the read through the primary (the default).
+	ReadPrimary ReadMode = ReadMode(replication.ReadPrimary)
+	// ReadYourWrites serves from any backup whose applied sequence has
+	// reached the caller's token (see DB.Token), else the primary: the
+	// caller observes every write it has ever committed, and never an
+	// older view.
+	ReadYourWrites ReadMode = ReadMode(replication.ReadYourWrites)
+	// ReadBounded serves from any backup within ReadOpts.Bound commit
+	// sequences of the primary's committed counter, else the primary:
+	// staleness is capped by an explicit, advertised bound.
+	ReadBounded ReadMode = ReadMode(replication.ReadBounded)
+	// ReadQuorum reads a majority of the replica group — which intersects
+	// every commit quorum — serves the max-sequence view and repairs
+	// laggards: the paranoid tier, guaranteed to observe every
+	// acknowledged commit.
+	ReadQuorum ReadMode = ReadMode(replication.ReadQuorum)
+)
+
+// String names the mode.
+func (m ReadMode) String() string { return replication.ReadMode(m).String() }
+
+// Valid reports whether m is a defined read mode.
+func (m ReadMode) Valid() bool { return replication.ReadMode(m).Valid() }
+
+// Token is a per-shard commit-sequence vector: element i is a lower bound
+// on the committed-transaction count of shard i that the holder's reads
+// must observe (a Cluster is its own shard 0). Tokens are plain data —
+// comparable, mergeable by element-wise max, and portable across
+// deployments: a shard with no element (nil token, or a token captured on
+// a deployment with fewer shards) is simply unconstrained, so a token from
+// shard A is always valid on shard B.
+type Token []uint64
+
+// Merge folds other into t by element-wise max, growing t as needed, and
+// returns the merged token (sessions merge the token returned by every
+// commit).
+func (t Token) Merge(other Token) Token {
+	for len(t) < len(other) {
+		t = append(t, 0)
+	}
+	for i, v := range other {
+		if v > t[i] {
+			t[i] = v
+		}
+	}
+	return t
+}
+
+// ReadOpts selects the consistency discipline of one ReadAt. The zero
+// value routes to the primary, exactly like Read.
+type ReadOpts struct {
+	// Mode is the consistency discipline.
+	Mode ReadMode
+	// Token is the session's commit-sequence floor (ReadYourWrites): the
+	// vector returned by DB.Token after the session's last write. Nil or
+	// short tokens leave the missing shards unconstrained.
+	Token Token
+	// Bound is the tolerated staleness for ReadBounded, measured in
+	// commit sequences against the serving shard's committed counter.
+	Bound uint64
+	// Replica pins the read: 0 routes automatically per Mode, r ≥ 1
+	// serves only from backup r-1 (ErrReplicaUnavailable if it cannot
+	// satisfy the mode). Sessions pin the replica a routed read chose so
+	// a multi-read operation observes one view.
+	Replica int
+}
+
+// ReadResult reports where a ReadAt was served.
+type ReadResult struct {
+	// Replica is 0 when the primary served, r ≥ 1 when backup r-1 did.
+	// On a sharded deployment it reports the last sub-span's server.
+	Replica int
+	// Seq is the serving view's commit sequence and Primary the shard's
+	// committed counter at routing time; Primary-Seq is the staleness the
+	// read actually observed, in commit sequences (both are shard-local).
+	Seq, Primary uint64
+	// Repaired counts quorum-read laggards whose applied prefix the read
+	// pumped forward (read repair).
+	Repaired int
+}
+
 // Config sizes a Cluster.
 type Config struct {
 	// Version is the engine design; see the Version constants.
@@ -349,6 +441,62 @@ func (c *Cluster) Load(off int, data []byte) error { return mapErr(c.group().Loa
 // serialized with the cluster's transactions.
 func (c *Cluster) Read(off int, dst []byte) error { return mapErr(c.group().Read(off, dst)) }
 
+// ReadAt performs a charged read under opts' consistency discipline,
+// letting backups serve when the mode permits. The zero ReadOpts is
+// exactly Read. See the DB interface documentation for the modes.
+func (c *Cluster) ReadAt(off int, dst []byte, opts ReadOpts) (ReadResult, error) {
+	var minSeq uint64
+	if len(opts.Token) > 0 {
+		minSeq = opts.Token[0]
+	}
+	return c.readAt(off, dst, opts, minSeq)
+}
+
+// readAt is ReadAt with the shard-local token floor already extracted (a
+// ShardedCluster routes each sub-span here with its own element).
+func (c *Cluster) readAt(off int, dst []byte, opts ReadOpts, minSeq uint64) (ReadResult, error) {
+	if opts.Mode == ReadPrimary && opts.Replica == 0 {
+		// The zero-cost default: identical to Read.
+		if err := c.Read(off, dst); err != nil {
+			return ReadResult{}, err
+		}
+		seq := c.Committed()
+		return ReadResult{Replica: 0, Seq: seq, Primary: seq}, nil
+	}
+	res, err := c.group().RouteRead(off, dst, replication.ReadSpec{
+		Mode:    replication.ReadMode(opts.Mode),
+		MinSeq:  minSeq,
+		Bound:   opts.Bound,
+		Replica: opts.Replica,
+	})
+	if err != nil {
+		return ReadResult{}, mapErr(err)
+	}
+	return ReadResult{Replica: res.Replica, Seq: res.Seq, Primary: res.Primary, Repaired: res.Repaired}, nil
+}
+
+// Token appends nothing and fills dst (growing it as needed) with the
+// cluster's commit-sequence vector: the floor a ReadYourWrites read after
+// this instant must observe. Capture it after a Commit returns to make
+// that commit visible to the session's replica reads. Lock-free.
+func (c *Cluster) Token(dst Token) Token {
+	if cap(dst) < 1 {
+		dst = make(Token, 1)
+	}
+	dst = dst[:1]
+	dst[0] = c.group().Committed()
+	return dst
+}
+
+// ReplicaElapsed returns the longest simulated time any node — primary or
+// read-serving backup — has accumulated since ResetMeasurement. Replica
+// reads run on the backups' CPUs in parallel with the primary's commits,
+// so a read-scaled workload's wall time is this max, not Elapsed alone;
+// with no replica reads it equals Elapsed.
+func (c *Cluster) ReplicaElapsed() time.Duration {
+	return c.group().ReplicaElapsed().Duration()
+}
+
 // ReadRaw copies database bytes without charging simulated time,
 // serialized with the cluster's transactions. It panics if the span falls
 // outside the database — the DB contract, identical on both facades.
@@ -500,6 +648,9 @@ func (c *Cluster) RepairProgress(shard ...int) RepairProgress {
 		Elapsed:      time.Duration(st.Elapsed.Nanoseconds()),
 	}
 }
+
+// Safety returns the commit discipline the cluster was configured with.
+func (c *Cluster) Safety() Safety { return c.cfg.Safety }
 
 // Backups returns the current number of backup nodes; zero for an
 // out-of-range shard selector.

@@ -84,6 +84,9 @@ func NewSharded(cfg Config, shards int) (*ShardedCluster, error) {
 // Shards returns the shard count.
 func (s *ShardedCluster) Shards() int { return len(s.shards) }
 
+// Safety returns the commit discipline every shard was configured with.
+func (s *ShardedCluster) Safety() Safety { return s.cfg.Safety }
+
 // ShardSize returns the per-shard database size in bytes.
 func (s *ShardedCluster) ShardSize() int { return s.shardSize }
 
@@ -170,6 +173,45 @@ func (s *ShardedCluster) Read(off int, dst []byte) error {
 		pos += n
 		return err
 	})
+}
+
+// ReadAt performs a charged read across the owning shards under opts'
+// consistency discipline. Each sub-span is routed on its own shard with
+// that shard's token element as the floor (a token shorter than the shard
+// count leaves the missing shards unconstrained, so any token is valid on
+// any shard). The result reports the last sub-span's server; when
+// ReadOpts.Replica pins a backup index, the pin applies on every shard.
+func (s *ShardedCluster) ReadAt(off int, dst []byte, opts ReadOpts) (ReadResult, error) {
+	var res ReadResult
+	pos := 0
+	err := s.split(off, len(dst), func(i, so, n int) error {
+		var minSeq uint64
+		if i < len(opts.Token) {
+			minSeq = opts.Token[i]
+		}
+		r, err := s.shards[i].readAt(so, dst[pos:pos+n], opts, minSeq)
+		pos += n
+		if err != nil {
+			return err
+		}
+		res = r
+		return nil
+	})
+	return res, err
+}
+
+// Token fills dst (growing it as needed) with the per-shard commit-
+// sequence vector: element i is shard i's committed counter. Lock-free.
+func (s *ShardedCluster) Token(dst Token) Token {
+	n := len(s.shards)
+	if cap(dst) < n {
+		dst = make(Token, n)
+	}
+	dst = dst[:n]
+	for i, c := range s.shards {
+		dst[i] = c.Committed()
+	}
+	return dst
 }
 
 // ReadRaw copies database bytes without charging simulated time. It
@@ -551,6 +593,19 @@ func (s *ShardedCluster) Elapsed() time.Duration {
 	var max time.Duration
 	for _, c := range s.shards {
 		if e := c.Elapsed(); e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// ReplicaElapsed returns the wall-clock of the sharded deployment with
+// replica reads in play: the maximum over every shard's ReplicaElapsed.
+// Equals Elapsed when no backup served a read this interval.
+func (s *ShardedCluster) ReplicaElapsed() time.Duration {
+	var max time.Duration
+	for _, c := range s.shards {
+		if e := c.ReplicaElapsed(); e > max {
 			max = e
 		}
 	}
