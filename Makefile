@@ -46,13 +46,18 @@ test-race:
 # violations), the disk-tier
 # kill-and-restart drill in BENCH_durability.json (recovery wall time,
 # replayed records, and zero lost acked writes across three snapshot
-# intervals), and the served-over-TCP
+# intervals), the served-over-TCP
 # load (cmd/kvload against an in-process cmd/kvserver deployment: 1000
 # concurrent connections, primary crashed mid-load, wall-clock
-# p50/p99/p999 and zero acked-write loss) in BENCH_server.json. Every
-# emitted file is schema-validated with benchjson -check at the end.
-# The runs go through temp files, not pipes, so a failing benchmark
-# fails the target instead of silently writing an empty JSON.
+# p50/p99/p999 and zero acked-write loss) in BENCH_server.json, and the
+# observability price sheet in BENCH_obs.json (K=3 quorum batch-16
+# commit throughput bare vs instrumented, plus the wall-clock cost of a
+# full Metrics() scrape against hot instruments). Every emitted file is
+# schema-validated with benchjson -check at the end, which also lints
+# the live obs metric catalog: every registered name legal
+# (^[a-z][a-z0-9_.]*$) and unique across the deployment and serving
+# registries. The runs go through temp files, not pipes, so a failing
+# benchmark fails the target instead of silently writing an empty JSON.
 bench:
 	$(GO) test -bench 'ParallelShards|Throughput|ReplicationDegree|ShardedCluster' \
 		-benchtime 2000x -run XXX -count 1 . > bench.out.tmp || { cat bench.out.tmp; rm -f bench.out.tmp; exit 1; }
@@ -77,7 +82,10 @@ bench:
 		> bench.server.tmp || { cat bench.server.tmp; rm -f bench.server.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -o BENCH_server.json < bench.server.tmp
 	@rm -f bench.server.tmp
-	$(GO) run ./cmd/benchjson -check BENCH_parallel.json BENCH_availability.json BENCH_chaos.json BENCH_kv.json BENCH_readscale.json BENCH_durability.json BENCH_server.json
+	$(GO) test -bench 'BenchmarkObs' -benchtime 2000x -run XXX -count 1 . > bench.obs.tmp || { cat bench.obs.tmp; rm -f bench.obs.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_obs.json < bench.obs.tmp
+	@rm -f bench.obs.tmp
+	$(GO) run ./cmd/benchjson -check BENCH_parallel.json BENCH_availability.json BENCH_chaos.json BENCH_kv.json BENCH_readscale.json BENCH_durability.json BENCH_server.json BENCH_obs.json
 
 # The CI smoke run: every bench family at one iteration, emitted into a
 # scratch directory (the committed BENCH_*.json stay untouched), then
@@ -101,9 +109,11 @@ bench-smoke:
 	$(GO) run ./cmd/kvload -selfhost -conns 64 -ops 3000 -keys 1000 -crash 500 -q -benchfmt \
 		> .benchsmoke/server.txt || { cat .benchsmoke/server.txt; exit 1; }
 	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_server.json < .benchsmoke/server.txt > /dev/null
+	$(GO) test -bench 'BenchmarkObs' -benchtime 100x -run XXX -count 1 . > .benchsmoke/obs.txt || { cat .benchsmoke/obs.txt; exit 1; }
+	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_obs.json < .benchsmoke/obs.txt > /dev/null
 	$(GO) run ./cmd/benchjson -check .benchsmoke/BENCH_parallel.json .benchsmoke/BENCH_availability.json \
 		.benchsmoke/BENCH_chaos.json .benchsmoke/BENCH_kv.json .benchsmoke/BENCH_readscale.json \
-		.benchsmoke/BENCH_durability.json .benchsmoke/BENCH_server.json
+		.benchsmoke/BENCH_durability.json .benchsmoke/BENCH_server.json .benchsmoke/BENCH_obs.json
 	@rm -rf .benchsmoke
 
 bench-all:

@@ -12,93 +12,115 @@ import (
 // channel's staged buffers, the accessor word scratch and the batched ack
 // scratch together mean a warmed transaction touches the allocator not at
 // all. Any regression here is a performance bug on the hottest path in the
-// repository.
+// repository. The instrumented variant attaches the obs registry
+// (Config.Metrics) and must hold the same zero: instruments are plain
+// atomics recording into preallocated buckets, so observability costs
+// cycles, never allocations.
 func TestCommitPathZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation inflates allocation counts")
 	}
-	c, err := repro.New(repro.Config{
-		Version: repro.V3InlineLog,
-		Backup:  repro.ActiveBackup,
-		DBSize:  8 << 20,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	w, err := tpc.NewDebitCredit(8 << 20)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Populate(c.Load); err != nil {
-		t.Fatal(err)
-	}
-	r := tpc.NewRand(1)
-	i := int64(0)
-	txn := func() {
-		tx, err := c.Begin()
-		if err != nil {
-			t.Fatal(err)
+	for _, metrics := range []bool{false, true} {
+		name := "bare"
+		if metrics {
+			name = "instrumented"
 		}
-		if err := w.Txn(r, tx, i); err != nil {
-			t.Fatal(err)
-		}
-		if err := tx.Commit(); err != nil {
-			t.Fatal(err)
-		}
-		i++
-	}
-	// Warm every pool and slice capacity on the path (ring scratch, redo
-	// staging, write-buffer tables) before counting.
-	for k := 0; k < 2000; k++ {
-		txn()
-	}
-	if allocs := testing.AllocsPerRun(500, txn); allocs != 0 {
-		t.Fatalf("steady-state Debit-Credit commit path allocates %.1f times per txn, want 0", allocs)
+		t.Run(name, func(t *testing.T) {
+			c, err := repro.New(repro.Config{
+				Version: repro.V3InlineLog,
+				Backup:  repro.ActiveBackup,
+				DBSize:  8 << 20,
+				Metrics: metrics,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			w, err := tpc.NewDebitCredit(8 << 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Populate(c.Load); err != nil {
+				t.Fatal(err)
+			}
+			r := tpc.NewRand(1)
+			i := int64(0)
+			txn := func() {
+				tx, err := c.Begin()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Txn(r, tx, i); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				i++
+			}
+			// Warm every pool and slice capacity on the path (ring scratch,
+			// redo staging, write-buffer tables) before counting.
+			for k := 0; k < 2000; k++ {
+				txn()
+			}
+			if allocs := testing.AllocsPerRun(500, txn); allocs != 0 {
+				t.Fatalf("steady-state Debit-Credit commit path (%s) allocates %.1f times per txn, want 0", name, allocs)
+			}
+		})
 	}
 }
 
 // TestShardedCommitPathZeroAllocs pins the sharded front-end's
 // single-shard transaction path (pooled shardedTx, closure-free routing)
-// to zero allocations per transaction.
+// to zero allocations per transaction — with and without per-shard obs
+// registries attached.
 func TestShardedCommitPathZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation inflates allocation counts")
 	}
-	sc, err := repro.NewSharded(repro.Config{
-		Version: repro.V3InlineLog,
-		Backup:  repro.ActiveBackup,
-		DBSize:  8 << 20,
-	}, 4)
-	if err != nil {
-		t.Fatal(err)
-	}
-	payload := make([]byte, 64)
-	for i := range payload {
-		payload[i] = byte(i + 1)
-	}
-	slots := sc.ShardSize() / 128
-	i := 0
-	txn := func() {
-		off := (i%4)*sc.ShardSize() + (i/4%slots)*128
-		i++
-		tx, err := sc.Begin()
-		if err != nil {
-			t.Fatal(err)
+	for _, metrics := range []bool{false, true} {
+		name := "bare"
+		if metrics {
+			name = "instrumented"
 		}
-		if err := tx.SetRange(off, 64); err != nil {
-			t.Fatal(err)
-		}
-		if err := tx.Write(off, payload); err != nil {
-			t.Fatal(err)
-		}
-		if err := tx.Commit(); err != nil {
-			t.Fatal(err)
-		}
-	}
-	for k := 0; k < 2000; k++ {
-		txn()
-	}
-	if allocs := testing.AllocsPerRun(500, txn); allocs != 0 {
-		t.Fatalf("sharded commit path allocates %.1f times per txn, want 0", allocs)
+		t.Run(name, func(t *testing.T) {
+			sc, err := repro.NewSharded(repro.Config{
+				Version: repro.V3InlineLog,
+				Backup:  repro.ActiveBackup,
+				DBSize:  8 << 20,
+				Metrics: metrics,
+			}, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := make([]byte, 64)
+			for i := range payload {
+				payload[i] = byte(i + 1)
+			}
+			slots := sc.ShardSize() / 128
+			i := 0
+			txn := func() {
+				off := (i%4)*sc.ShardSize() + (i/4%slots)*128
+				i++
+				tx, err := sc.Begin()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.SetRange(off, 64); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Write(off, payload); err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for k := 0; k < 2000; k++ {
+				txn()
+			}
+			if allocs := testing.AllocsPerRun(500, txn); allocs != 0 {
+				t.Fatalf("sharded commit path (%s) allocates %.1f times per txn, want 0", name, allocs)
+			}
+		})
 	}
 }

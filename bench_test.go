@@ -481,6 +481,109 @@ func BenchmarkDurability(b *testing.B) {
 	}
 }
 
+// BenchmarkObs prices the observability layer where it matters: the K=3
+// quorum batch-16 Debit-Credit commit path with the registry detached
+// (commit-bare) and attached (commit-instrumented) — the acceptance
+// bound is instrumented sim-tps within 5% of bare — and the wall-clock
+// cost of one full Metrics() scrape against hot instruments and a
+// populated event ring. Every cell reports metric-names (the registered
+// instruments visible in the snapshot: zero bare, the full catalog
+// instrumented), which `benchjson -check` requires in BENCH_obs.json.
+func BenchmarkObs(b *testing.B) {
+	const db = 8 << 20
+	build := func(b *testing.B, metrics bool) (*repro.Cluster, func(int64)) {
+		c, err := repro.New(repro.Config{
+			Version:     repro.V3InlineLog,
+			Backup:      repro.ActiveBackup,
+			DBSize:      db,
+			Backups:     3,
+			Safety:      repro.QuorumSafe,
+			CommitBatch: 16,
+			Metrics:     metrics,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := tpc.NewDebitCredit(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Populate(c.Load); err != nil {
+			b.Fatal(err)
+		}
+		r := tpc.NewRand(1)
+		return c, func(i int64) {
+			tx, err := c.Begin()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Txn(r, tx, i); err != nil {
+				b.Fatal(err)
+			}
+			if err := tx.Commit(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for _, metrics := range []bool{false, true} {
+		name := "commit-bare"
+		if metrics {
+			name = "commit-instrumented"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, txn := build(b, metrics)
+			for i := int64(0); i < 200; i++ {
+				txn(i)
+			}
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			c.Settle()
+			c.ResetMeasurement()
+			b.ResetTimer()
+			for i := int64(0); i < int64(b.N); i++ {
+				txn(200 + i)
+			}
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if sec := c.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(b.N)/sec, "sim-tps")
+			}
+			b.ReportMetric(float64(len(c.Metrics().Names())), "metric-names")
+		})
+	}
+	b.Run("scrape", func(b *testing.B) {
+		c, txn := build(b, true)
+		for i := int64(0); i < 500; i++ {
+			txn(i)
+		}
+		if err := c.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		c.Settle()
+		// A failover and a repair put a realistic trace in the ring.
+		if err := c.CrashPrimary(); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Failover(); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.Repair(); err != nil {
+			b.Fatal(err)
+		}
+		var snap repro.Metrics
+		b.ResetTimer()
+		for b.Loop() {
+			snap = c.Metrics()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(len(snap.Names())), "metric-names")
+		b.ReportMetric(float64(len(snap.Events)), "ring-events")
+	})
+}
+
 // BenchmarkFailover measures takeover cost: crash after a burst of
 // transactions and time the backup's recovery, reporting the simulated
 // takeover latency.

@@ -21,6 +21,11 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+
+	"repro"
+	"repro/internal/kvserver"
+	"repro/internal/obs"
+	"repro/kv"
 )
 
 // Benchmark is one parsed benchmark result line.
@@ -48,7 +53,7 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "BENCH_parallel.json", "output JSON path")
-	check := flag.Bool("check", false, "validate the BENCH JSON files named as arguments (schema + at least one parsed benchmark each) instead of converting stdin")
+	check := flag.Bool("check", false, "validate the BENCH JSON files named as arguments (schema + at least one parsed benchmark each) and lint the live obs metric catalog instead of converting stdin")
 	flag.Parse()
 
 	if *check {
@@ -101,6 +106,7 @@ var requiredMetrics = map[string][]string{
 	"BENCH_server.json":     {"wall-ops/s", "p50-ms", "p99-ms", "p999-ms", "lost-acked-writes"},
 	"BENCH_durability.json": {"recovery-ms", "replayed-records", "lost-acked-writes"},
 	"BENCH_readscale.json":  {"sim-ops/s", "replicas", "stale-read-violations"},
+	"BENCH_obs.json":        {"metric-names"},
 }
 
 // zeroMetrics names the metrics that must be exactly zero wherever they
@@ -117,14 +123,20 @@ var zeroMetrics = map[string]bool{
 // prefixed name and a positive iteration count, and preserve its raw
 // benchstat lines. Files listed in requiredMetrics must additionally
 // carry their required metrics on every benchmark, and the zeroMetrics
-// correctness counters must be zero wherever reported. Returns a process
-// exit code.
+// correctness counters must be zero wherever reported. It also runs the
+// obs metric-name lint (lintMetricNames) against the live registry, so a
+// badly-named or colliding instrument fails CI with the same command
+// that guards the emitted artifacts. Returns a process exit code.
 func runCheck(files []string) int {
 	if len(files) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: -check needs at least one file argument")
 		return 2
 	}
 	bad := 0
+	if err := lintMetricNames(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: metric-name lint: %v\n", err)
+		bad++
+	}
 	for _, f := range files {
 		if err := checkFile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", f, err)
@@ -173,6 +185,74 @@ func checkFile(path string) error {
 			}
 		}
 	}
+	return nil
+}
+
+// lintMetricNames builds a real instrumented deployment — durable K=2
+// quorum group, kv store, serving tier with its own registry — drives
+// enough traffic to trigger every lazy registration (WAL writers,
+// per-backup lag gauges), and validates the live catalog: every
+// registered metric name must match ^[a-z][a-z0-9_.]*$ (obs.MetricName)
+// and be unique across the deployment and serving registries, which the
+// METRICS opcode merges into one namespace.
+func lintMetricNames() error {
+	dir, err := os.MkdirTemp("", "obslint-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	c, err := repro.New(repro.Config{
+		Version:    repro.V3InlineLog,
+		Backup:     repro.ActiveBackup,
+		DBSize:     1 << 20,
+		Backups:    2,
+		Safety:     repro.QuorumSafe,
+		Metrics:    true,
+		Durability: repro.DurabilityConfig{Dir: dir},
+	})
+	if err != nil {
+		return err
+	}
+	store, err := kv.Open(c)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		if err := store.Put([]byte{'k', byte('0' + i)}, []byte("obslint")); err != nil {
+			return err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	c.Settle()
+	sreg := obs.NewRegistry()
+	srv := kvserver.New(store, kvserver.Config{Obs: sreg, Logf: func(string, ...any) {}})
+	defer srv.Close()
+
+	seen := map[string]string{}
+	check := func(owner string, snap obs.Snapshot) error {
+		for _, name := range snap.Names() {
+			if !obs.MetricName(name) {
+				return fmt.Errorf("%s metric %q violates ^[a-z][a-z0-9_.]*$", owner, name)
+			}
+			if prev, dup := seen[name]; dup {
+				return fmt.Errorf("metric %q registered by both %s and %s", name, prev, owner)
+			}
+			seen[name] = owner
+		}
+		return nil
+	}
+	if err := check("deployment", c.Metrics()); err != nil {
+		return err
+	}
+	if err := check("server", sreg.Snapshot()); err != nil {
+		return err
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("instrumented deployment registered no metrics")
+	}
+	fmt.Printf("benchjson: metric-name lint ok (%d names)\n", len(seen))
 	return nil
 }
 

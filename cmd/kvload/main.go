@@ -32,6 +32,17 @@
 // from the *scheduled* start, so a stalled server accrues queueing
 // delay instead of silently slowing the offered load (no coordinated
 // omission).
+//
+// -scrape skips the load entirely: it fetches the server's metrics
+// snapshot over the wire (the kvwire METRICS opcode), prints every
+// latency histogram's p50/p99 plus the counters and gauges, and exits —
+// the command-line view of what the server's Prometheus endpoint
+// exposes:
+//
+//	kvload -addr host:7791 -scrape
+//
+// With -selfhost, -metrics instruments the in-process deployment and
+// server, and the same scrape report prints after the load completes.
 package main
 
 import (
@@ -48,6 +59,7 @@ import (
 
 	"repro"
 	"repro/internal/kvserver"
+	"repro/internal/obs"
 	"repro/internal/tpc"
 	"repro/kv"
 	"repro/kvclient"
@@ -66,6 +78,8 @@ func main() {
 		crashN   = flag.Int("crash", 0, "selfhost only: crash the primary after N acknowledged operations")
 		seed     = flag.Int64("seed", 1, "workload RNG seed")
 		benchfmt = flag.Bool("benchfmt", false, "emit a go test -bench format result line for cmd/benchjson")
+		scrape   = flag.Bool("scrape", false, "fetch the server's metrics snapshot (kvwire METRICS), print per-opcode latency and counters, and exit — no load is run (requires -addr)")
+		metrics  = flag.Bool("metrics", false, "selfhost: instrument the deployment and server; the scrape report prints after the load")
 		quiet    = flag.Bool("q", false, "suppress progress log lines")
 
 		// Selfhost deployment shape (mirrors cmd/kvserver).
@@ -83,6 +97,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kvload: exactly one of -addr or -selfhost is required")
 		os.Exit(2)
 	}
+	if *scrape {
+		if *addr == "" {
+			fmt.Fprintln(os.Stderr, "kvload: -scrape requires -addr")
+			os.Exit(2)
+		}
+		if err := scrapeMetrics(*addr); err != nil {
+			log.Fatalf("kvload: scrape: %v", err)
+		}
+		return
+	}
+	if *metrics && !*selfhost {
+		fmt.Fprintln(os.Stderr, "kvload: -metrics requires -selfhost (point -scrape at a remote server instead)")
+		os.Exit(2)
+	}
 	if *valSize < versionLen || *valSize > 200 {
 		fmt.Fprintf(os.Stderr, "kvload: -value must be in [%d, 200] (kv slot payload)\n", versionLen)
 		os.Exit(2)
@@ -97,7 +125,7 @@ func main() {
 	var srv *kvserver.Server
 	if *selfhost {
 		var err error
-		target, admin, srv, err = host(*dbMB, *backups, *safety, *autopilot, logf)
+		target, admin, srv, err = host(*dbMB, *backups, *safety, *autopilot, *metrics, logf)
 		if err != nil {
 			log.Fatalf("kvload: selfhost: %v", err)
 		}
@@ -143,6 +171,12 @@ func main() {
 			ms(res.hist.Percentile(0.999)), res.missing+res.stale)
 	}
 
+	if *metrics {
+		if err := scrapeMetrics(target); err != nil {
+			logf("kvload: post-load scrape: %v", err)
+		}
+	}
+
 	if srv != nil {
 		if err := srv.Close(); err != nil {
 			logf("kvload: server close: %v", err)
@@ -158,13 +192,41 @@ func main() {
 	}
 }
 
+// scrapeMetrics fetches the server's metrics snapshot over the wire and
+// prints every latency histogram's p50/p99 plus the counters and gauges.
+func scrapeMetrics(addr string) error {
+	cl := kvclient.Dial(addr, kvclient.Options{Conns: 1, RetryBudget: 5 * time.Second})
+	defer cl.Close()
+	m, err := cl.Metrics()
+	if err != nil {
+		return err
+	}
+	if m.Empty() {
+		fmt.Println("kvload: scrape: server reports no instruments (observability off)")
+		return nil
+	}
+	fmt.Printf("kvload: scrape: window=%d events=%d\n", m.Window, len(m.Events))
+	for _, n := range m.Names() {
+		if h, ok := m.Hists[n]; ok {
+			fmt.Printf("  %-28s count=%-9d p50=%-12v p99=%v\n",
+				n, h.Count, h.Percentile(0.50), h.Percentile(0.99))
+		} else if v, ok := m.Counters[n]; ok {
+			fmt.Printf("  %-28s %d\n", n, v)
+		} else if v, ok := m.Gauges[n]; ok {
+			fmt.Printf("  %-28s %d\n", n, v)
+		}
+	}
+	return nil
+}
+
 // host builds the in-process deployment + server and returns its address.
-func host(dbMB, backups int, safety string, autopilot bool, logf func(string, ...any)) (string, repro.Admin, *kvserver.Server, error) {
+func host(dbMB, backups int, safety string, autopilot, metrics bool, logf func(string, ...any)) (string, repro.Admin, *kvserver.Server, error) {
 	cfg := repro.Config{
 		Version: repro.V3InlineLog,
 		Backup:  repro.ActiveBackup,
 		DBSize:  dbMB << 20,
 		Backups: backups,
+		Metrics: metrics,
 	}
 	switch safety {
 	case "1safe":
@@ -193,7 +255,11 @@ func host(dbMB, backups int, safety string, autopilot bool, logf func(string, ..
 	if err != nil {
 		return "", nil, nil, err
 	}
-	srv := kvserver.New(store, kvserver.Config{Logf: logf})
+	scfg := kvserver.Config{Logf: logf}
+	if metrics {
+		scfg.Obs = obs.NewRegistry()
+	}
+	srv := kvserver.New(store, scfg)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, nil, err

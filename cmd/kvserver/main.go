@@ -13,6 +13,16 @@
 //	         [-safety 1safe|2safe|quorum] [-shards 1]
 //	         [-autopilot=true] [-window 64] [-q]
 //	         [-data-dir DIR] [-snapshot-every N] [-sync-every N]
+//	         [-metrics-addr :7792]
+//
+// With -metrics-addr set, the deployment and the serving tier are
+// instrumented and an HTTP endpoint serves GET /metrics in the
+// Prometheus text exposition format: commit/flush latency histograms,
+// per-opcode serving latencies, WAL fsync costs, read-route counters and
+// the failure/repair event ring's depth. The same snapshot is available
+// in JSON over the wire itself (the kvwire METRICS opcode — see
+// kvclient.Metrics and kvload -scrape). Without the flag nothing is
+// instrumented and the serving path is exactly the uninstrumented build.
 //
 // With -data-dir set, every replica keeps a redo WAL plus periodic
 // snapshots under DIR (per shard under DIR/shard-NNN), fsynced on the
@@ -32,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +50,7 @@ import (
 
 	"repro"
 	"repro/internal/kvserver"
+	"repro/internal/obs"
 	"repro/kv"
 )
 
@@ -54,6 +66,7 @@ func main() {
 		dataDir   = flag.String("data-dir", "", "durability directory: per-replica redo WAL + snapshots; relaunch with the same dir to cold-restart from disk (empty = memory-only)")
 		snapEvery = flag.Int("snapshot-every", 0, "checkpoint a snapshot every N commits per replica (0 = default; needs -data-dir)")
 		syncEvery = flag.Int("sync-every", 0, "fdatasync the WAL every N group-commit flushes (0 = default of 1; needs -data-dir)")
+		metrics   = flag.String("metrics-addr", "", "HTTP listen address for the Prometheus /metrics endpoint; also instruments the deployment and serving tier (empty = observability off)")
 		quiet     = flag.Bool("q", false, "suppress serving log lines")
 	)
 	flag.Parse()
@@ -93,6 +106,7 @@ func main() {
 			Spares:          1,
 		}
 	}
+	cfg.Metrics = *metrics != ""
 
 	var db repro.DB
 	var err error
@@ -123,14 +137,52 @@ func main() {
 	if *quiet {
 		logf = func(string, ...any) {}
 	}
-	srv := kvserver.New(store, kvserver.Config{Window: *window, Logf: logf})
+	scfg := kvserver.Config{Window: *window, Logf: logf}
+	if *metrics != "" {
+		// The serving tier's own registry; the deployment's (created by
+		// cfg.Metrics above) stays separate and the OpMetrics/HTTP
+		// surfaces merge the two.
+		scfg.Obs = obs.NewRegistry()
+	}
+	srv := kvserver.New(store, scfg)
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("kvserver: listen: %v", err)
 	}
-	logf("kvserver: serving %s shards=%d backups=%d safety=%s autopilot=%v db=%dMiB",
-		l.Addr(), *shards, *backups, cfg.Safety, *autopilot, *dbMB)
+
+	var msrv *http.Server
+	if *metrics != "" {
+		ml, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatalf("kvserver: metrics listen: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := obs.WritePrometheus(w, srv.Metrics()); err != nil {
+				logf("kvserver: metrics scrape: %v", err)
+			}
+		})
+		msrv = &http.Server{Handler: mux}
+		go func() {
+			if err := msrv.Serve(ml); err != nil && err != http.ErrServerClosed {
+				logf("kvserver: metrics serve: %v", err)
+			}
+		}()
+	}
+
+	// One structured line with the whole serving configuration, so a log
+	// scrape (or a human) can reconstruct the deployment from it alone.
+	durDesc, metricsDesc := "off", "off"
+	if *dataDir != "" {
+		durDesc = *dataDir
+	}
+	if *metrics != "" {
+		metricsDesc = *metrics
+	}
+	logf("kvserver: serving addr=%s shards=%d backups=%d safety=%s autopilot=%v db_mib=%d window=%d durability=%s metrics=%s",
+		l.Addr(), *shards, *backups, cfg.Safety, *autopilot, *dbMB, *window, durDesc, metricsDesc)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -142,6 +194,9 @@ func main() {
 		logf("kvserver: %v — draining", sig)
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
+		if msrv != nil {
+			msrv.Shutdown(ctx)
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Fatalf("kvserver: drain: %v", err)
 		}

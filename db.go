@@ -83,6 +83,12 @@ type DB interface {
 	// AutopilotEvents returns the fault timeline the unattended failure
 	// loop recorded; empty with Config.Autopilot off.
 	AutopilotEvents() []FailureEvent
+	// Metrics snapshots the deployment's observability registry —
+	// counters, gauges, latency histograms and the failure/repair event
+	// ring; the zero Snapshot with Config.Metrics off. A sharded
+	// deployment merges its per-shard registries, stamping each event
+	// with its owning shard. Never blocks.
+	Metrics() Metrics
 	// DBSize returns the configured database size — the bound every
 	// offset is validated against.
 	DBSize() int

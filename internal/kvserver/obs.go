@@ -1,0 +1,122 @@
+package kvserver
+
+import (
+	"time"
+
+	"repro/internal/kvwire"
+	"repro/internal/obs"
+)
+
+// Metric names owned by the serving tier. Server latencies are host wall
+// time (real sockets, real syscalls), unlike the replication tier's
+// simulated-time histograms; the two never share a histogram.
+const (
+	// MetricOpLatency is the per-opcode latency prefix; the opcode name
+	// ("put", "get", ...) completes it. Wall ns from parse to sealed
+	// response.
+	MetricOpLatency = "server.op."
+	// MetricWindowOccupancy samples the per-connection response queue
+	// depth at each request (ns-encoded count, like repl.batch.occupancy).
+	MetricWindowOccupancy = "server.window.occupancy"
+	// MetricConnsOpened / MetricConnsClosed count connection churn.
+	MetricConnsOpened = "server.conns.opened"
+	MetricConnsClosed = "server.conns.closed"
+	// Error-taxonomy counters: one per non-OK wire status class.
+	MetricErrNotFound = "server.err.notfound"
+	MetricErrRetry    = "server.err.retry"
+	MetricErrDegraded = "server.err.degraded"
+	MetricErrTerminal = "server.err.terminal"
+	MetricErrBad      = "server.err.bad"
+	// MetricReopens counts successful heals (failover + Reopen).
+	MetricReopens = "server.reopens"
+)
+
+// opNames maps wire opcodes to their metric-name component. Index 0 is
+// unused (opcodes start at 1).
+var opNames = [...]string{
+	kvwire.OpPut:     "put",
+	kvwire.OpGet:     "get",
+	kvwire.OpDelete:  "delete",
+	kvwire.OpScan:    "scan",
+	kvwire.OpTxn:     "txn",
+	kvwire.OpStats:   "stats",
+	kvwire.OpPing:    "ping",
+	kvwire.OpMetrics: "metrics",
+}
+
+// serverObs is the server's attached instrument set; a nil *serverObs
+// means uninstrumented, and every method no-ops — the serving path then
+// never reads the wall clock on the instrumentation's behalf.
+type serverObs struct {
+	reg       *obs.Registry
+	opLat     [len(opNames)]*obs.Hist
+	badOpLat  *obs.Hist // malformed frames have no decodable opcode
+	window    *obs.Hist
+	opened    *obs.Counter
+	closed    *obs.Counter
+	notFound  *obs.Counter
+	retry     *obs.Counter
+	degraded  *obs.Counter
+	terminal  *obs.Counter
+	bad       *obs.Counter
+	reopenCnt *obs.Counter
+}
+
+func newServerObs(reg *obs.Registry) *serverObs {
+	if reg == nil {
+		return nil
+	}
+	o := &serverObs{
+		reg:       reg,
+		badOpLat:  reg.Hist(MetricOpLatency + "bad.latency"),
+		window:    reg.Hist(MetricWindowOccupancy),
+		opened:    reg.Counter(MetricConnsOpened),
+		closed:    reg.Counter(MetricConnsClosed),
+		notFound:  reg.Counter(MetricErrNotFound),
+		retry:     reg.Counter(MetricErrRetry),
+		degraded:  reg.Counter(MetricErrDegraded),
+		terminal:  reg.Counter(MetricErrTerminal),
+		bad:       reg.Counter(MetricErrBad),
+		reopenCnt: reg.Counter(MetricReopens),
+	}
+	for op, name := range opNames {
+		if name != "" {
+			o.opLat[op] = reg.Hist(MetricOpLatency + name + ".latency")
+		}
+	}
+	return o
+}
+
+// observeOp records one executed request: latency under its opcode's
+// histogram (the bad-frame histogram when the opcode never decoded) and
+// the response-queue depth the request saw.
+func (o *serverObs) observeOp(op byte, d time.Duration, queued int) {
+	if o == nil {
+		return
+	}
+	h := o.badOpLat
+	if int(op) < len(o.opLat) && o.opLat[op] != nil {
+		h = o.opLat[op]
+	}
+	h.Record(d)
+	o.window.Record(time.Duration(queued))
+}
+
+func (o *serverObs) connOpened() {
+	if o != nil {
+		o.opened.Inc()
+	}
+}
+
+func (o *serverObs) connClosed() {
+	if o != nil {
+		o.closed.Inc()
+	}
+}
+
+// emit lands one serving-tier event in the ring (host wall time domain).
+func (o *serverObs) emit(kind string, node int, a, b uint64) {
+	if o != nil {
+		o.reg.Emit(kind, time.Now().UnixNano(), node, a, b)
+	}
+}

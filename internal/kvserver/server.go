@@ -40,6 +40,7 @@ import (
 
 	"repro"
 	"repro/internal/kvwire"
+	"repro/internal/obs"
 	"repro/kv"
 )
 
@@ -55,6 +56,14 @@ type Config struct {
 	MaxFrame int
 	// Logf, when set, receives serving-lifecycle log lines.
 	Logf func(format string, args ...any)
+	// Obs, when set, attaches the server's own instruments (per-opcode
+	// latency, window occupancy, connection churn, error taxonomy) to the
+	// registry and routes healer decisions through its event ring. Keep
+	// it distinct from the deployment's registry (repro.Config.Metrics):
+	// OpMetrics responses merge the two, so sharing one would double-
+	// count. Nil (the default) leaves the serving path uninstrumented —
+	// it then never reads the wall clock on instrumentation's behalf.
+	Obs *obs.Registry
 }
 
 // Server serves one kv.Store over any number of listeners.
@@ -65,6 +74,7 @@ type Server struct {
 	window   int
 	maxFrame int
 	logf     func(string, ...any)
+	obs      *serverObs // nil when uninstrumented
 
 	mu       sync.Mutex
 	lns      map[net.Listener]struct{}
@@ -102,6 +112,7 @@ func New(store *kv.Store, cfg Config) *Server {
 		window:   cfg.Window,
 		maxFrame: cfg.MaxFrame,
 		logf:     cfg.Logf,
+		obs:      newServerObs(cfg.Obs),
 		lns:      make(map[net.Listener]struct{}),
 		conns:    make(map[net.Conn]struct{}),
 		healCh:   make(chan struct{}, 1),
@@ -145,6 +156,7 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[c] = struct{}{}
 		s.connWg.Add(1)
 		s.mu.Unlock()
+		s.obs.connOpened()
 		go s.handleConn(c)
 	}
 }
@@ -218,6 +230,18 @@ func (s *Server) Stats() kvwire.Stats {
 	}
 }
 
+// Metrics merges the served deployment's metrics snapshot with the
+// server's own registry (the payload of an OpMetrics request and the
+// source of the Prometheus text endpoint). Empty when neither layer is
+// instrumented.
+func (s *Server) Metrics() obs.Snapshot {
+	snap := s.db.Metrics()
+	if s.obs != nil {
+		snap.Merge(s.obs.reg.Snapshot())
+	}
+	return snap
+}
+
 func (s *Server) isDraining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -233,6 +257,7 @@ func (s *Server) handleConn(c net.Conn) {
 		delete(s.conns, c)
 		s.mu.Unlock()
 		c.Close()
+		s.obs.connClosed()
 		s.connWg.Done()
 	}()
 
@@ -271,11 +296,23 @@ func (s *Server) handleConn(c net.Conn) {
 		if err != nil {
 			if errors.Is(err, kvwire.ErrFrame) {
 				s.badFrames.Add(1)
+				if s.obs != nil {
+					s.obs.bad.Inc()
+				}
 				out <- kvwire.AppendMsg(kvwire.GetBuf(), kvwire.StatusBad, err.Error())
 			}
 			break
 		}
+		var start time.Time
+		if s.obs != nil {
+			start = time.Now()
+		}
 		resp, fatal := s.execute(buf, &req, &sess)
+		if s.obs != nil {
+			// Queue depth before this response enqueues: the occupancy the
+			// request found, 0..window-1.
+			s.obs.observeOp(req.Op, time.Since(start), len(out))
+		}
 		out <- resp
 		if fatal {
 			break
@@ -325,6 +362,9 @@ func (s *Server) execute(frame []byte, req *kvwire.Request, sess *session) (resp
 	s.ops.Add(1)
 	if err := kvwire.ParseRequest(frame, req); err != nil {
 		s.badFrames.Add(1)
+		if s.obs != nil {
+			s.obs.bad.Inc()
+		}
 		return kvwire.AppendMsg(kvwire.GetBuf(), kvwire.StatusBad, err.Error()), true
 	}
 	switch req.Op {
@@ -397,6 +437,15 @@ func (s *Server) execute(frame []byte, req *kvwire.Request, sess *session) (resp
 
 	case kvwire.OpPing:
 		return kvwire.AppendEmpty(kvwire.GetBuf(), kvwire.StatusOK), false
+
+	case kvwire.OpMetrics:
+		data, err := json.Marshal(s.Metrics())
+		if err != nil {
+			return s.errResp(err), false
+		}
+		buf := kvwire.BeginFrame(kvwire.GetBuf(), kvwire.StatusOK)
+		buf = append(buf, data...)
+		return kvwire.EndFrame(buf), false
 	}
 	// Unreachable: ParseRequest rejects unknown opcodes.
 	return kvwire.AppendMsg(kvwire.GetBuf(), kvwire.StatusBad, "unhandled opcode"), true
@@ -431,17 +480,29 @@ func (s *Server) executeTxn(ops []kvwire.Op) error {
 func (s *Server) errResp(err error) []byte {
 	switch {
 	case errors.Is(err, kv.ErrNotFound):
+		if s.obs != nil {
+			s.obs.notFound.Inc()
+		}
 		return kvwire.AppendEmpty(kvwire.GetBuf(), kvwire.StatusNotFound)
 	case errors.Is(err, kv.ErrBroken), errors.Is(err, repro.ErrCrashed), errors.Is(err, repro.ErrLeaseExpired):
 		// The serving deployment crashed under the store (or this node
 		// was deposed): retryable. Kick the healer; the client backs
 		// off and retries against the same address.
 		s.retries.Add(1)
+		if s.obs != nil {
+			s.obs.retry.Inc()
+		}
 		s.triggerHeal()
 		return kvwire.AppendMsg(kvwire.GetBuf(), kvwire.StatusRetry, "failing over; retry")
 	case errors.Is(err, repro.ErrSafetyUnavailable):
+		if s.obs != nil {
+			s.obs.degraded.Inc()
+		}
 		return kvwire.AppendMsg(kvwire.GetBuf(), kvwire.StatusDegraded, err.Error())
 	default:
+		if s.obs != nil {
+			s.obs.terminal.Inc()
+		}
 		return kvwire.AppendMsg(kvwire.GetBuf(), kvwire.StatusErr, err.Error())
 	}
 }
@@ -471,17 +532,21 @@ func (s *Server) healLoop() {
 		case <-s.healCh:
 		}
 		backoff := healBackoffBase
-		for {
+		for attempt := 1; ; attempt++ {
 			select {
 			case <-s.done:
 				return
 			default:
 			}
 			if s.tryHeal() {
+				s.obs.emit(obs.EventHealed, 0, uint64(attempt), 0)
 				break
 			}
 			var sleep time.Duration
 			sleep, backoff = nextBackoff(backoff, rng)
+			// The retry decision lands in the event ring: attempt ordinal
+			// in A, the jittered backoff (ns) in B.
+			s.obs.emit(obs.EventHealRetry, 0, uint64(attempt), uint64(sleep))
 			time.Sleep(sleep)
 		}
 	}
@@ -535,6 +600,9 @@ func (s *Server) tryHeal() bool {
 		return false
 	}
 	s.reopens.Add(1)
+	if s.obs != nil {
+		s.obs.reopenCnt.Inc()
+	}
 	s.logf("kvserver: store reopened on the promoted survivor (%d live keys)", s.store.Len())
 	return true
 }

@@ -1,0 +1,32 @@
+package kvwire
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestMetricsFrame: the METRICS request is an empty-payload frame with an
+// optional flags byte, evolving exactly like the read-consistency tail —
+// absent or zero parses, any assigned bit from a future revision is
+// refused rather than misread.
+func TestMetricsFrame(t *testing.T) {
+	var req Request
+
+	frame := AppendEmpty(GetBuf(), OpMetrics)
+	if err := ParseRequest(frame[4:], &req); err != nil {
+		t.Fatalf("parse METRICS: %v", err)
+	}
+	if req.Op != OpMetrics {
+		t.Fatalf("op = %d, want OpMetrics", req.Op)
+	}
+
+	// An explicit flags 0 byte is the same request.
+	if err := ParseRequest([]byte{OpMetrics, 0}, &req); err != nil {
+		t.Fatalf("parse flags-0 METRICS: %v", err)
+	}
+
+	// Unknown flag bits are a future protocol revision: refuse.
+	if err := ParseRequest([]byte{OpMetrics, 1 << 3}, &req); !errors.Is(err, ErrFrame) {
+		t.Fatalf("unknown metrics flag accepted: %v", err)
+	}
+}

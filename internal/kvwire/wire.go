@@ -26,6 +26,11 @@
 //	         u16 klen, key, and for puts u32 vlen, value
 //	OpStats  empty
 //	OpPing   empty
+//	OpMetrics empty [, u8 flags] — the optional flags byte reserves room
+//	         for future scrape filters exactly like the read flags tail:
+//	         no bits are assigned yet, so a frame ending at the opcode is
+//	         flags 0 and any set bit is rejected as malformed (an old
+//	         server visibly refuses new-client extensions)
 //
 // # Read flags tail
 //
@@ -49,6 +54,8 @@
 //
 //	StatusOK        Get: value. Scan: u32 n, then n × (u16 klen, key,
 //	                u32 vlen, value). Stats: JSON-encoded Stats.
+//	                Metrics: JSON-encoded obs.Snapshot (the deployment's
+//	                merged metrics registry plus the server's own).
 //	                Put/Delete/Txn: empty, or a commit token (u8 length
 //	                n, n × u64) — the session floor for read-your-writes
 //	                reads. Clients that don't track tokens ignore the
@@ -95,6 +102,7 @@ const (
 	OpTxn
 	OpStats
 	OpPing
+	OpMetrics
 )
 
 // Response status codes.
@@ -560,6 +568,19 @@ func ParseRequest(body []byte, req *Request) error {
 		}
 	case OpStats, OpPing:
 		// No payload.
+	case OpMetrics:
+		// No base payload; the optional flags byte reserves room for
+		// future scrape filters. No bits are assigned yet, so only a
+		// zero flags byte (or none at all) parses.
+		if r.off < len(r.b) {
+			flags, err := r.u8()
+			if err != nil {
+				return err
+			}
+			if flags != 0 {
+				return fmt.Errorf("%w: unknown metrics flags %#x", ErrFrame, flags)
+			}
+		}
 	default:
 		return fmt.Errorf("%w: unknown opcode %d", ErrFrame, op)
 	}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricName(t *testing.T) {
+	good := []string{"a", "repl.commit.latency.quorum", "server.op.put", "x_y.z9"}
+	bad := []string{"", "Repl.commit", "9abc", "_x", "repl-commit", "repl commit", "répl"}
+	for _, n := range good {
+		if !MetricName(n) {
+			t.Errorf("MetricName(%q) = false, want true", n)
+		}
+	}
+	for _, n := range bad {
+		if MetricName(n) {
+			t.Errorf("MetricName(%q) = true, want false", n)
+		}
+	}
+}
+
+func TestRegistryNilSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(3)
+	r.Hist("c").Record(time.Millisecond)
+	r.Emit(EventFailover, 1, 0, 2, 3)
+	r.Reset()
+	if s := r.Snapshot(); !s.Empty() {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+	if n := r.Names(); n != nil {
+		t.Fatalf("nil registry names: %v", n)
+	}
+}
+
+func TestRegistryRegisterAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("repl.commit.txns")
+	c.Add(41)
+	c.Inc()
+	if c2 := r.Counter("repl.commit.txns"); c2 != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	r.Gauge("repl.backup0.lag").Set(-7)
+	r.Hist("repl.flush.latency").Record(2 * time.Millisecond)
+	r.Emit(EventEpochBump, 100, 1, 2, 0)
+
+	s := r.Snapshot()
+	if s.Counter("repl.commit.txns") != 42 {
+		t.Fatalf("counter = %d", s.Counter("repl.commit.txns"))
+	}
+	if s.Gauge("repl.backup0.lag") != -7 {
+		t.Fatalf("gauge = %d", s.Gauge("repl.backup0.lag"))
+	}
+	if s.Hist("repl.flush.latency").Count != 1 {
+		t.Fatalf("hist count = %d", s.Hist("repl.flush.latency").Count)
+	}
+	if ev := s.EventsKind(EventEpochBump); len(ev) != 1 || ev[0].A != 2 || ev[0].Node != 1 {
+		t.Fatalf("events = %+v", ev)
+	}
+	want := []string{"repl.backup0.lag", "repl.commit.txns", "repl.flush.latency"}
+	got := r.Names()
+	if len(got) != len(want) {
+		t.Fatalf("names = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRegistryPanicsOnBadNames(t *testing.T) {
+	r := NewRegistry()
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("no panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { r.Counter("Bad-Name") })
+	r.Counter("dup.name")
+	mustPanic(func() { r.Gauge("dup.name") }) // cross-kind clash
+	mustPanic(func() { r.Hist("dup.name") })
+}
+
+// TestRegistryReset: counters and histograms clear, gauges and the
+// event ring survive, and the window epoch stamps the next snapshot.
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(5)
+	r.Gauge("g").Set(9)
+	r.Hist("h").Record(time.Second)
+	r.Emit(EventFailover, 7, 0, 1, 0)
+	r.Reset()
+	s := r.Snapshot()
+	if s.Window != 1 {
+		t.Fatalf("window = %d, want 1", s.Window)
+	}
+	if s.Counter("c") != 0 || s.Hist("h").Count != 0 {
+		t.Fatalf("counter/hist survived reset: %+v", s)
+	}
+	if s.Gauge("g") != 9 {
+		t.Fatalf("gauge cleared by reset: %d", s.Gauge("g"))
+	}
+	if len(s.Events) != 1 {
+		t.Fatalf("event ring cleared by reset: %d events", len(s.Events))
+	}
+}
+
+// TestRingWrap: a ring past capacity keeps the newest RingSize events
+// with monotone sequence numbers.
+func TestRingWrap(t *testing.T) {
+	var r Ring
+	const n = RingSize + 100
+	for i := 0; i < n; i++ {
+		r.Emit(EventWALFsync, int64(i), -1, uint64(i), 0)
+	}
+	if r.Len() != RingSize {
+		t.Fatalf("len = %d", r.Len())
+	}
+	ev := r.Snapshot(nil)
+	if len(ev) != RingSize {
+		t.Fatalf("snapshot len = %d", len(ev))
+	}
+	if ev[0].Seq != n-RingSize || ev[len(ev)-1].Seq != n-1 {
+		t.Fatalf("seq range [%d, %d], want [%d, %d]", ev[0].Seq, ev[len(ev)-1].Seq, n-RingSize, n-1)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("gap at %d", i)
+		}
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("ops").Add(10)
+	a.Gauge("lag").Set(3)
+	a.Hist("lat").Record(time.Millisecond)
+	b := NewRegistry()
+	b.Counter("ops").Add(5)
+	b.Counter("errs").Add(1)
+	b.Gauge("lag").Set(4)
+	b.Hist("lat").Record(3 * time.Millisecond)
+	b.Emit(EventFailover, 9, 2, 0, 0)
+
+	s := a.Snapshot()
+	sb := b.Snapshot()
+	for i := range sb.Events {
+		sb.Events[i].Shard = 1
+	}
+	s.Merge(sb)
+	if s.Counter("ops") != 15 || s.Counter("errs") != 1 {
+		t.Fatalf("merged counters: %+v", s.Counters)
+	}
+	if s.Gauge("lag") != 7 {
+		t.Fatalf("merged gauge = %d", s.Gauge("lag"))
+	}
+	if h := s.Hist("lat"); h.Count != 2 || time.Duration(h.Sum) != 4*time.Millisecond {
+		t.Fatalf("merged hist: %+v", h)
+	}
+	if ev := s.EventsKind(EventFailover); len(ev) != 1 || ev[0].Shard != 1 {
+		t.Fatalf("merged events: %+v", s.Events)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.ops.put").Add(3)
+	r.Gauge("repl.backup0.lag").Set(2)
+	h := r.Hist("server.op.put.latency")
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE server_ops_put counter\nserver_ops_put 3\n",
+		"# TYPE repl_backup0_lag gauge\nrepl_backup0_lag 2\n",
+		"# TYPE server_op_put_latency summary\n",
+		"server_op_put_latency{quantile=\"0.5\"} ",
+		"server_op_put_latency_count 100\n",
+		"obs_window 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, ".") && strings.Contains(out, "# TYPE server.ops") {
+		t.Fatal("unmangled metric name leaked into prometheus output")
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/detect"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -253,6 +254,7 @@ func (g *Group) bumpEpochLocked() {
 			b.epoch = g.epoch
 		}
 	}
+	g.emit(obs.EventEpochBump, -1, uint64(g.epoch), 0)
 }
 
 // ackEligibleLocked reports whether backup b's acknowledgements count
@@ -304,6 +306,13 @@ func (g *Group) autopilotPumpLocked() {
 		}
 	}
 	for _, tr := range a.det.Tick(now) {
+		if g.obs != nil && (tr.To == detect.Suspect || tr.To == detect.Dead) {
+			kind := obs.EventDetectSuspect
+			if tr.To == detect.Dead {
+				kind = obs.EventDetectDead
+			}
+			g.obs.reg.Emit(kind, int64(tr.At), g.nodeIndexLocked(tr.Peer), uint64(g.epoch), 0)
+		}
 		if tr.To != detect.Dead || tr.Peer == g.primary.Name {
 			continue
 		}
@@ -323,6 +332,17 @@ func (g *Group) autopilotPumpLocked() {
 		}
 		g.autoRepairLocked()
 	}
+}
+
+// nodeIndexLocked maps a watched peer name to its event-ring node
+// index: the backup's slot, or -1 for the primary (and unknown names).
+func (g *Group) nodeIndexLocked(name string) int {
+	for i, b := range g.backups {
+		if b.node.Name == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // backupByNameLocked finds the backup with the given node name.
@@ -366,6 +386,12 @@ func (g *Group) autoFailoverLocked() error {
 	detectAt := a.det.DeadlineFor(g.primary.Name)
 	if detectAt < a.crashedAt {
 		detectAt = a.crashedAt
+	}
+	// The crashed primary never crosses det.Tick (admission notices the
+	// corpse first), so record the detector's verdict here: the trace
+	// reads detect.dead → failover for unattended takeovers too.
+	if g.obs != nil {
+		g.obs.reg.Emit(obs.EventDetectDead, int64(detectAt), -1, uint64(g.epoch), 0)
 	}
 	ev := FailureEvent{
 		Kind:       "primary",
@@ -470,6 +496,7 @@ func (g *Group) admitLocked() error {
 		return g.autoFailoverLocked()
 	}
 	if !a.lease.Valid(g.primary.Clock.Now()) {
+		g.emit(obs.EventLeaseExpired, -1, uint64(g.epoch), 0)
 		return ErrLeaseExpired
 	}
 	return nil

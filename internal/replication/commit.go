@@ -324,6 +324,12 @@ func (g *Group) flushLocked() error {
 	if g.batchCount == 0 {
 		return nil
 	}
+	batch := g.batchCount
+	opened := int64(g.batchStart)
+	sealed := int64(0)
+	if g.obs != nil {
+		sealed = int64(g.primary.Clock.Now())
+	}
 	g.batchCount = 0
 	g.batchStart = 0
 	var err error
@@ -338,6 +344,9 @@ func (g *Group) flushLocked() error {
 	// outranks a disk error in the return.
 	if derr := g.durFlushLocked(); err == nil {
 		err = derr
+	}
+	if g.obs != nil && err == nil {
+		g.observeFlush(batch, opened, sealed, int64(g.primary.Clock.Now()))
 	}
 	return err
 }

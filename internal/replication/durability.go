@@ -40,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/obs"
 	"repro/internal/vista"
 	"repro/internal/wal"
 )
@@ -153,6 +154,10 @@ type durable struct {
 	// dead marks a power-failed (or closed) tier: every hook is inert.
 	dead bool
 
+	// reg is the deployment's metrics registry (nil when uninstrumented);
+	// lazily opened replicas attach to it.
+	reg *obs.Registry
+
 	// tails records each replica's live segment at the PowerFail instant.
 	tails []WALTail
 
@@ -190,6 +195,7 @@ func (d *durable) replica(slot int) (*wal.Replica, error) {
 		if err != nil {
 			return nil, err
 		}
+		r.Attach(d.reg, slot)
 		d.reps[slot] = r
 	}
 	return d.reps[slot], nil
@@ -444,7 +450,7 @@ func (g *Group) initDurability() error {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return fmt.Errorf("replication: %w", err)
 	}
-	d := &durable{cfg: cfg}
+	d := &durable{cfg: cfg, reg: g.cfg.Obs}
 
 	// Slot 0 is the serving node, 1..B the initial backups. Extra node
 	// directories left by a previous incarnation's spare enrollments
@@ -476,6 +482,10 @@ func (g *Group) initDurability() error {
 		}
 		results[i] = res
 		d.recovery.TruncatedBytes += res.TruncatedBytes
+		if g.obs != nil && res.TruncatedBytes > 0 {
+			g.obs.truncBytes.Add(uint64(res.TruncatedBytes))
+			g.emit(obs.EventWALTruncate, i, uint64(res.TruncatedBytes), 0)
+		}
 		if res.MaxEra > maxEra {
 			maxEra = res.MaxEra
 		}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/detect"
 	"repro/internal/mem"
 	"repro/internal/memchannel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vista"
 )
@@ -74,6 +75,10 @@ type Group struct {
 	// dur is the per-replica disk tier (redo WAL + snapshots); nil unless
 	// Config.Durability enables it.
 	dur *durable
+
+	// obs is the group's pre-registered instrument set; nil unless
+	// Config.Obs attaches a registry (see obs.go).
+	obs *groupObs
 
 	// Online-repair state: the in-flight joins and the aggregate summary
 	// RepairStatus reports (see recovery.go).
@@ -180,6 +185,7 @@ func NewGroup(cfg Config) (*Group, error) {
 
 	g := &Group{cfg: cfg, params: params}
 	g.txFree = sync.NewCond(&g.mu)
+	g.obs = newGroupObs(cfg.Obs, cfg)
 
 	specs, err := vista.Layout(cfg.Store)
 	if err != nil {
@@ -415,6 +421,15 @@ func (g *Group) ResetMeasurement() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.resetMeasurementLocked()
+	// The obs registry's window resets with the sim counters (and
+	// atomically with respect to scrapes — Registry.Reset serializes
+	// against Snapshot), so scrape deltas straddling the cut are
+	// detectable via Snapshot.Window. Only the explicit public reset
+	// does this: the internal resetMeasurementLocked call a failover
+	// makes must NOT erase the observability record of the incident.
+	if g.obs != nil {
+		g.obs.reg.Reset()
+	}
 }
 
 func (g *Group) resetMeasurementLocked() {
@@ -474,7 +489,11 @@ func (g *Group) NetBytes() map[mem.Category]int64 {
 func (g *Group) Read(off int, dst []byte) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return g.store.Read(off, dst)
+	err := g.store.Read(off, dst)
+	if g.obs != nil && err == nil {
+		g.obs.readPrimary.Inc()
+	}
+	return err
 }
 
 // ReadRaw copies database bytes without charging simulated time,
@@ -575,13 +594,14 @@ func (g *Group) failoverLocked() (*vista.Store, error) {
 	// Pick the most-caught-up promotable survivor.
 	var best *backup
 	var bestProgress uint64
-	for _, b := range g.backups {
+	promoted := -1
+	for i, b := range g.backups {
 		if !b.promotable() {
 			continue
 		}
 		p := g.backupProgress(b)
 		if best == nil || p > bestProgress {
-			best, bestProgress = b, p
+			best, bestProgress, promoted = b, p, i
 		}
 	}
 	if best == nil {
@@ -646,6 +666,7 @@ func (g *Group) failoverLocked() (*vista.Store, error) {
 	// The serving clock changed machines: re-pin the measured interval so
 	// Elapsed never mixes the old primary's timeline with the new one.
 	g.resetMeasurementLocked()
+	g.emit(obs.EventFailover, promoted, uint64(g.epoch), uint64(g.generation))
 	return st, nil
 }
 

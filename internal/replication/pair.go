@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vista"
 )
@@ -146,6 +147,13 @@ type Config struct {
 	// value disables it: no files are written and the simulation's
 	// metrics are bit-for-bit those of a purely memory-replicated group.
 	Durability DurabilityConfig
+	// Obs attaches a metrics registry and event ring (see internal/obs
+	// and obs.go): commit/flush latency histograms, read-routing
+	// counters, per-backup lag gauges, and failover/repair/WAL traces.
+	// Nil (the default) disables the whole layer: no instrument is
+	// registered, no event is emitted, and the simulated metrics are
+	// bit-for-bit those of an unobserved group.
+	Obs *obs.Registry
 }
 
 // TxHandle is the transactional surface shared by all modes; vista.Tx

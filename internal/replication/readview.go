@@ -163,10 +163,14 @@ func (g *Group) RouteRead(off int, dst []byte, spec ReadSpec) (ReadResult, error
 	primary := g.store.Committed()
 
 	if spec.Replica > 0 {
-		return g.pinnedReadLocked(off, dst, spec, primary)
+		res, err := g.pinnedReadLocked(off, dst, spec, primary)
+		g.observeRoute(res, err, spec.Mode)
+		return res, err
 	}
 	if spec.Mode == ReadPrimary || g.redo == nil || len(g.backups) == 0 {
-		return g.primaryReadLocked(off, dst, primary)
+		res, err := g.primaryReadLocked(off, dst, primary)
+		g.observeRoute(res, err, ReadPrimary)
+		return res, err
 	}
 	switch spec.Mode {
 	case ReadYourWrites, ReadBounded:
@@ -190,15 +194,44 @@ func (g *Group) RouteRead(off int, dst []byte, spec ReadSpec) (ReadResult, error
 			if err := g.readBackupLocked(b, off, dst); err != nil {
 				return ReadResult{}, err
 			}
-			return ReadResult{Replica: r + 1, Seq: seq, Primary: primary}, nil
+			res := ReadResult{Replica: r + 1, Seq: seq, Primary: primary}
+			g.observeRoute(res, nil, spec.Mode)
+			return res, nil
 		}
 		// No backup can satisfy the mode right now (all lagging, fenced,
 		// or mid-join): the primary trivially can.
-		return g.primaryReadLocked(off, dst, primary)
+		res, err := g.primaryReadLocked(off, dst, primary)
+		g.observeRoute(res, err, spec.Mode)
+		return res, err
 	case ReadQuorum:
-		return g.quorumReadLocked(off, dst, primary)
+		res, err := g.quorumReadLocked(off, dst, primary)
+		g.observeRoute(res, err, spec.Mode)
+		return res, err
 	default:
-		return g.primaryReadLocked(off, dst, primary)
+		res, err := g.primaryReadLocked(off, dst, primary)
+		g.observeRoute(res, err, ReadPrimary)
+		return res, err
+	}
+}
+
+// observeRoute counts one routed read's outcome: a replica serve, a
+// primary serve by choice, or a primary fallback under a replica-seeking
+// mode. Quorum-read repair pumps count separately.
+func (g *Group) observeRoute(res ReadResult, err error, mode ReadMode) {
+	o := g.obs
+	if o == nil || err != nil {
+		return
+	}
+	switch {
+	case res.Replica > 0:
+		o.readReplica.Inc()
+	case mode == ReadPrimary:
+		o.readPrimary.Inc()
+	default:
+		o.readFallback.Inc()
+	}
+	if res.Repaired > 0 {
+		o.readRepaired.Add(uint64(res.Repaired))
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/mem"
 	"repro/internal/memchannel"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/vista"
 )
@@ -390,6 +391,7 @@ func (g *Group) startJoinLocked(b *backup, epochs map[string]uint64) {
 	}
 	b.job = j
 	g.jobs = append(g.jobs, j)
+	g.emit(obs.EventRepairStart, g.nodeIndexLocked(b.node.Name), uint64(j.planned), 0)
 }
 
 // abortJobLocked cancels backup b's in-flight join (pause or crash landed
@@ -406,6 +408,7 @@ func (g *Group) abortJobLocked(b *backup) {
 		}
 	}
 	b.job = nil
+	g.emit(obs.EventRepairAbort, g.nodeIndexLocked(b.node.Name), 0, 0)
 	g.finishRepairIfIdleLocked()
 }
 
@@ -513,6 +516,7 @@ func (g *Group) pumpJobLocked(j *repairJob, now sim.Time, sync, charged bool) {
 		if j.copyDone() {
 			if g.redo != nil {
 				b.setState(StateCatchingUp)
+				g.emit(obs.EventRepairCatchup, g.nodeIndexLocked(b.node.Name), uint64(j.shipped), 0)
 			} else {
 				// Passive cut-over: the live stream has covered every
 				// page written since the attach, so the copy already
@@ -550,6 +554,7 @@ func (g *Group) cutOverLocked(b *backup) {
 	b.epoch = g.epoch // full member of the current era from this instant
 	b.setState(StateInSync)
 	g.durActivateBackupLocked(b)
+	g.emit(obs.EventRepairCutover, g.nodeIndexLocked(b.node.Name), uint64(g.epoch), 0)
 }
 
 // finishRepairIfIdleLocked closes the repair summary once the last join

@@ -1,121 +1,11 @@
 package tpc
 
-import (
-	"math/bits"
-	"sync/atomic"
-	"time"
-)
+import "repro/internal/obs"
 
-// Hist is a concurrency-safe log-bucketed latency histogram: the shared
-// wall-clock latency instrument of the serving stack (cmd/kvload, the
-// kvserver tests and any driver that wants client-observed percentiles).
-// Values are recorded in nanoseconds into buckets of ~3% relative width
-// (32 sub-buckets per power of two), so a p999 read out of the histogram
-// is within a few percent of the exact order statistic while Record stays
-// a single atomic add — cheap enough to call from thousands of client
-// goroutines without coordinating.
-//
-// The zero value is ready to use. Record, Count, Sum, Percentile and
-// Merge may be called concurrently; percentiles read a live histogram
-// with no snapshot (fine for reporting after the workers have joined).
-type Hist struct {
-	counts [histBuckets]atomic.Uint64
-	count  atomic.Uint64
-	sum    atomic.Uint64 // nanoseconds
-}
-
-// Bucketing: values below histSub land in linear buckets [0, histSub);
-// larger values are normalized to a mantissa in [histSub, 2*histSub) and
-// indexed by (exponent, mantissa).
-const (
-	histSubBits = 5
-	histSub     = 1 << histSubBits             // 32 sub-buckets per power of two
-	histBuckets = histSub * (64 - histSubBits) // covers the full uint64 range
-)
-
-// histIndex maps a nanosecond value to its bucket.
-func histIndex(v uint64) int {
-	if v < histSub {
-		return int(v)
-	}
-	exp := bits.Len64(v) - histSubBits - 1 // v>>exp is in [histSub, 2*histSub)
-	return exp*histSub + int(v>>exp)
-}
-
-// histValue returns the inclusive upper edge of bucket i — the value a
-// percentile read reports for samples in that bucket.
-func histValue(i int) uint64 {
-	if i < histSub {
-		return uint64(i)
-	}
-	exp := i/histSub - 1
-	mant := uint64(i%histSub) + histSub
-	return (mant+1)<<exp - 1
-}
-
-// Record adds one latency sample.
-func (h *Hist) Record(d time.Duration) {
-	ns := uint64(0)
-	if d > 0 {
-		ns = uint64(d)
-	}
-	h.counts[histIndex(ns)].Add(1)
-	h.count.Add(1)
-	h.sum.Add(ns)
-}
-
-// Count returns the number of recorded samples.
-func (h *Hist) Count() uint64 { return h.count.Load() }
-
-// Sum returns the total of all recorded samples.
-func (h *Hist) Sum() time.Duration { return time.Duration(h.sum.Load()) }
-
-// Mean returns the average recorded latency (0 with no samples).
-func (h *Hist) Mean() time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum.Load() / n)
-}
-
-// Percentile returns the latency at quantile q in [0, 1] — Percentile(0.5)
-// is the median, Percentile(0.999) the p999 — with the ~3% relative
-// resolution of the bucketing. Returns 0 with no samples.
-func (h *Hist) Percentile(q float64) time.Duration {
-	n := h.count.Load()
-	if n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	// The rank of the q-th order statistic, 1-based.
-	rank := uint64(q*float64(n-1)) + 1
-	var cum uint64
-	for i := range h.counts {
-		c := h.counts[i].Load()
-		if c == 0 {
-			continue
-		}
-		cum += c
-		if cum >= rank {
-			return time.Duration(histValue(i))
-		}
-	}
-	return time.Duration(histValue(histBuckets - 1))
-}
-
-// Merge folds other's samples into h.
-func (h *Hist) Merge(other *Hist) {
-	for i := range other.counts {
-		if c := other.counts[i].Load(); c != 0 {
-			h.counts[i].Add(c)
-		}
-	}
-	h.count.Add(other.count.Load())
-	h.sum.Add(other.sum.Load())
-}
+// Hist is the shared wall-clock latency histogram of the serving stack
+// (cmd/kvload, the kvserver tests and any driver that wants
+// client-observed percentiles). The implementation was promoted into
+// internal/obs — the deployment-wide metrics registry records into the
+// same log-bucketed histogram — and this alias keeps existing drivers
+// compiling unchanged.
+type Hist = obs.Hist

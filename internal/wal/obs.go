@@ -1,0 +1,76 @@
+package wal
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric names owned by internal/wal. Unlike the replication tier's
+// simulated-time histograms, fsync latency here is *host wall time*:
+// the WAL is real files and real fdatasync calls, so the latency is the
+// actual storage stack's. (wal.truncate.bytes, the torn-tail recovery
+// counter, is registered by the replication tier's recovery path, which
+// owns the RecoveryInfo.)
+const (
+	MetricFsyncLatency = "wal.fsync.latency" // hist, wall ns per disk-touching Sync
+	MetricFsyncBytes   = "wal.fsync.bytes"   // counter, segment bytes made durable
+	MetricFsyncs       = "wal.fsyncs"        // counter, disk-touching Syncs
+	MetricRotations    = "wal.rotations"     // counter, checkpoint rotations
+)
+
+// fsyncSampleEvery thins EventWALFsync emissions: the first sync and
+// every 1024th land in the event ring (the histogram keeps full
+// resolution; the ring is for timeline shape, not per-call records).
+const fsyncSampleEvery = 1024
+
+// walObs is a replica's attached instrument set; nil means
+// uninstrumented — Sync and Checkpoint then never read the wall clock,
+// keeping the bare path byte-identical to the pre-observability tier.
+type walObs struct {
+	reg       *obs.Registry
+	node      int
+	lat       *obs.Hist
+	bytes     *obs.Counter
+	fsyncs    *obs.Counter
+	rotations *obs.Counter
+}
+
+// Attach instruments the replica on reg; node identifies the replica in
+// emitted events (the replication tier's replica index). All replicas
+// of a deployment share the same metric names — the registry hands back
+// the same instruments — so the histograms aggregate across the group.
+// A nil reg detaches.
+func (r *Replica) Attach(reg *obs.Registry, node int) {
+	if reg == nil {
+		r.obs = nil
+		return
+	}
+	r.obs = &walObs{
+		reg:       reg,
+		node:      node,
+		lat:       reg.Hist(MetricFsyncLatency),
+		bytes:     reg.Counter(MetricFsyncBytes),
+		fsyncs:    reg.Counter(MetricFsyncs),
+		rotations: reg.Counter(MetricRotations),
+	}
+}
+
+// observeSync records one disk-touching Sync: latency, the newly
+// durable byte span, and a sampled ring event.
+func (o *walObs) observeSync(start time.Time, newBytes int64, seq uint64) {
+	o.lat.Record(time.Since(start))
+	if newBytes > 0 {
+		o.bytes.Add(uint64(newBytes))
+	}
+	o.fsyncs.Inc()
+	if n := o.fsyncs.Value(); n == 1 || n%fsyncSampleEvery == 0 {
+		o.reg.Emit(obs.EventWALFsync, time.Now().UnixNano(), o.node, seq, uint64(newBytes))
+	}
+}
+
+// observeRotate records one checkpoint rotation.
+func (o *walObs) observeRotate(seq uint64) {
+	o.rotations.Inc()
+	o.reg.Emit(obs.EventWALRotate, time.Now().UnixNano(), o.node, seq, 0)
+}

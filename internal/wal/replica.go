@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 )
 
 // Replica is one node's durability writer: an open WAL segment plus the
@@ -33,6 +34,10 @@ type Replica struct {
 	// aborts the operation mid-flight, simulating a crash at that
 	// instant. Test-only.
 	Hook func(op string) error
+
+	// obs is the attached instrument set (see Attach); nil when
+	// uninstrumented.
+	obs *walObs
 }
 
 // NewReplica opens (creating if needed) a replica durability directory.
@@ -130,6 +135,10 @@ func (r *Replica) Sync() error {
 	if err := r.hook("sync"); err != nil {
 		return err
 	}
+	var start time.Time
+	if r.obs != nil {
+		start = time.Now()
+	}
 	if len(r.pending) > 0 {
 		n, err := r.f.Write(r.pending)
 		r.size += int64(n)
@@ -141,8 +150,12 @@ func (r *Replica) Sync() error {
 	if err := r.f.Sync(); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
+	newBytes := r.size - r.syncedB
 	r.syncedB = r.size
 	r.synced = r.seq
+	if r.obs != nil {
+		r.obs.observeSync(start, newBytes, r.synced)
+	}
 	return nil
 }
 
@@ -198,6 +211,9 @@ func (r *Replica) Checkpoint(era uint32, seq uint64, data []byte) error {
 	}
 	if err := r.openSegment(era, seq); err != nil {
 		return err
+	}
+	if r.obs != nil {
+		r.obs.observeRotate(seq)
 	}
 	if err := r.hook("rotate-before-delete"); err != nil {
 		return err

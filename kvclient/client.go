@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/kvwire"
+	"repro/internal/obs"
 )
 
 // Client errors.
@@ -156,6 +157,11 @@ type Op struct {
 
 // Stats mirrors the server's OpStats document.
 type Stats = kvwire.Stats
+
+// Metrics mirrors the server's OpMetrics document: the served
+// deployment's observability snapshot merged with the server's own
+// instruments (the same type repro.Metrics aliases).
+type Metrics = obs.Snapshot
 
 // Client is a pooled, pipelining kvserver client. Safe for concurrent
 // use.
@@ -367,6 +373,19 @@ func (c *Client) Stats() (Stats, error) {
 		func(buf []byte) []byte { return kvwire.AppendEmpty(buf, kvwire.OpStats) },
 		func(body []byte) error { return json.Unmarshal(body, &st) })
 	return st, err
+}
+
+// Metrics fetches the server's merged observability snapshot: per-opcode
+// latency histograms, the deployment's commit/WAL/read-route instruments
+// and the failure/repair event ring. Empty when neither the server nor
+// the deployment behind it is instrumented. Old servers reject the
+// opcode as malformed, which surfaces as a terminal ServerError.
+func (c *Client) Metrics() (Metrics, error) {
+	var m Metrics
+	_, err := c.do(
+		func(buf []byte) []byte { return kvwire.AppendEmpty(buf, kvwire.OpMetrics) },
+		func(body []byte) error { return json.Unmarshal(body, &m) })
+	return m, err
 }
 
 // Ping round-trips an empty frame.

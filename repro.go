@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/vista"
@@ -280,6 +281,17 @@ type Config struct {
 	// simulated metric is bit-for-bit unchanged. On a sharded cluster
 	// each shard persists under its own Dir/shard-NNN subdirectory.
 	Durability DurabilityConfig
+	// Metrics attaches the observability layer: a per-deployment metrics
+	// registry (commit/flush latency histograms, read-route and WAL
+	// counters, per-backup lag gauges) plus a fixed-size event ring
+	// tracing failovers, detector transitions, repair phases and WAL
+	// rotations — snapshot it with DB.Metrics. Off (false) by default:
+	// no instrument is registered, nothing reads any clock on the
+	// instrumentation's behalf, and every simulated metric is
+	// bit-for-bit unchanged. On a sharded cluster each shard owns its
+	// own registry; DB.Metrics merges them, stamping events with their
+	// shard.
+	Metrics bool
 }
 
 // AutopilotConfig times and scopes the unattended failure loop. The zero
@@ -363,6 +375,9 @@ type Cluster struct {
 	// group in place, so the pointer never changes and every operation
 	// simply delegates (the group's own mutex provides the locking).
 	pair *replication.Pair
+	// reg is the deployment's metrics registry; nil with Config.Metrics
+	// off (Metrics then returns the zero Snapshot).
+	reg *obs.Registry
 }
 
 // group returns the underlying replica group.
@@ -386,8 +401,13 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Backup == 0 {
 		cfg.Backup = Standalone
 	}
+	var reg *obs.Registry
+	if cfg.Metrics {
+		reg = obs.NewRegistry()
+	}
 	pair, err := replication.NewGroup(replication.Config{
 		Mode: replication.Mode(cfg.Backup),
+		Obs:  reg,
 		Store: vista.Config{
 			Version:         vista.Version(cfg.Version),
 			DBSize:          cfg.DBSize,
@@ -419,7 +439,7 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("repro: %w", err)
 	}
-	return &Cluster{cfg: cfg, pair: pair}, nil
+	return &Cluster{cfg: cfg, pair: pair, reg: reg}, nil
 }
 
 // Begin opens a transaction on the currently serving node. The transaction
@@ -815,4 +835,18 @@ type Stats struct {
 func (c *Cluster) Stats() Stats {
 	s := c.group().Stats()
 	return Stats{Begins: s.Begins, Commits: s.Commits, Aborts: s.Aborts}
+}
+
+// Metrics is a point-in-time copy of the deployment's observability
+// registry: counters, gauges, latency histograms and the failure/repair
+// event ring, JSON-serializable for scrape surfaces. It is an alias of
+// the internal snapshot type, so values flow unchanged from DB.Metrics
+// through the kvwire METRICS opcode to the Prometheus text endpoint.
+type Metrics = obs.Snapshot
+
+// Metrics snapshots the deployment's observability registry: the zero
+// Snapshot with Config.Metrics off. Safe to call while transactions run;
+// counters and histograms are read atomically.
+func (c *Cluster) Metrics() Metrics {
+	return c.reg.Snapshot()
 }

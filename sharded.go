@@ -618,3 +618,19 @@ func (s *ShardedCluster) ResetMeasurement() {
 		c.ResetMeasurement()
 	}
 }
+
+// Metrics merges every shard's observability snapshot: counters and
+// gauges sum, same-name histograms merge bucket-wise, and each event is
+// stamped with its owning shard before the timelines concatenate. The
+// zero Snapshot with Config.Metrics off. Never blocks the shards.
+func (s *ShardedCluster) Metrics() Metrics {
+	var out Metrics
+	for i, c := range s.shards {
+		snap := c.Metrics()
+		for j := range snap.Events {
+			snap.Events[j].Shard = i
+		}
+		out.Merge(snap)
+	}
+	return out
+}
