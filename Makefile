@@ -49,8 +49,10 @@ test-race:
 # intervals), the served-over-TCP
 # load (cmd/kvload against an in-process cmd/kvserver deployment: 1000
 # concurrent connections, primary crashed mid-load, wall-clock
-# p50/p99/p999 and zero acked-write loss) in BENCH_server.json, and the
-# observability price sheet in BENCH_obs.json (K=3 quorum batch-16
+# p50/p99/p999 and zero acked-write loss) in BENCH_server.json, the
+# elastic 2 -> 4 -> 8 online-rebalance run in BENCH_rebalance.json (ranges
+# and bytes migrated, worst mid-migration window, zero acked-write loss),
+# and the observability price sheet in BENCH_obs.json (K=3 quorum batch-16
 # commit throughput bare vs instrumented, plus the wall-clock cost of a
 # full Metrics() scrape against hot instruments). Every emitted file is
 # schema-validated with benchjson -check at the end, which also lints
@@ -85,7 +87,10 @@ bench:
 	$(GO) test -bench 'BenchmarkObs' -benchtime 2000x -run XXX -count 1 . > bench.obs.tmp || { cat bench.obs.tmp; rm -f bench.obs.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -o BENCH_obs.json < bench.obs.tmp
 	@rm -f bench.obs.tmp
-	$(GO) run ./cmd/benchjson -check BENCH_parallel.json BENCH_availability.json BENCH_chaos.json BENCH_kv.json BENCH_readscale.json BENCH_durability.json BENCH_server.json BENCH_obs.json
+	$(GO) test -bench 'BenchmarkRebalance' -benchtime 1x -run XXX -count 1 . > bench.reb.tmp || { cat bench.reb.tmp; rm -f bench.reb.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_rebalance.json < bench.reb.tmp
+	@rm -f bench.reb.tmp
+	$(GO) run ./cmd/benchjson -check BENCH_parallel.json BENCH_availability.json BENCH_chaos.json BENCH_kv.json BENCH_readscale.json BENCH_durability.json BENCH_server.json BENCH_obs.json BENCH_rebalance.json
 
 # The CI smoke run: every bench family at one iteration, emitted into a
 # scratch directory (the committed BENCH_*.json stay untouched), then
@@ -111,9 +116,12 @@ bench-smoke:
 	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_server.json < .benchsmoke/server.txt > /dev/null
 	$(GO) test -bench 'BenchmarkObs' -benchtime 100x -run XXX -count 1 . > .benchsmoke/obs.txt || { cat .benchsmoke/obs.txt; exit 1; }
 	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_obs.json < .benchsmoke/obs.txt > /dev/null
+	$(GO) test -bench 'BenchmarkRebalance' -benchtime 1x -run XXX -count 1 . > .benchsmoke/reb.txt || { cat .benchsmoke/reb.txt; exit 1; }
+	$(GO) run ./cmd/benchjson -o .benchsmoke/BENCH_rebalance.json < .benchsmoke/reb.txt > /dev/null
 	$(GO) run ./cmd/benchjson -check .benchsmoke/BENCH_parallel.json .benchsmoke/BENCH_availability.json \
 		.benchsmoke/BENCH_chaos.json .benchsmoke/BENCH_kv.json .benchsmoke/BENCH_readscale.json \
-		.benchsmoke/BENCH_durability.json .benchsmoke/BENCH_server.json .benchsmoke/BENCH_obs.json
+		.benchsmoke/BENCH_durability.json .benchsmoke/BENCH_server.json .benchsmoke/BENCH_obs.json \
+		.benchsmoke/BENCH_rebalance.json
 	@rm -rf .benchsmoke
 
 bench-all:

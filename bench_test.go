@@ -274,6 +274,41 @@ func BenchmarkParallelShards(b *testing.B) {
 	}
 }
 
+// BenchmarkRebalance grows a 2-shard deployment to 4 and then 8 shards
+// under the live Debit-Credit stream (tpc.RunRebalance) and reports the
+// elasticity metrics: ranges and bytes migrated, baseline and worst
+// mid-migration window throughput, and the exact acked-write audit —
+// which must be zero for the rebalance to be sound. `make bench` parses
+// these into BENCH_rebalance.json.
+func BenchmarkRebalance(b *testing.B) {
+	const db = 8 << 20
+	var res tpc.RebalanceResult
+	for b.Loop() {
+		sc, err := repro.NewSharded(repro.Config{
+			Version: repro.V3InlineLog,
+			Backup:  repro.ActiveBackup,
+			DBSize:  db,
+			Backups: 2,
+			Safety:  repro.QuorumSafe,
+		}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = tpc.RunRebalance(sc, func(dbSize int) (tpc.Workload, error) {
+			return tpc.NewDebitCredit(dbSize)
+		}, tpc.RebalanceOptions{Warmup: 300, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.RangesMoved), "ranges-moved")
+	b.ReportMetric(float64(res.BytesShipped), "bytes-shipped")
+	b.ReportMetric(res.BaseTPS, "base-tps")
+	b.ReportMetric(res.MinTPS, "min-window-tps")
+	b.ReportMetric(float64(res.PlacementEpoch), "placement-epoch")
+	b.ReportMetric(float64(res.LostAckedWrites), "lost-acked-writes")
+}
+
 // BenchmarkAvailability runs the crash→failover→online-repair timeline
 // and reports the availability metrics of the recovering cluster: repair
 // duration and bytes shipped, the worst throughput window while the state

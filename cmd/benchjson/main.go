@@ -106,6 +106,7 @@ var requiredMetrics = map[string][]string{
 	"BENCH_server.json":     {"wall-ops/s", "p50-ms", "p99-ms", "p999-ms", "lost-acked-writes"},
 	"BENCH_durability.json": {"recovery-ms", "replayed-records", "lost-acked-writes"},
 	"BENCH_readscale.json":  {"sim-ops/s", "replicas", "stale-read-violations"},
+	"BENCH_rebalance.json":  {"ranges-moved", "bytes-shipped", "base-tps", "min-window-tps", "lost-acked-writes"},
 	"BENCH_obs.json":        {"metric-names"},
 }
 

@@ -1,7 +1,7 @@
 // Command replbench regenerates the paper's evaluation exhibits (Tables
 // 1-8, Figures 1-3) on the simulated cluster, plus the beyond-the-paper
-// extension cells: N-replica groups (repl-degree) and the sharded cluster
-// front-end (shard-scaling).
+// extension cells: N-replica groups (repl-degree), the sharded cluster
+// front-end (shard-scaling) and the elastic online rebalance (rebalance).
 //
 // Usage:
 //
@@ -9,10 +9,10 @@
 //	          groups: all, paper, ablations, extensions, everything
 //	          ids:    fig1 fig2 fig3 table1..table8
 //	                  ablation-2safe ablation-cpu ablation-packet ablation-san ablation-wbuf
-//	                  repl-degree shard-scaling parallel-shards group-commit
+//	                  repl-degree shard-scaling rebalance parallel-shards group-commit
 //	                  availability chaos kv durability
 //	          [-repair] [-chaos] [-chaos-events N] [-kv] [-kv-ops N] [-kv-records N]
-//	          [-durability]
+//	          [-durability] [-rebalance] [-target-shards N,N,...]
 //	          [-db MB] [-dc-txns N] [-oe-txns N] [-warmup N] [-seed N]
 //	          [-backups K] [-shards N] [-clients C] [-commit-batch B]
 //	          [-safety 1safe|2safe|quorum] [-full] [-csv]
@@ -32,12 +32,15 @@
 //	replbench -experiment readscale     # replica reads per consistency mode vs the primary baseline
 //	replbench -experiment readscale -read-mode bounded  # one mode alongside the baseline
 //	replbench -durability               # disk-tier kill-and-restart recovery matrix
+//	replbench -rebalance                # elastic 2 → 4 → 8 online rebalance under load
+//	replbench -rebalance -target-shards 4,8,16  # custom growth steps
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -51,7 +54,7 @@ func main() {
 
 func run() int {
 	var (
-		experiment = flag.String("experiment", "all", "exhibits to regenerate: a group (all, paper, ablations, extensions, everything) or comma-separated ids (fig1..fig3, table1..table8, ablation-2safe/cpu/packet/san/wbuf, repl-degree, shard-scaling, parallel-shards, group-commit, availability, chaos, kv, readscale, durability)")
+		experiment = flag.String("experiment", "all", "exhibits to regenerate: a group (all, paper, ablations, extensions, everything) or comma-separated ids (fig1..fig3, table1..table8, ablation-2safe/cpu/packet/san/wbuf, repl-degree, shard-scaling, rebalance, parallel-shards, group-commit, availability, chaos, kv, readscale, durability)")
 		dbMB       = flag.Int("db", 50, "database size in MB")
 		dcTxns     = flag.Int64("dc-txns", 0, "Debit-Credit transactions per cell (0 = default)")
 		oeTxns     = flag.Int64("oe-txns", 0, "Order-Entry transactions per cell (0 = default)")
@@ -67,6 +70,8 @@ func run() int {
 		chaosN     = flag.Int("chaos-events", 0, "fault injections the -chaos schedule lands (0 = default 4)")
 		kvFlag     = flag.Bool("kv", false, "run the key-value YCSB-style mixes over both facades through the DB interface")
 		durability = flag.Bool("durability", false, "run the disk tier's kill-and-restart recovery matrix (snapshot interval x corrupt-tail mode; seeded by -seed)")
+		rebalance  = flag.Bool("rebalance", false, "run the elastic online-rebalance timeline: a 2-shard deployment grows through -target-shards under the live Debit-Credit stream (windowed txn/s + migration totals + acked-write audit)")
+		targets    = flag.String("target-shards", "", "comma-separated growth steps for -rebalance as absolute shard counts, each above the last, from the 2-shard start (\"\" = 4,8)")
 		kvOps      = flag.Int64("kv-ops", 0, "measured kv operations per mix cell (0 = default)")
 		kvRecords  = flag.Int("kv-records", 0, "preloaded kv keyspace size (0 = default)")
 		kvScanLen  = flag.Int("kv-scan-len", 0, "range-scan length of the kv and readscale scan mixes (0 = default 10)")
@@ -108,6 +113,16 @@ func run() int {
 		cfg.Warmup = *warmup
 	}
 
+	if *targets != "" {
+		for _, s := range strings.Split(*targets, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 {
+				fmt.Fprintf(os.Stderr, "replbench: bad -target-shards step %q\n", s)
+				return 2
+			}
+			cfg.TargetShards = append(cfg.TargetShards, n)
+		}
+	}
 	cfg.ChaosEvents = *chaosN
 	cfg.KVOps = *kvOps
 	cfg.KVRecords = *kvRecords
@@ -129,6 +144,14 @@ func run() int {
 		e, ok := harness.Lookup("durability")
 		if !ok {
 			fmt.Fprintln(os.Stderr, "replbench: durability experiment not registered")
+			return 2
+		}
+		exps = append(exps, e)
+	case *rebalance:
+		// -rebalance runs the elastic growth timeline alone.
+		e, ok := harness.Lookup("rebalance")
+		if !ok {
+			fmt.Fprintln(os.Stderr, "replbench: rebalance experiment not registered")
 			return 2
 		}
 		exps = append(exps, e)

@@ -40,10 +40,27 @@ func conformanceTargets(t *testing.T, cfg repro.Config) map[string]fullDB {
 		}
 		return sc
 	}
+	// rebalanced4 reaches the 4-shard shape through the elastic path — a
+	// 2-shard deployment grown online (AddShards + Rebalance) — so every
+	// contract assertion also holds on a placement the range mover built.
+	mkReb := func() fullDB {
+		sc, err := repro.NewSharded(cfg, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.AddShards(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.Rebalance(); err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
 	return map[string]fullDB{
-		"cluster":  mk(0),
-		"sharded1": mk(1),
-		"sharded4": mk(4),
+		"cluster":     mk(0),
+		"sharded1":    mk(1),
+		"sharded4":    mk(4),
+		"rebalanced4": mkReb(),
 	}
 }
 
@@ -651,5 +668,35 @@ func TestDBConformanceTokenPortability(t *testing.T) {
 	want := repro.Token{5, 7, 3}
 	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
 		t.Fatalf("Merge = %v, want %v", got, want)
+	}
+
+	// A token captured before an elastic grow stays valid after the
+	// rebalance: the new shards have no element, so they serve
+	// unconstrained, and the old elements still floor their shards.
+	el, err := repro.NewSharded(replicatedCfg(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEl := writeAt(t, el, 64, 0xE1)
+	if err := el.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	el.Settle()
+	pre := el.Token(nil)
+	if len(pre) != 2 {
+		t.Fatalf("pre-grow token length %d, want 2", len(pre))
+	}
+	if _, err := el.AddShards(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := el.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	clear(buf)
+	if _, err := el.ReadAt(64, buf, repro.ReadOpts{Mode: repro.ReadYourWrites, Token: pre}); err != nil || !bytes.Equal(buf, wantEl) {
+		t.Fatalf("pre-grow token after rebalance: %q, %v", buf, err)
+	}
+	if post := el.Token(nil); len(post) != 4 {
+		t.Fatalf("post-grow token length %d, want 4", len(post))
 	}
 }

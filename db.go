@@ -158,6 +158,30 @@ type Admin interface {
 	// Close cleanly shuts the disk tier (flush + close every WAL);
 	// a no-op without Config.Durability.
 	Close() error
+
+	// AddShards appends n empty shard groups to an elastic deployment
+	// and returns their ids. The new shards serve no data until a
+	// Rebalance moves ranges onto them. ErrNotElastic on a Cluster.
+	AddShards(n int) ([]int, error)
+	// RemoveShard drains every range off the selected shard (an online
+	// rebalance onto the survivors) and tombstones it: the id stays
+	// valid for Token/Stats indexing but owns no data and joins no
+	// future plan. ErrNotElastic on a Cluster.
+	RemoveShard(shard int) error
+	// Rebalance plans the minimal-move redistribution toward the shards
+	// added since the last rebalance and blocks until every range has
+	// migrated and cut over. A no-op (nil) when the placement is already
+	// balanced. ErrNotElastic on a Cluster.
+	Rebalance() error
+	// RebalanceAsync starts the rebalance and returns immediately; the
+	// range mover then rides the deployment's commit stream (each
+	// Commit/Abort and Settle pumps it). Watch RebalanceProgress.
+	RebalanceAsync() error
+	// RebalanceProgress reports the current (or most recent) rebalance.
+	RebalanceProgress() RebalanceProgress
+	// PlacementEpoch returns the routing table's version: 1 at
+	// construction, +1 at every range cut-over. Constant 1 on a Cluster.
+	PlacementEpoch() uint64
 }
 
 // Compile-time assertions: both facades satisfy the full redesigned

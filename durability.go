@@ -182,7 +182,7 @@ func (s *ShardedCluster) Durability(shard ...int) DurabilityStatus {
 	if err != nil {
 		return DurabilityStatus{}
 	}
-	return s.shards[i].Durability()
+	return s.v().shards[i].Durability()
 }
 
 // PowerFail kills every machine of the selected shard (default shard 0).
@@ -193,7 +193,7 @@ func (s *ShardedCluster) PowerFail(shard ...int) error {
 	if err != nil {
 		return err
 	}
-	return s.shards[i].PowerFail()
+	return s.v().shards[i].PowerFail()
 }
 
 // WALTails returns the selected shard's post-PowerFail segment handles
@@ -203,14 +203,14 @@ func (s *ShardedCluster) WALTails(shard ...int) []WALTail {
 	if err != nil {
 		return nil
 	}
-	return s.shards[i].WALTails()
+	return s.v().shards[i].WALTails()
 }
 
 // Close cleanly shuts the disk tier of every shard, returning the first
 // error; a no-op without the tier.
 func (s *ShardedCluster) Close() error {
 	var firstErr error
-	for i, c := range s.shards {
+	for i, c := range s.v().shards {
 		if err := c.Close(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("repro: shard %d: %w", i, err)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/placement"
 	"repro/internal/replication"
 	"repro/internal/vista"
 )
@@ -48,6 +49,13 @@ import (
 //	Admin.ResumeBackup         ErrNoSuchShard, no-such-backup errors
 //	Admin.PowerFail            ErrNoSuchShard, ErrNoDurability,
 //	                           ErrCrashed (power already off)
+//	Admin.AddShards            ErrNotElastic, ErrRebalanceActive,
+//	                           ErrShardCount, configuration errors
+//	Admin.RemoveShard          ErrNotElastic, ErrRebalanceActive,
+//	                           ErrNoSuchShard, ErrNoCapacity, ErrCrashed
+//	Admin.Rebalance[Async]     ErrNotElastic (Cluster), ErrRebalanceActive
+//	                           (Async only), ErrCrashed (mover blocked on
+//	                           a dead group; resolve and call again)
 //
 // The kv layer (package repro/kv) adds its own taxonomy on top of this
 // one; see that package's documentation.
@@ -103,6 +111,18 @@ var (
 	// the harmonized fault surface (see Admin): a Cluster is exactly
 	// shard 0 of itself, a ShardedCluster owns shards 0..Shards()-1.
 	ErrNoSuchShard = errors.New("repro: no such shard")
+	// ErrNotElastic is returned by the elastic surface (AddShards,
+	// RemoveShard, Rebalance) on a deployment that cannot change its
+	// topology — a single Cluster, whose one replica group is its whole
+	// identity. Use NewSharded (even with one shard) for elasticity.
+	ErrNotElastic = errors.New("repro: deployment is not elastic")
+	// ErrRebalanceActive is returned by topology changes (AddShards,
+	// RemoveShard, RebalanceAsync) issued while a rebalance is still
+	// moving ranges; watch RebalanceProgress for completion.
+	ErrRebalanceActive = errors.New("repro: rebalance already in progress")
+	// ErrNoCapacity is returned by RemoveShard when the surviving shards
+	// lack the free partition slots to absorb the drained shard's data.
+	ErrNoCapacity = placement.ErrNoCapacity
 )
 
 // PartialCommitError reports a sharded commit that failed part-way: the

@@ -72,7 +72,7 @@ func TestShardScalingShape(t *testing.T) {
 
 func TestExtensionsRegistered(t *testing.T) {
 	exts := Extensions()
-	want := []string{"repl-degree", "shard-scaling", "chaos", "kv", "readscale", "durability"}
+	want := []string{"repl-degree", "shard-scaling", "rebalance", "chaos", "kv", "readscale", "durability"}
 	if len(exts) != len(want) {
 		t.Fatalf("Extensions() = %v", exts)
 	}

@@ -101,10 +101,10 @@ var ablationExhibits = []string{"ablation-wbuf", "ablation-packet",
 
 // extensionExhibits lists the capability experiments that go beyond the
 // paper's two-node deployments: N-replica groups, the sharded cluster,
-// the autopilot's unattended chaos run, the key-value layer's YCSB-style
-// mixes, the replica-read scaling cell, and the disk tier's cold-restart
-// recovery matrix.
-var extensionExhibits = []string{"repl-degree", "shard-scaling", "chaos", "kv", "readscale", "durability"}
+// the elastic online rebalance, the autopilot's unattended chaos run,
+// the key-value layer's YCSB-style mixes, the replica-read scaling
+// cell, and the disk tier's cold-restart recovery matrix.
+var extensionExhibits = []string{"repl-degree", "shard-scaling", "rebalance", "chaos", "kv", "readscale", "durability"}
 
 // All returns the paper's experiments in exhibit order.
 func All() []Experiment { return byIDs(paperExhibits) }
@@ -149,6 +149,9 @@ type RunConfig struct {
 	// Shards is the largest shard count the shard-scaling experiment
 	// sweeps to (0 = its default of 4).
 	Shards int
+	// TargetShards are the growth steps of the rebalance experiment as
+	// absolute shard counts from its 2-shard start (nil = {4, 8}).
+	TargetShards []int
 	// Safety is the commit discipline the shard-scaling experiment runs
 	// under (default 1-safe).
 	Safety replication.Safety

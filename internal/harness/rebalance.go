@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro"
+	"repro/internal/tpc"
+)
+
+// The elastic-placement experiment: throughput delivered while the
+// deployment grows 2 → 4 → 8 shards online, ranges migrating under the
+// live commit stream, with the exact acked-write audit as the soundness
+// column. Registered with the capability extensions.
+func init() {
+	register(Experiment{
+		ID:    "rebalance",
+		Title: "Online rebalance: throughput while the deployment grows 2 → 4 → 8 shards",
+		Run:   runRebalance,
+	})
+}
+
+func runRebalance(cfg RunConfig) (*Table, error) {
+	targets := cfg.TargetShards
+	if len(targets) == 0 {
+		targets = []int{4, 8}
+	}
+	backups := cfg.Backups
+	if backups < 1 {
+		backups = 1
+	}
+	sc, err := repro.NewSharded(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  cfg.DBSize,
+		Backups: backups,
+		Safety:  repro.Safety(cfg.Safety),
+		Metrics: true,
+	}, 2)
+	if err != nil {
+		return nil, err
+	}
+	res, err := tpc.RunRebalance(sc, func(dbSize int) (tpc.Workload, error) {
+		return tpc.NewDebitCredit(dbSize)
+	}, tpc.RebalanceOptions{
+		TargetShards: targets,
+		Warmup:       cfg.Warmup,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	names := []string{"baseline"}
+	for _, tgt := range targets {
+		names = append(names, fmt.Sprintf("grow-%d", tgt))
+	}
+	names = append(names, "final")
+	t := &Table{
+		ID:    "rebalance",
+		Title: "Debit-Credit throughput (txns/sec) while the deployment grows online",
+		Headers: []string{"Phase", "Windows", "Mean txn/s", "Worst txn/s",
+			"vs baseline"},
+		Notes: append(runNotes(cfg),
+			fmt.Sprintf("grows 2 → %s shards online (active backup, K=%d, %s commit); the mover rides the commit stream",
+				strings.Join(intStrings(targets), " → "), backups, cfg.Safety),
+			fmt.Sprintf("migration: %d ranges, %d bytes shipped, placement epoch %d, %d cut-over stalls",
+				res.RangesMoved, res.BytesShipped, res.PlacementEpoch, sc.RebalanceProgress().Stalls),
+			fmt.Sprintf("acked-write audit: %d stamps acknowledged, %d lost (must be 0)",
+				res.AuditWrites, res.LostAckedWrites)),
+	}
+	for _, phase := range names {
+		var sum, worst float64
+		n := 0
+		for _, w := range res.Windows {
+			if w.Phase != phase {
+				continue
+			}
+			sum += w.TPS
+			if n == 0 || w.TPS < worst {
+				worst = w.TPS
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		mean := sum / float64(n)
+		t.Rows = append(t.Rows, []string{
+			phase, fmt.Sprintf("%d", n), f0(mean), f0(worst),
+			fmt.Sprintf("%.2fx", mean/res.BaseTPS),
+		})
+	}
+	if res.LostAckedWrites != 0 {
+		return nil, fmt.Errorf("harness: rebalance lost %d acked writes", res.LostAckedWrites)
+	}
+	return t, nil
+}
+
+func intStrings(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, x := range xs {
+		out[i] = fmt.Sprintf("%d", x)
+	}
+	return out
+}

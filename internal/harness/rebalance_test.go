@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRebalanceCellShape: the elastic experiment reports every phase,
+// transactions keep committing in every grow phase, and the acked-write
+// audit note records zero losses.
+func TestRebalanceCellShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.DBSize = 8 << 20
+	e, ok := Lookup("rebalance")
+	if !ok {
+		t.Fatal("rebalance not registered")
+	}
+	tbl, err := e.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"baseline", "grow-4", "grow-8", "final"}
+	if len(tbl.Rows) != len(want) {
+		t.Fatalf("%d rows, want %d: %v", len(tbl.Rows), len(want), tbl.Rows)
+	}
+	for i, phase := range want {
+		if tbl.Rows[i][0] != phase {
+			t.Fatalf("row %d phase = %q, want %q", i, tbl.Rows[i][0], phase)
+		}
+		if worst := cell(t, tbl, i, 3); worst <= 0 {
+			t.Errorf("%s worst txn/s = %v, want > 0", phase, worst)
+		}
+	}
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "0 lost") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no zero-loss audit note in %v", tbl.Notes)
+	}
+}

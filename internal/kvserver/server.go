@@ -218,7 +218,7 @@ func (s *Server) Stats() kvwire.Stats {
 	conns := len(s.conns)
 	draining := s.draining
 	s.mu.Unlock()
-	return kvwire.Stats{
+	st := kvwire.Stats{
 		Keys:      s.store.Len(),
 		Committed: s.db.Committed(),
 		Conns:     conns,
@@ -227,7 +227,15 @@ func (s *Server) Stats() kvwire.Stats {
 		Reopens:   s.reopens.Load(),
 		BadFrames: s.badFrames.Load(),
 		Draining:  draining,
+		Shards:    s.db.Shards(),
 	}
+	// The placement epoch sits on the Admin surface; every facade the
+	// server fronts carries it, but the DB interface alone is enough to
+	// serve, so probe instead of widening the server's dependency.
+	if pe, ok := s.db.(interface{ PlacementEpoch() uint64 }); ok {
+		st.PlacementEpoch = pe.PlacementEpoch()
+	}
+	return st
 }
 
 // Metrics merges the served deployment's metrics snapshot with the

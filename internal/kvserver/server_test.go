@@ -275,6 +275,69 @@ func TestServerScanAndTxn(t *testing.T) {
 	}
 }
 
+// TestServerShardedStats: a server fronting a sharded deployment reports
+// the shard count and placement epoch over the wire, and an elastic grow
+// + rebalance underneath advances the epoch without losing served keys.
+func TestServerShardedStats(t *testing.T) {
+	db, err := repro.NewSharded(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  4 << 20,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := kv.Open(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(store, Config{Logf: t.Logf})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	cl := kvclient.Dial(l.Addr().String(), kvclient.Options{Conns: 1})
+	defer cl.Close()
+
+	for i := 0; i < 50; i++ {
+		if err := cl.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%03d", i))); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 2 || st.PlacementEpoch != 1 {
+		t.Fatalf("stats = shards %d epoch %d, want 2/1", st.Shards, st.PlacementEpoch)
+	}
+
+	if _, err := db.AddShards(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	st, err = cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 {
+		t.Fatalf("stats.Shards = %d after grow, want 4", st.Shards)
+	}
+	if st.PlacementEpoch < 2 {
+		t.Fatalf("stats.PlacementEpoch = %d after rebalance, want > 1", st.PlacementEpoch)
+	}
+	for i := 0; i < 50; i++ {
+		v, err := cl.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || string(v) != fmt.Sprintf("v%03d", i) {
+			t.Fatalf("key %d after rebalance: %q, %v", i, v, err)
+		}
+	}
+}
+
 // TestNextBackoff pins the healer's retry policy: exponential doubling
 // from the base, a hard cap, and jitter bounded to ±25% of the current
 // delay — never zero, never past 125% of the cap.

@@ -192,6 +192,12 @@ type Stats struct {
 	BadFrames uint64 `json:"bad_frames"`
 	// Draining reports whether the server has begun its graceful drain.
 	Draining bool `json:"draining"`
+	// Shards is the number of replica groups serving the store (1 for an
+	// unsharded deployment).
+	Shards int `json:"shards"`
+	// PlacementEpoch is the deployment's routing-table version: 1 at
+	// construction, +1 at every elastic range cut-over.
+	PlacementEpoch uint64 `json:"placement_epoch"`
 }
 
 // bufPool recycles frame buffers across requests and responses — the

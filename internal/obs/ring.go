@@ -21,6 +21,10 @@ const (
 	EventWALTruncate   = "wal.truncate"   // torn tail dropped on recovery; A = bytes
 	EventHealRetry     = "heal.retry"     // kvserver healer attempt failed; A = attempt, B = backoff ns
 	EventHealed        = "heal.ok"        // kvserver healer reopened the store; A = attempts
+
+	EventRebalanceStart = "rebalance.start" // elastic rebalance begins; A = planned moves, B = planned bytes
+	EventRangeCutover   = "range.cutover"   // one range's routing flipped; A = new placement epoch, B = range start offset
+	EventRebalanceDone  = "rebalance.done"  // plan drained; A = ranges moved, B = bytes shipped
 )
 
 // RingSize is the fixed capacity of an event ring. Older events are

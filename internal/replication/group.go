@@ -388,6 +388,30 @@ func (g *Group) QuiesceGrace() sim.Dur {
 	return p.DrainAge + sim.Dur(p.PostedDepth)*p.PacketTime(p.MaxPacket) + 2*p.LinkLatency
 }
 
+// Now returns the serving node's simulated clock reading — the time base
+// a cross-group mover uses to pace its copies against this group.
+func (g *Group) Now() sim.Time { return g.Primary().Clock.Now() }
+
+// TransferRate returns the background copier's bandwidth in bytes per
+// unit of simulated time: the configured RepairShare of the SAN's
+// full-packet rate. Exported so cross-group movers (the facade's
+// rebalancer) pace bulk range transfers with the same discipline as
+// repair.
+func (g *Group) TransferRate() float64 { return g.repairRate() }
+
+// ShipBulk charges n bulk-category bytes to the serving node's SAN at its
+// current clock — the wire cost of a cross-group range transfer leaving
+// (or entering) this group. A no-op in Standalone mode.
+func (g *Group) ShipBulk(n int) {
+	if n <= 0 {
+		return
+	}
+	node := g.Primary()
+	if node.MC != nil {
+		node.MC.EmitBulk(node.Clock.Now(), n, mem.CatSync)
+	}
+}
+
 // Load installs initial database content on the primary and synchronizes
 // every backup's copies raw (the initial full-database transfer that
 // precedes failure-free operation).

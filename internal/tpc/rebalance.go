@@ -1,0 +1,326 @@
+package tpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// RunRebalance drives the elastic-placement experiment end to end:
+// throughput delivered while the deployment grows online. The timeline is
+// measured in fixed simulated-time windows — baseline windows on the
+// initial shard count first, then for each growth step the driver adds
+// the new shard groups, starts the rebalance asynchronously, and keeps
+// measuring windows while the range mover rides the commit stream
+// (paced chunked copy, dirty-range delta resync, per-range cut-over
+// barrier); once the plan drains, the next step begins, and a few final
+// windows close the run on the full fleet. The windowed throughput
+// curve, the ranges and bytes migrated, and the exact acked-write audit
+// are the elasticity metrics a resharding production system tracks.
+//
+// The acked-write audit is the correctness half of the run: a slice of
+// version-stamped slots is reserved at the tail of the database (outside
+// the workload's layout), the driver interleaves single-slot stamp
+// transactions with the benchmark stream, and records the highest
+// version each slot acknowledged. After the last window every slot is
+// read back raw; a slot whose stored version is below its acknowledged
+// version is a lost acked write — the number the result must report as
+// zero for the rebalance to be sound.
+
+// auditSlot is the byte size of one audit slot: an 8-byte version
+// followed by the version XOR auditMagic (torn stamps are detectable).
+const auditSlot = 16
+
+// auditMagic tags the second word of an audit slot.
+const auditMagic uint64 = 0xA5D1_57A3_0B5E_55ED
+
+// RebalanceOptions tunes a RunRebalance timeline.
+type RebalanceOptions struct {
+	// Window is the simulated duration of one throughput window
+	// (default 10 ms).
+	Window time.Duration
+	// BaselineWindows measures the pre-growth baseline (default 3).
+	BaselineWindows int
+	// FinalWindows measures after the last growth step (default 3).
+	FinalWindows int
+	// MaxRebalanceWindows caps the windows spent waiting for one growth
+	// step's plan to drain (default 400); the run errors out if the
+	// mover has not finished by then.
+	MaxRebalanceWindows int
+	// TargetShards are the growth steps as absolute shard counts, each
+	// larger than the last (default {4, 8} from a 2-shard start). Every
+	// step adds the missing groups and rebalances onto them.
+	TargetShards []int
+	// AuditSlots is the number of version-stamped audit slots reserved
+	// at the database tail (default 64).
+	AuditSlots int
+	// AuditEvery interleaves one audit stamp transaction every N
+	// workload transactions (default 4).
+	AuditEvery int
+	// Warmup transactions run before the first window (cache and SAN
+	// state carry over; counters reset).
+	Warmup int64
+	// Seed feeds the deterministic generator.
+	Seed uint64
+}
+
+func (o RebalanceOptions) withDefaults() RebalanceOptions {
+	if o.Window <= 0 {
+		o.Window = 10 * time.Millisecond
+	}
+	if o.BaselineWindows <= 0 {
+		o.BaselineWindows = 3
+	}
+	if o.FinalWindows <= 0 {
+		o.FinalWindows = 3
+	}
+	if o.MaxRebalanceWindows <= 0 {
+		o.MaxRebalanceWindows = 400
+	}
+	if len(o.TargetShards) == 0 {
+		o.TargetShards = []int{4, 8}
+	}
+	if o.AuditSlots <= 0 {
+		o.AuditSlots = 64
+	}
+	if o.AuditEvery <= 0 {
+		o.AuditEvery = 4
+	}
+	return o
+}
+
+// RebalanceWindow is one measured throughput window.
+type RebalanceWindow struct {
+	// Phase is "baseline", "grow-<target>" (while that step's ranges
+	// migrate) or "final".
+	Phase string
+	// Start is the window's opening instant on the cumulative timeline.
+	Start time.Duration
+	// Txns is the number of transactions committed in the window
+	// (workload and audit transactions both count).
+	Txns int64
+	// TPS is the window's throughput in transactions per simulated
+	// second.
+	TPS float64
+}
+
+// RebalanceResult is the measured timeline plus the migration totals and
+// the acked-write audit verdict.
+type RebalanceResult struct {
+	Windows []RebalanceWindow
+	// BaseTPS is the mean baseline-window throughput; MinTPS the worst
+	// window measured while any rebalance was in flight (the elasticity
+	// dip); FinalTPS the mean final-window throughput on the full fleet.
+	BaseTPS, MinTPS, FinalTPS float64
+	// RangesMoved and BytesShipped total the migration work across every
+	// growth step.
+	RangesMoved  int64
+	BytesShipped int64
+	// PlacementEpoch is the routing table's version after the last
+	// cut-over.
+	PlacementEpoch uint64
+	// AuditWrites is the number of acknowledged audit stamps;
+	// LostAckedWrites counts slots whose read-back version was below the
+	// acknowledged one — any non-zero value means an acked transaction
+	// vanished during a migration.
+	AuditWrites     int64
+	LostAckedWrites int64
+}
+
+// RunRebalance populates the workload over the database minus the audit
+// reserve, warms up, and measures the grow → rebalance → grown timeline
+// on the deployment. It is written against the driver-facing FaultDB
+// surface but requires an elastic deployment underneath: a Cluster
+// refuses the first AddShards with ErrNotElastic.
+func RunRebalance(c FaultDB, mk func(dbSize int) (Workload, error), opts RebalanceOptions) (RebalanceResult, error) {
+	opts = opts.withDefaults()
+	reserve := opts.AuditSlots * auditSlot
+	usable := c.DBSize() - reserve
+	if usable <= 0 {
+		return RebalanceResult{}, fmt.Errorf("tpc: database %d too small for %d audit slots", c.DBSize(), opts.AuditSlots)
+	}
+	w, err := mk(usable)
+	if err != nil {
+		return RebalanceResult{}, err
+	}
+	if err := w.Populate(c.Load); err != nil {
+		return RebalanceResult{}, err
+	}
+
+	var res RebalanceResult
+	auditBase := c.DBSize() - reserve
+	issued := make([]uint64, opts.AuditSlots)
+	acked := make([]uint64, opts.AuditSlots)
+	var auditN int64
+	// stamp writes the next version into one audit slot in its own
+	// transaction and records the acknowledgement iff Commit returned.
+	stamp := func() error {
+		slot := int(auditN % int64(opts.AuditSlots))
+		auditN++
+		ver := issued[slot] + 1
+		issued[slot] = ver
+		var buf [auditSlot]byte
+		binary.LittleEndian.PutUint64(buf[0:], ver)
+		binary.LittleEndian.PutUint64(buf[8:], ver^auditMagic)
+		tx, err := c.Begin()
+		if err != nil {
+			return err
+		}
+		off := auditBase + slot*auditSlot
+		if err := tx.SetRange(off, auditSlot); err != nil {
+			if abortErr := tx.Abort(); abortErr != nil {
+				return fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+			}
+			return err
+		}
+		if err := tx.Write(off, buf[:]); err != nil {
+			if abortErr := tx.Abort(); abortErr != nil {
+				return fmt.Errorf("%w (abort also failed: %v)", err, abortErr)
+			}
+			return err
+		}
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		acked[slot] = ver
+		res.AuditWrites++
+		return nil
+	}
+
+	st := &stream{db: c, w: w, r: NewRand(opts.Seed)}
+	one := func() error {
+		if err := st.one(); err != nil {
+			return err
+		}
+		if st.n%int64(opts.AuditEvery) == 0 {
+			return stamp()
+		}
+		return nil
+	}
+	for i := int64(0); i < opts.Warmup; i++ {
+		if err := one(); err != nil {
+			return res, fmt.Errorf("tpc: warmup txn %d: %w", i, err)
+		}
+	}
+	c.ResetMeasurement()
+
+	cum := time.Duration(0)
+	last := time.Duration(0)
+	rebalancing := false
+	window := func(phase string) error {
+		startC := c.Committed()
+		start := c.Elapsed()
+		for c.Elapsed()-start < opts.Window {
+			if err := one(); err != nil {
+				// A safety level briefly below strength (a shard mid
+				// cut-over under a strict mode) shows up as a slow
+				// window, not a failed run.
+				if errors.Is(err, repro.ErrSafetyUnavailable) && rebalancing {
+					c.Settle()
+					continue
+				}
+				return fmt.Errorf("tpc: %s window: %w", phase, err)
+			}
+		}
+		end := c.Elapsed()
+		cum += end - last
+		last = end
+		n := int64(c.Committed() - startC)
+		win := RebalanceWindow{
+			Phase: phase,
+			Start: cum - (end - start),
+			Txns:  n,
+			TPS:   float64(n) / (end - start).Seconds(),
+		}
+		res.Windows = append(res.Windows, win)
+		if rebalancing && (res.MinTPS == 0 || win.TPS < res.MinTPS) {
+			res.MinTPS = win.TPS
+		}
+		return nil
+	}
+
+	for i := 0; i < opts.BaselineWindows; i++ {
+		if err := window("baseline"); err != nil {
+			return res, err
+		}
+	}
+
+	for _, target := range opts.TargetShards {
+		cur := c.Shards()
+		if target <= cur {
+			return res, fmt.Errorf("tpc: growth target %d not above current %d shards", target, cur)
+		}
+		if _, err := c.AddShards(target - cur); err != nil {
+			return res, err
+		}
+		if err := c.RebalanceAsync(); err != nil {
+			return res, err
+		}
+		rebalancing = true
+		phase := fmt.Sprintf("grow-%d", target)
+		done := false
+		for i := 0; i < opts.MaxRebalanceWindows; i++ {
+			if err := window(phase); err != nil {
+				return res, err
+			}
+			if !c.RebalanceProgress().Active {
+				done = true
+				break
+			}
+		}
+		if !done {
+			return res, fmt.Errorf("tpc: rebalance to %d shards did not drain within %d windows", target, opts.MaxRebalanceWindows)
+		}
+		rebalancing = false
+		p := c.RebalanceProgress()
+		res.RangesMoved += int64(p.MovesDone)
+		res.BytesShipped += p.BytesShipped
+	}
+
+	for i := 0; i < opts.FinalWindows; i++ {
+		if err := window("final"); err != nil {
+			return res, err
+		}
+	}
+	c.Settle()
+
+	var baseSum, finalSum float64
+	var baseN, finalN int
+	for _, win := range res.Windows {
+		switch win.Phase {
+		case "baseline":
+			baseSum += win.TPS
+			baseN++
+		case "final":
+			finalSum += win.TPS
+			finalN++
+		}
+	}
+	if baseN > 0 {
+		res.BaseTPS = baseSum / float64(baseN)
+	}
+	if finalN > 0 {
+		res.FinalTPS = finalSum / float64(finalN)
+	}
+	res.PlacementEpoch = c.PlacementEpoch()
+
+	// The audit: every slot's stored version must be at least the last
+	// acknowledged one (and never past the last issued one).
+	var buf [auditSlot]byte
+	for slot := 0; slot < opts.AuditSlots; slot++ {
+		c.ReadRaw(auditBase+slot*auditSlot, buf[:])
+		got := binary.LittleEndian.Uint64(buf[0:])
+		tag := binary.LittleEndian.Uint64(buf[8:])
+		if got != 0 && tag != got^auditMagic {
+			res.LostAckedWrites++ // torn stamp: the slot's bytes are not any committed version
+			continue
+		}
+		if got < acked[slot] || got > issued[slot] {
+			res.LostAckedWrites++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package tpc_test
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/tpc"
+)
+
+func newElastic(t *testing.T, shards int) *repro.ShardedCluster {
+	t.Helper()
+	sc, err := repro.NewSharded(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  8 << 20,
+		Backups: 2,
+		Safety:  repro.QuorumSafe,
+	}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestRunRebalanceTimeline: the elastic driver grows 2 → 4 → 8 shards
+// mid-workload, every growth step drains, the audit loses nothing, and
+// the timeline covers all three phases.
+func TestRunRebalanceTimeline(t *testing.T) {
+	sc := newElastic(t, 2)
+	res, err := tpc.RunRebalance(sc, func(dbSize int) (tpc.Workload, error) {
+		return tpc.NewDebitCredit(dbSize)
+	}, tpc.RebalanceOptions{
+		TargetShards: []int{4, 8},
+		Warmup:       50,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Shards() != 8 {
+		t.Fatalf("Shards = %d, want 8", sc.Shards())
+	}
+	if res.LostAckedWrites != 0 {
+		t.Fatalf("LostAckedWrites = %d, want 0", res.LostAckedWrites)
+	}
+	if res.AuditWrites == 0 {
+		t.Fatal("no audit writes acknowledged")
+	}
+	if res.RangesMoved <= 0 || res.BytesShipped <= 0 {
+		t.Fatalf("no migration recorded: ranges %d bytes %d", res.RangesMoved, res.BytesShipped)
+	}
+	if res.PlacementEpoch != 1+uint64(res.RangesMoved) {
+		t.Fatalf("PlacementEpoch = %d, want %d (1 + one per cut-over)", res.PlacementEpoch, 1+res.RangesMoved)
+	}
+	if res.BaseTPS <= 0 || res.FinalTPS <= 0 {
+		t.Fatalf("rates not positive: base %f final %f", res.BaseTPS, res.FinalTPS)
+	}
+	if res.MinTPS <= 0 {
+		t.Fatalf("MinTPS = %f, want > 0 (transactions must keep committing mid-migration)", res.MinTPS)
+	}
+	phases := map[string]int{}
+	for _, w := range res.Windows {
+		phases[w.Phase]++
+	}
+	for _, p := range []string{"baseline", "grow-4", "grow-8", "final"} {
+		if phases[p] == 0 {
+			t.Fatalf("no %q window in the timeline (got %v)", p, phases)
+		}
+	}
+}
+
+// TestRunRebalanceDeterministic: same seed, same simulated outcome.
+func TestRunRebalanceDeterministic(t *testing.T) {
+	run := func() tpc.RebalanceResult {
+		res, err := tpc.RunRebalance(newElastic(t, 2), func(dbSize int) (tpc.Workload, error) {
+			return tpc.NewDebitCredit(dbSize)
+		}, tpc.RebalanceOptions{TargetShards: []int{4}, Warmup: 20, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.BytesShipped != b.BytesShipped || a.RangesMoved != b.RangesMoved ||
+		a.AuditWrites != b.AuditWrites || len(a.Windows) != len(b.Windows) {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Windows {
+		if a.Windows[i] != b.Windows[i] {
+			t.Fatalf("window %d differs: %+v vs %+v", i, a.Windows[i], b.Windows[i])
+		}
+	}
+}
+
+// TestRunRebalanceNonElastic: a plain Cluster underneath refuses growth.
+func TestRunRebalanceNonElastic(t *testing.T) {
+	c, err := repro.New(repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  4 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tpc.RunRebalance(c, func(dbSize int) (tpc.Workload, error) {
+		return tpc.NewDebitCredit(dbSize)
+	}, tpc.RebalanceOptions{TargetShards: []int{2}})
+	if err == nil {
+		t.Fatal("expected ErrNotElastic from a Cluster")
+	}
+}

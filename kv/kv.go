@@ -174,9 +174,6 @@ type Store struct {
 	live   int      // live keys
 	tombs  int      // tombstoned buckets
 	broken bool
-	// singleTx collapses the two-phase commit protocol into one atomic
-	// transaction on single-shard deployments.
-	singleTx bool
 
 	// scratch buffers recycled across operations.
 	word [bucketWidth]byte
@@ -207,7 +204,7 @@ func OpenWith(db repro.DB, opt Options) (*Store, error) {
 	if opt.SlotSize < 64 {
 		return nil, fmt.Errorf("kv: slot size %d below the 64-byte minimum", opt.SlotSize)
 	}
-	s := &Store{db: db, singleTx: db.Shards() == 1}
+	s := &Store{db: db}
 	s.readPrimary = db.Read
 	s.vwRead = s.vw.read
 	s.vw.s = s
@@ -747,7 +744,7 @@ func (s *Store) commitWrites(writes []*write, flips map[uint64]*write) error {
 		return nil
 	}
 
-	if s.singleTx {
+	if s.singleTx() {
 		return s.runTx(func(tx repro.Tx) error {
 			if err := records(tx); err != nil {
 				return err
@@ -765,6 +762,13 @@ func (s *Store) commitWrites(writes []*write, flips map[uint64]*write) error {
 	}
 	return degraded
 }
+
+// singleTx reports whether the commit protocol may collapse record
+// writes and bucket flips into one atomic transaction. Evaluated per
+// commit, not at Open: an elastic deployment opened at one shard can
+// grow mid-lifetime, after which the two-phase order (records first,
+// flips second) is what keeps partially committed batches recoverable.
+func (s *Store) singleTx() bool { return s.db.Shards() == 1 }
 
 // applyWrite folds one committed write into the in-memory acceleration.
 func (s *Store) applyWrite(w *write, p probeResult) {

@@ -1,0 +1,656 @@
+package repro
+
+// This file is the sharded facade's online rebalance engine: the mover
+// that executes the plans internal/placement produces, riding the same
+// chunked-transfer discipline as replica repair (PR 3) — a paced
+// background bulk copy, dirty-range delta resync, and a brief per-range
+// cut-over barrier after which routing flips atomically.
+//
+// One range move runs at a time, in five steps:
+//
+//  1. Register: the move is published (mig.cur) so the hot paths start
+//     recording dirty marks for writes landing inside it.
+//  2. Fence: Begin+Abort on the source shard. Transactions that predate
+//     the registration finish before the copy reads, so their (unmarked)
+//     writes are always visible to the bulk pass.
+//  3. Bulk copy: the moving range streams source→target in chunks, raw
+//     (the target installs on every replica, like an initial Load), paced
+//     by the source's repair-share bandwidth — credit accrues with the
+//     source's simulated clock, bought by the foreground commit stream
+//     that pumps the mover from Commit/Abort and Settle. Both SANs are
+//     charged for the shipped bytes (CatSync, like repair traffic).
+//  4. Delta resync: ranges dirtied during the copy (recorded by
+//     transactions at commit and by raw Loads) are re-shipped page by
+//     page until the backlog is small.
+//  5. Cut-over barrier: the mover takes the source's single transaction
+//     slot (quiescing writers), waits out the finishing window (a
+//     transaction releases its per-shard slots before publishing its
+//     marks — the `finishing` counter covers that gap), drains the
+//     residual dirt, and flips the routing table under the dirty lock:
+//     a new placement epoch is published through the view's atomic
+//     pointer. Readers that raced the flip detect the table change and
+//     re-route; transactions that blocked on the barrier re-route when
+//     it releases.
+//
+// A failover on either end (generation change) restarts the move from
+// the fence — raw installs are idempotent, and the target's replicas all
+// hold the copied bytes, so no progress is unsafe to repeat. A crashed
+// group parks the mover (pump returns ErrCrashed-wrapped errors;
+// synchronous Rebalance surfaces them, asynchronous pumps retry on the
+// next commit) until failover or repair restores service.
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+const (
+	// movePage is the dirty-tracking granularity of a range move.
+	movePage = 4096
+	// moveChunk bounds one transfer chunk, like repair's chunking.
+	moveChunk = 64 << 10
+	// cutoverMaxDirty is the dirty backlog (bytes) below which the mover
+	// stops delta-copying in the open and takes the cut-over barrier:
+	// the barrier drains at most this much, keeping the write stall
+	// brief and bounded.
+	cutoverMaxDirty = 8 * movePage
+)
+
+// errMoveRestart signals a generation change detected under the barrier:
+// the move restarts from the fence.
+var errMoveRestart = errors.New("repro: move restarted by failover")
+
+// RebalanceProgress is a point-in-time report of the elastic mover.
+// Moves counts the coalesced range moves of the current (or most recent)
+// plan; CurrentFrom/CurrentTo name the shards of the in-flight move (-1
+// when idle); Stalls counts cut-overs that had to drain residual dirty
+// pages under the barrier.
+type RebalanceProgress struct {
+	Active       bool
+	Epoch        uint64
+	Moves        int
+	MovesDone    int
+	BytesTotal   int64
+	BytesShipped int64
+	CurrentFrom  int
+	CurrentTo    int
+	Stalls       int
+}
+
+// migState is the mover's state. mu serializes the mover itself (hot
+// paths never take it — they gate on the active flag and the cur
+// pointer); the progress fields are atomics so RebalanceProgress never
+// blocks on a pumping goroutine.
+type migState struct {
+	mu     sync.Mutex
+	active atomic.Bool
+	cur    atomic.Pointer[rangeMove]
+
+	queue []placement.Move // remaining plan; queue[0] is the current move
+
+	moves      atomic.Int64
+	movesDone  atomic.Int64
+	bytesTotal atomic.Int64
+	shipped    atomic.Int64
+	stalls     atomic.Int64
+	curFrom    atomic.Int64
+	curTo      atomic.Int64
+}
+
+// rangeMove is one in-flight range migration. The dirty bitmap (movePage
+// grain over [mv.Start, mv.End)) is guarded by dirtyMu, which doubles as
+// the flip lock: the cut-over publishes the new table while holding it,
+// so a marker that loses the race observes flipped and re-routes instead
+// of marking a retired move.
+type rangeMove struct {
+	mv       placement.Move
+	src, dst *Cluster
+	srcGen   int
+	dstGen   int
+
+	fenced bool
+	pos    int // bulk-copied bytes so far
+	credit float64
+	last   sim.Time
+	buf    []byte
+	// deltaShipped totals the delta-resync bytes re-shipped so far; once
+	// it exceeds deltaBudget the cut-over is forced (see pumpLocked).
+	deltaShipped int
+
+	dirtyMu  sync.Mutex
+	dirty    []uint64
+	dirtyCnt int
+	flipped  bool
+}
+
+// migActive reports whether a rebalance is moving ranges — the hot
+// paths' one-atomic-load gate.
+func (s *ShardedCluster) migActive() bool { return s.mig.active.Load() }
+
+// markDirty records that [off, off+n) of the global space was mutated;
+// the slice overlapping the in-flight move (if any) is queued for delta
+// resync. Called by raw Loads and by transaction finish.
+func (s *ShardedCluster) markDirty(off, n int) {
+	m := s.mig.cur.Load()
+	if m == nil {
+		return
+	}
+	m.markDirty(off, n)
+}
+
+func (m *rangeMove) markDirty(off, n int) {
+	lo, hi := off, off+n
+	if lo < m.mv.Start {
+		lo = m.mv.Start
+	}
+	if hi > m.mv.End {
+		hi = m.mv.End
+	}
+	if lo >= hi {
+		return
+	}
+	m.dirtyMu.Lock()
+	if !m.flipped {
+		p0 := (lo - m.mv.Start) / movePage
+		p1 := (hi - m.mv.Start + movePage - 1) / movePage
+		for p := p0; p < p1; p++ {
+			w, b := p/64, uint(p%64)
+			if m.dirty[w]&(1<<b) == 0 {
+				m.dirty[w] |= 1 << b
+				m.dirtyCnt++
+			}
+		}
+	}
+	m.dirtyMu.Unlock()
+}
+
+// popDirty removes and returns the lowest dirty page index, -1 when
+// clean.
+func (m *rangeMove) popDirty() int {
+	m.dirtyMu.Lock()
+	defer m.dirtyMu.Unlock()
+	if m.dirtyCnt == 0 {
+		return -1
+	}
+	for w, word := range m.dirty {
+		if word != 0 {
+			b := bits.TrailingZeros64(word)
+			m.dirty[w] = word &^ (1 << uint(b))
+			m.dirtyCnt--
+			return w*64 + b
+		}
+	}
+	m.dirtyCnt = 0
+	return -1
+}
+
+// deltaBudget returns the delta-resync bytes the mover is willing to
+// chase before forcing the cut-over: half the range (a 1.5× shipping
+// overhead bound), floored so small moves still get a few passes.
+func (m *rangeMove) deltaBudget() int {
+	b := m.mv.Bytes() / 2
+	if b < 4*cutoverMaxDirty {
+		b = 4 * cutoverMaxDirty
+	}
+	return b
+}
+
+// dirtyBacklog returns the bytes awaiting delta resync.
+func (m *rangeMove) dirtyBacklog() int {
+	m.dirtyMu.Lock()
+	n := m.dirtyCnt
+	m.dirtyMu.Unlock()
+	return n * movePage
+}
+
+// emit appends a deployment-level placement event (node/shard -1).
+func (s *ShardedCluster) emit(kind string, a, b uint64) {
+	if s.reg != nil {
+		s.reg.Emit(kind, int64(s.v().shards[0].simNow()), -1, a, b)
+	}
+}
+
+// AddShards appends n empty shard groups — built from the deployment's
+// template configuration, durability subdirectories included — and
+// returns their ids. The new shards own no ranges until Rebalance (or
+// RebalanceAsync) moves ~added/total of the space onto them; until then
+// routing, and every existing metric, is untouched. ErrRebalanceActive
+// while a rebalance is running.
+func (s *ShardedCluster) AddShards(n int) ([]int, error) {
+	if n < 1 {
+		return nil, ErrShardCount
+	}
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	if s.migActive() {
+		return nil, ErrRebalanceActive
+	}
+	v := s.v()
+	list := make([]*Cluster, len(v.shards), len(v.shards)+n)
+	copy(list, v.shards)
+	for i := 0; i < n; i++ {
+		c, err := s.newShard(len(list))
+		if err != nil {
+			return nil, err
+		}
+		list = append(list, c)
+	}
+	ids := s.layout.Grow(n)
+	s.pending = append(s.pending, ids...)
+	s.view.Store(&placeView{shards: list, table: v.table})
+	return ids, nil
+}
+
+// RebalanceAsync plans the minimal-move redistribution toward the shards
+// added since the last plan and starts the mover: every partition whose
+// ring owner is a new shard migrates there, ~added/total of the space.
+// Returns immediately; the mover rides the commit stream (Commit/Abort
+// and Settle pump it) — watch RebalanceProgress, or call Rebalance to
+// block. Nil with nothing to do; ErrRebalanceActive if already running.
+func (s *ShardedCluster) RebalanceAsync() error {
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	if s.migActive() {
+		return ErrRebalanceActive
+	}
+	if len(s.pending) == 0 {
+		return nil
+	}
+	moves := s.layout.PlanGrow(s.pending)
+	s.pending = nil
+	if len(moves) == 0 {
+		return nil
+	}
+	s.startMoves(moves)
+	return nil
+}
+
+// Rebalance is the blocking form: plan (unless a rebalance is already
+// active, which it then adopts) and drive the mover to completion. The
+// copy is driven synchronously but still charges both SANs, so the
+// shipped bytes cost their simulated time. An error (a crashed group)
+// leaves the rebalance active and resumable: repair the group and call
+// Rebalance again.
+func (s *ShardedCluster) Rebalance() error {
+	if err := s.RebalanceAsync(); err != nil && !errors.Is(err, ErrRebalanceActive) {
+		return err
+	}
+	return s.drive()
+}
+
+// RemoveShard drains every range off the shard onto its ring successors
+// (a blocking online rebalance) and tombstones it: the id keeps indexing
+// Token/Stats but owns no data and joins no future plan. ErrNoCapacity
+// when the survivors cannot absorb the data; ErrShardCount when it is
+// the last serving shard. If a crash interrupts the drain, repair the
+// group, finish the moves with Rebalance, then call RemoveShard again.
+func (s *ShardedCluster) RemoveShard(shard int) error {
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	if s.migActive() {
+		return ErrRebalanceActive
+	}
+	v := s.v()
+	if shard < 0 || shard >= len(v.shards) || s.layout.Removed(shard) {
+		return ErrNoSuchShard
+	}
+	if s.layout.Serving() <= 1 {
+		return ErrShardCount
+	}
+	// A shard added but never rebalanced onto simply leaves the pending
+	// list again.
+	for i, id := range s.pending {
+		if id == shard {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
+	moves, err := s.layout.PlanDrain(shard)
+	if err != nil {
+		return err
+	}
+	if len(moves) > 0 {
+		s.startMoves(moves)
+		if err := s.drive(); err != nil {
+			return err
+		}
+	}
+	s.layout.Remove(shard)
+	return nil
+}
+
+// RebalanceProgress reports the mover, lock-free.
+func (s *ShardedCluster) RebalanceProgress() RebalanceProgress {
+	return RebalanceProgress{
+		Active:       s.mig.active.Load(),
+		Epoch:        s.v().table.Epoch,
+		Moves:        int(s.mig.moves.Load()),
+		MovesDone:    int(s.mig.movesDone.Load()),
+		BytesTotal:   s.mig.bytesTotal.Load(),
+		BytesShipped: s.mig.shipped.Load(),
+		CurrentFrom:  int(s.mig.curFrom.Load()),
+		CurrentTo:    int(s.mig.curTo.Load()),
+		Stalls:       int(s.mig.stalls.Load()),
+	}
+}
+
+// PlacementEpoch returns the live routing table's version: 1 at
+// construction, +1 per range cut-over.
+func (s *ShardedCluster) PlacementEpoch() uint64 { return s.v().table.Epoch }
+
+// startMoves arms the mover with a plan. Caller holds s.admin.
+func (s *ShardedCluster) startMoves(moves []placement.Move) {
+	s.mig.mu.Lock()
+	defer s.mig.mu.Unlock()
+	var total int64
+	for _, m := range moves {
+		total += int64(m.Bytes())
+	}
+	s.mig.queue = moves
+	s.mig.moves.Store(int64(len(moves)))
+	s.mig.movesDone.Store(0)
+	s.mig.bytesTotal.Store(total)
+	s.mig.shipped.Store(0)
+	s.mig.stalls.Store(0)
+	s.mig.curFrom.Store(-1)
+	s.mig.curTo.Store(-1)
+	s.mig.active.Store(true)
+	s.emit(obs.EventRebalanceStart, uint64(len(moves)), uint64(total))
+}
+
+// drive pumps the mover to completion without pacing (the synchronous
+// Rebalance/RemoveShard path); errors park the mover resumable.
+func (s *ShardedCluster) drive() error {
+	for s.migActive() {
+		if err := s.pump(true, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pump advances the mover. wait=false (the per-commit hook) skips out if
+// another goroutine is pumping; unpaced=true ignores the bandwidth
+// credit and copies to completion (the synchronous drive).
+func (s *ShardedCluster) pump(wait, unpaced bool) error {
+	if wait {
+		s.mig.mu.Lock()
+	} else if !s.mig.mu.TryLock() {
+		return nil
+	}
+	defer s.mig.mu.Unlock()
+	return s.pumpLocked(unpaced)
+}
+
+func (s *ShardedCluster) pumpLocked(unpaced bool) error {
+	for s.mig.active.Load() {
+		if len(s.mig.queue) == 0 {
+			s.finishRebalanceLocked()
+			return nil
+		}
+		m := s.mig.cur.Load()
+		if m == nil {
+			m = s.startMoveLocked(s.mig.queue[0])
+		}
+		if m.src.crashed() || m.dst.crashed() {
+			return fmt.Errorf("repro: rebalance parked, move [%d,+%d) %d->%d blocked on a crashed group: %w",
+				m.mv.Start, m.mv.Bytes(), m.mv.From, m.mv.To, ErrCrashed)
+		}
+		if m.src.Generation() != m.srcGen || m.dst.Generation() != m.dstGen {
+			// Failover mid-move: restart from the fence. The bulk copy
+			// re-reads the new serving store; raw installs on the target
+			// are idempotent, so repeating shipped work is safe.
+			s.mig.cur.Store(nil)
+			continue
+		}
+		if !m.fenced {
+			tx, err := m.src.Begin()
+			if err != nil {
+				return fmt.Errorf("repro: rebalance fence on shard %d: %w", m.mv.From, err)
+			}
+			tx.Abort()
+			m.fenced = true
+			m.last = m.src.simNow()
+		}
+		allow := m.mv.Bytes() + cutoverMaxDirty
+		if !unpaced {
+			now := m.src.simNow()
+			if dt := now - m.last; dt > 0 {
+				m.credit += float64(dt) * m.src.transferRate()
+			}
+			m.last = now
+			allow = int(m.credit)
+			if allow > m.mv.Bytes()+cutoverMaxDirty {
+				allow = m.mv.Bytes() + cutoverMaxDirty
+			}
+		}
+		shipped := 0
+		if m.pos < m.mv.Bytes() {
+			n, err := s.bulkCopy(m, allow)
+			if err != nil {
+				return err
+			}
+			shipped += n
+		}
+		if m.pos == m.mv.Bytes() {
+			// The delta phase is bounded: a range written faster than the
+			// mover's bandwidth share never converges below the threshold
+			// (every small store dirties a whole page), so after
+			// re-shipping a budget's worth of deltas the mover stops
+			// chasing and cuts over, draining the residual under the
+			// barrier — a bounded, recorded stall instead of a livelock.
+			forced := m.deltaShipped >= m.deltaBudget()
+			for !forced && allow-shipped >= movePage && m.dirtyBacklog() > cutoverMaxDirty {
+				n, err := s.deltaCopy(m, allow-shipped)
+				if err != nil {
+					return err
+				}
+				if n == 0 {
+					break
+				}
+				shipped += n
+				m.deltaShipped += n
+				forced = m.deltaShipped >= m.deltaBudget()
+			}
+			backlog := m.dirtyBacklog()
+			need := cutoverMaxDirty
+			if forced && backlog > need {
+				need = backlog
+			}
+			if (backlog <= cutoverMaxDirty || forced) && (unpaced || allow-shipped >= need) {
+				// The barrier drain is pre-paid: the normal path owes at
+				// most cutoverMaxDirty bytes, a forced cut-over the whole
+				// residual backlog — requiring that budget up front keeps
+				// the stall off the pacing path.
+				err := s.cutoverLocked(m)
+				switch {
+				case err == errMoveRestart:
+					s.mig.cur.Store(nil)
+					continue
+				case err != nil:
+					if !unpaced {
+						m.credit -= float64(shipped)
+					}
+					return err
+				}
+				s.mig.queue = s.mig.queue[1:]
+				continue
+			}
+		}
+		if !unpaced {
+			m.credit -= float64(shipped)
+			if shipped == 0 {
+				// Out of bandwidth credit: park until the commit stream
+				// buys more simulated time.
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// startMoveLocked registers queue[0] as the in-flight move: from this
+// point the hot paths record dirty marks for it.
+func (s *ShardedCluster) startMoveLocked(mv placement.Move) *rangeMove {
+	v := s.v()
+	m := &rangeMove{
+		mv:  mv,
+		src: v.shards[mv.From],
+		dst: v.shards[mv.To],
+	}
+	m.srcGen = m.src.Generation()
+	m.dstGen = m.dst.Generation()
+	pages := (mv.Bytes() + movePage - 1) / movePage
+	m.dirty = make([]uint64, (pages+63)/64)
+	s.mig.curFrom.Store(int64(mv.From))
+	s.mig.curTo.Store(int64(mv.To))
+	s.mig.cur.Store(m)
+	return m
+}
+
+// bulkCopy streams the unshipped prefix of the move, up to allow bytes.
+func (s *ShardedCluster) bulkCopy(m *rangeMove, allow int) (int, error) {
+	shipped := 0
+	for shipped < allow && m.pos < m.mv.Bytes() {
+		c := moveChunk
+		if c > allow-shipped {
+			c = allow - shipped
+		}
+		if c > m.mv.Bytes()-m.pos {
+			c = m.mv.Bytes() - m.pos
+		}
+		if c < movePage && m.pos+c < m.mv.Bytes() {
+			// Don't dribble sub-page chunks while paced.
+			break
+		}
+		if err := s.ship(m, m.pos, c); err != nil {
+			return shipped, err
+		}
+		m.pos += c
+		shipped += c
+	}
+	return shipped, nil
+}
+
+// deltaCopy re-ships dirty pages, up to allow bytes.
+func (s *ShardedCluster) deltaCopy(m *rangeMove, allow int) (int, error) {
+	shipped := 0
+	for allow-shipped >= movePage {
+		p := m.popDirty()
+		if p < 0 {
+			break
+		}
+		off := p * movePage
+		n := movePage
+		if off+n > m.mv.Bytes() {
+			n = m.mv.Bytes() - off
+		}
+		if err := s.ship(m, off, n); err != nil {
+			return shipped, err
+		}
+		shipped += n
+	}
+	return shipped, nil
+}
+
+// ship copies n bytes at relative offset rel of the move, source to
+// target, charging both SANs the bulk-transfer cost. The target installs
+// raw on every replica (Load), so a target failover never loses shipped
+// bytes.
+func (s *ShardedCluster) ship(m *rangeMove, rel, n int) error {
+	if m.buf == nil {
+		m.buf = make([]byte, moveChunk)
+	}
+	for n > 0 {
+		c := n
+		if c > moveChunk {
+			c = moveChunk
+		}
+		buf := m.buf[:c]
+		m.src.ReadRaw(m.mv.FromLocal+rel, buf)
+		if err := m.dst.Load(m.mv.ToLocal+rel, buf); err != nil {
+			return fmt.Errorf("repro: rebalance install on shard %d: %w", m.mv.To, err)
+		}
+		m.src.shipBulk(c)
+		m.dst.shipBulk(c)
+		s.mig.shipped.Add(int64(c))
+		s.mBytes.Add(uint64(c))
+		rel += c
+		n -= c
+	}
+	return nil
+}
+
+// cutoverLocked performs the per-range cut-over: barrier, residual
+// drain, atomic routing flip.
+func (s *ShardedCluster) cutoverLocked(m *rangeMove) error {
+	// Barrier: holding the source's single transaction slot means no
+	// sharded transaction holds — or can open — a write on the source.
+	tx, err := m.src.Begin()
+	if err != nil {
+		return fmt.Errorf("repro: rebalance barrier on shard %d: %w", m.mv.From, err)
+	}
+	defer tx.Abort()
+	// A transaction releases its per-shard slots inside Commit/Abort
+	// before publishing its dirty marks; the finishing counter covers
+	// that window, so waiting it out makes every released write's mark
+	// visible to the drain below.
+	for s.finishing.Load() != 0 {
+		runtime.Gosched()
+	}
+	if m.src.Generation() != m.srcGen || m.dst.Generation() != m.dstGen {
+		return errMoveRestart
+	}
+	stalled := false
+	for {
+		n, err := s.deltaCopy(m, m.mv.Bytes()+movePage)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			stalled = true
+		}
+		m.dirtyMu.Lock()
+		if m.dirtyCnt == 0 {
+			break
+		}
+		// A raw Load dirtied the range between the drain and the lock
+		// (Loads bypass the transaction slot); drain again.
+		m.dirtyMu.Unlock()
+	}
+	// dirtyMu is held with a clean page set: flip. A marker that lost
+	// the race blocks in markDirty, observes flipped, skips the mark,
+	// then notices the table changed and re-routes to the new owner.
+	m.flipped = true
+	old := s.v()
+	s.layout.Apply(m.mv)
+	epoch := old.table.Epoch + 1
+	s.view.Store(&placeView{shards: old.shards, table: s.layout.Compile(epoch)})
+	m.dirtyMu.Unlock()
+	s.mig.cur.Store(nil)
+	s.mig.movesDone.Add(1)
+	if stalled {
+		s.mig.stalls.Add(1)
+		s.mStalls.Inc()
+	}
+	s.mRanges.Inc()
+	s.mEpoch.Set(int64(epoch))
+	s.emit(obs.EventRangeCutover, epoch, uint64(m.mv.Start))
+	return nil
+}
+
+// finishRebalanceLocked retires a drained plan.
+func (s *ShardedCluster) finishRebalanceLocked() {
+	s.mig.curFrom.Store(-1)
+	s.mig.curTo.Store(-1)
+	s.mig.active.Store(false)
+	s.emit(obs.EventRebalanceDone, uint64(s.mig.movesDone.Load()), uint64(s.mig.shipped.Load()))
+}

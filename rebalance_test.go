@@ -1,0 +1,384 @@
+package repro_test
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// elasticConfig is the deployment template the rebalance tests share:
+// quorum commits over three-way replication, so a crashed primary never
+// takes an acknowledged write with it.
+func elasticConfig(dbSize int, metrics bool) repro.Config {
+	return repro.Config{
+		Version: repro.V3InlineLog,
+		Backup:  repro.ActiveBackup,
+		DBSize:  dbSize,
+		Backups: 2,
+		Safety:  repro.QuorumSafe,
+		Metrics: metrics,
+	}
+}
+
+// shadowFill loads a deterministic pattern and returns the in-memory
+// shadow copy the tests audit against.
+func shadowFill(t *testing.T, sc *repro.ShardedCluster, dbSize int, seed int64) []byte {
+	t.Helper()
+	shadow := make([]byte, dbSize)
+	rand.New(rand.NewSource(seed)).Read(shadow)
+	const chunk = 256 << 10
+	for off := 0; off < dbSize; off += chunk {
+		end := off + chunk
+		if end > dbSize {
+			end = dbSize
+		}
+		if err := sc.Load(off, shadow[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return shadow
+}
+
+// shadowAudit compares the whole database against the shadow copy.
+func shadowAudit(t *testing.T, sc *repro.ShardedCluster, shadow []byte, phase string) {
+	t.Helper()
+	got := make([]byte, len(shadow))
+	sc.ReadRaw(0, got)
+	if !bytes.Equal(got, shadow) {
+		for i := range got {
+			if got[i] != shadow[i] {
+				t.Fatalf("%s: first divergence at offset %d (shard %d): got %#x want %#x",
+					phase, i, sc.ShardFor(i), got[i], shadow[i])
+			}
+		}
+	}
+}
+
+// shadowTxn commits one 64-byte write at off, mirrored into the shadow.
+func shadowTxn(t *testing.T, sc *repro.ShardedCluster, shadow []byte, r *rand.Rand, off int) {
+	t.Helper()
+	var val [64]byte
+	r.Read(val[:])
+	tx, err := sc.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.SetRange(off, len(val)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(off, val[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	copy(shadow[off:], val[:])
+}
+
+// TestRebalanceGrowMovesData: the tentpole end to end — grow 2→4, a
+// blocking Rebalance, and a byte-exact audit that the moved ranges
+// carried every committed write with them. Routing, tokens, and the
+// instruments all reflect the new placement.
+func TestRebalanceGrowMovesData(t *testing.T) {
+	const dbSize = 1 << 20
+	sc, err := repro.NewSharded(elasticConfig(dbSize, true), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := shadowFill(t, sc, dbSize, 1)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 64; i++ {
+		shadowTxn(t, sc, shadow, r, r.Intn(dbSize-64))
+	}
+	oldToken := sc.Token(nil)
+
+	ids, err := sc.AddShards(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 2 || ids[1] != 3 {
+		t.Fatalf("AddShards ids = %v", ids)
+	}
+	if sc.Shards() != 4 {
+		t.Fatalf("Shards() = %d after AddShards", sc.Shards())
+	}
+	if sc.PlacementEpoch() != 1 {
+		t.Fatalf("epoch %d moved before Rebalance", sc.PlacementEpoch())
+	}
+	if err := sc.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	prog := sc.RebalanceProgress()
+	if prog.Active || prog.MovesDone != prog.Moves || prog.Moves == 0 {
+		t.Fatalf("progress after sync rebalance: %+v", prog)
+	}
+	if prog.BytesShipped < prog.BytesTotal || prog.BytesTotal == 0 {
+		t.Fatalf("shipped %d of %d planned bytes", prog.BytesShipped, prog.BytesTotal)
+	}
+	if got := sc.PlacementEpoch(); got != uint64(1+prog.Moves) {
+		t.Fatalf("epoch %d after %d cut-overs", got, prog.Moves)
+	}
+	shadowAudit(t, sc, shadow, "post-rebalance")
+
+	// The new shards now own real ranges and serve reads and writes.
+	onNew := 0
+	for off := 0; off < dbSize; off += 4096 {
+		if s := sc.ShardFor(off); s >= 2 {
+			onNew++
+		}
+	}
+	if onNew == 0 {
+		t.Fatal("no range routed to the added shards")
+	}
+	for i := 0; i < 64; i++ {
+		shadowTxn(t, sc, shadow, r, r.Intn(dbSize-64))
+	}
+	sc.Settle()
+	shadowAudit(t, sc, shadow, "post-rebalance writes")
+
+	// A token minted on the 2-shard deployment stays valid: the missing
+	// shards are unconstrained.
+	buf := make([]byte, 512)
+	if _, err := sc.ReadAt(0, buf, repro.ReadOpts{Token: oldToken}); err != nil {
+		t.Fatalf("pre-rebalance token rejected: %v", err)
+	}
+
+	// Instruments: the migration counters and ring events fired.
+	snap := sc.Metrics()
+	if snap.Counter("place.ranges_moved") != uint64(prog.Moves) {
+		t.Fatalf("place.ranges_moved = %d, want %d", snap.Counter("place.ranges_moved"), prog.Moves)
+	}
+	if snap.Counter("place.bytes_shipped") == 0 {
+		t.Fatal("place.bytes_shipped = 0")
+	}
+	if snap.Gauge("place.epoch") != int64(sc.PlacementEpoch()) {
+		t.Fatalf("place.epoch gauge = %d, want %d", snap.Gauge("place.epoch"), sc.PlacementEpoch())
+	}
+	for _, kind := range []string{obs.EventRebalanceStart, obs.EventRangeCutover, obs.EventRebalanceDone} {
+		if len(snap.EventsKind(kind)) == 0 {
+			t.Fatalf("no %s event in the merged snapshot", kind)
+		}
+	}
+	// The moved bytes were charged to the SANs as sync-category traffic.
+	if tr := sc.NetTraffic(); tr.SyncBytes < prog.BytesShipped {
+		t.Fatalf("SyncBytes %d below shipped %d", tr.SyncBytes, prog.BytesShipped)
+	}
+}
+
+// TestRebalanceAsyncRidesCommitStream: an asynchronous rebalance makes
+// paced progress purely from the foreground commit stream, transactions
+// keep committing on every shard throughout, and the final placement
+// carries every committed byte.
+func TestRebalanceAsyncRidesCommitStream(t *testing.T) {
+	const dbSize = 512 << 10
+	sc, err := repro.NewSharded(elasticConfig(dbSize, false), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := shadowFill(t, sc, dbSize, 3)
+	if _, err := sc.AddShards(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.RebalanceAsync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.RebalanceAsync(); !errors.Is(err, repro.ErrRebalanceActive) {
+		t.Fatalf("second RebalanceAsync = %v, want ErrRebalanceActive", err)
+	}
+	if _, err := sc.AddShards(1); !errors.Is(err, repro.ErrRebalanceActive) {
+		t.Fatalf("AddShards during rebalance = %v, want ErrRebalanceActive", err)
+	}
+
+	r := rand.New(rand.NewSource(4))
+	var lastShipped int64
+	progressed := false
+	for i := 0; i < 100000 && sc.RebalanceProgress().Active; i++ {
+		shadowTxn(t, sc, shadow, r, r.Intn(dbSize-64))
+		if p := sc.RebalanceProgress(); p.BytesShipped > lastShipped {
+			progressed = true
+			lastShipped = p.BytesShipped
+		}
+	}
+	if !progressed {
+		t.Fatal("commit stream never pumped the mover")
+	}
+	if sc.RebalanceProgress().Active {
+		// The stream alone didn't finish it in bounded iterations; the
+		// blocking form adopts and completes the active plan.
+		if err := sc.Rebalance(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc.Settle()
+	if sc.PlacementEpoch() == 1 {
+		t.Fatal("placement epoch never advanced")
+	}
+	shadowAudit(t, sc, shadow, "async rebalance")
+}
+
+// TestRebalanceCrashDuringMove is the randomized crash suite: while a
+// 2→4 rebalance is mid-move, the source primary or the migration target
+// dies; after failover + repair the rebalance resumes from the fence and
+// completes with zero acknowledged-write loss (quorum commits).
+func TestRebalanceCrashDuringMove(t *testing.T) {
+	const dbSize = 512 << 10
+	crashes := 0
+	for seed := int64(0); seed < 4; seed++ {
+		r := rand.New(rand.NewSource(100 + seed))
+		sc, err := repro.NewSharded(elasticConfig(dbSize, false), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shadow := shadowFill(t, sc, dbSize, 200+seed)
+		for i := 0; i < 32; i++ {
+			shadowTxn(t, sc, shadow, r, r.Intn(dbSize-64))
+		}
+		if _, err := sc.AddShards(2); err != nil {
+			t.Fatal(err)
+		}
+		if err := sc.RebalanceAsync(); err != nil {
+			t.Fatal(err)
+		}
+		// Pump from the commit stream until the mover is mid-move with
+		// bytes on the wire.
+		for i := 0; i < 50000; i++ {
+			p := sc.RebalanceProgress()
+			if !p.Active {
+				break
+			}
+			if p.CurrentFrom >= 0 && p.BytesShipped > 0 {
+				break
+			}
+			shadowTxn(t, sc, shadow, r, r.Intn(dbSize-64))
+		}
+		p := sc.RebalanceProgress()
+		if p.Active && p.CurrentFrom >= 0 {
+			crashes++
+			// Kill one end of the in-flight move, randomly.
+			victim := p.CurrentFrom
+			if r.Intn(2) == 1 {
+				victim = p.CurrentTo
+			}
+			if err := sc.CrashPrimary(victim); err != nil {
+				t.Fatalf("seed %d: crash shard %d: %v", seed, victim, err)
+			}
+			// The mover parks on the dead group; a blocking Rebalance
+			// surfaces that as ErrCrashed without losing the plan.
+			if err := sc.Rebalance(); !errors.Is(err, repro.ErrCrashed) {
+				t.Fatalf("seed %d: parked rebalance = %v, want ErrCrashed", seed, err)
+			}
+			if err := sc.Failover(victim); err != nil {
+				t.Fatalf("seed %d: failover shard %d: %v", seed, victim, err)
+			}
+			if err := sc.Repair(victim); err != nil {
+				t.Fatalf("seed %d: repair shard %d: %v", seed, victim, err)
+			}
+		}
+		if err := sc.Rebalance(); err != nil {
+			t.Fatalf("seed %d: resumed rebalance: %v", seed, err)
+		}
+		sc.Settle()
+		shadowAudit(t, sc, shadow, "post-crash rebalance")
+		// The deployment still serves transactions on every range.
+		for i := 0; i < 32; i++ {
+			shadowTxn(t, sc, shadow, r, r.Intn(dbSize-64))
+		}
+		sc.Settle()
+		shadowAudit(t, sc, shadow, "post-crash writes")
+	}
+	if crashes == 0 {
+		t.Fatal("no seed ever caught the mover mid-move; the crash path went untested")
+	}
+}
+
+// TestRemoveShardDrains: draining re-homes every range onto the ring
+// successors, the tombstoned id stays valid for indexing but owns
+// nothing, and the data survives byte-exact.
+func TestRemoveShardDrains(t *testing.T) {
+	const dbSize = 1 << 20
+	sc, err := repro.NewSharded(elasticConfig(dbSize, false), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadow := shadowFill(t, sc, dbSize, 5)
+	// Grow to 4 and rebalance so the newcomers own ranges and shard 0
+	// has free slots to absorb a drain.
+	if _, err := sc.AddShards(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	shadowAudit(t, sc, shadow, "post-grow")
+
+	if err := sc.RemoveShard(3); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Shards() != 4 {
+		t.Fatalf("Shards() = %d: a tombstone must keep its slot", sc.Shards())
+	}
+	for off := 0; off < dbSize; off += 4096 {
+		if sc.ShardFor(off) == 3 {
+			t.Fatalf("offset %d still routed to the removed shard", off)
+		}
+	}
+	shadowAudit(t, sc, shadow, "post-remove")
+	if err := sc.RemoveShard(3); !errors.Is(err, repro.ErrNoSuchShard) {
+		t.Fatalf("double remove = %v, want ErrNoSuchShard", err)
+	}
+	if err := sc.RemoveShard(9); !errors.Is(err, repro.ErrNoSuchShard) {
+		t.Fatalf("out-of-range remove = %v, want ErrNoSuchShard", err)
+	}
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 64; i++ {
+		shadowTxn(t, sc, shadow, r, r.Intn(dbSize-64))
+	}
+	sc.Settle()
+	shadowAudit(t, sc, shadow, "post-remove writes")
+	// Tokens still index all four slots.
+	if tok := sc.Token(nil); len(tok) != 4 {
+		t.Fatalf("token length %d", len(tok))
+	}
+}
+
+// TestElasticDegenerate: the static layout is the degenerate
+// single-epoch ring — without elastic calls the routing is bit-for-bit
+// the fixed off/ShardSize arithmetic, and a Cluster rejects the surface.
+func TestElasticDegenerate(t *testing.T) {
+	sc := newSharded(t, 3)
+	if sc.PlacementEpoch() != 1 {
+		t.Fatalf("fresh epoch = %d", sc.PlacementEpoch())
+	}
+	for _, off := range []int{0, 1, 4095, 4096, testDB / 2, testDB - 1} {
+		if got, want := sc.ShardFor(off), off/sc.ShardSize(); got != want {
+			t.Fatalf("ShardFor(%d) = %d, want the uniform %d", off, got, want)
+		}
+	}
+	if p := sc.RebalanceProgress(); p.Active || p.CurrentFrom != -1 || p.CurrentTo != -1 {
+		t.Fatalf("idle progress = %+v", p)
+	}
+	if err := sc.Rebalance(); err != nil {
+		t.Fatalf("no-op rebalance = %v", err)
+	}
+	if _, err := sc.AddShards(0); !errors.Is(err, repro.ErrShardCount) {
+		t.Fatalf("AddShards(0) = %v", err)
+	}
+
+	c, err := repro.New(repro.Config{Version: repro.V3InlineLog, Backup: repro.ActiveBackup, DBSize: testDB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddShards(1); !errors.Is(err, repro.ErrNotElastic) {
+		t.Fatalf("Cluster.AddShards = %v", err)
+	}
+	if err := c.Rebalance(); !errors.Is(err, repro.ErrNotElastic) {
+		t.Fatalf("Cluster.Rebalance = %v", err)
+	}
+	if c.PlacementEpoch() != 1 {
+		t.Fatalf("Cluster epoch = %d", c.PlacementEpoch())
+	}
+}

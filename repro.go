@@ -685,6 +685,36 @@ func (c *Cluster) Backups(shard ...int) int {
 // has completed.
 func (c *Cluster) Generation() int { return c.group().Generation() }
 
+// AddShards is the elastic surface on a non-elastic deployment: a single
+// Cluster is one replica group and cannot change its topology.
+func (c *Cluster) AddShards(n int) ([]int, error) { return nil, ErrNotElastic }
+
+// RemoveShard always returns ErrNotElastic: see AddShards.
+func (c *Cluster) RemoveShard(shard int) error { return ErrNotElastic }
+
+// Rebalance always returns ErrNotElastic: see AddShards.
+func (c *Cluster) Rebalance() error { return ErrNotElastic }
+
+// RebalanceAsync always returns ErrNotElastic: see AddShards.
+func (c *Cluster) RebalanceAsync() error { return ErrNotElastic }
+
+// RebalanceProgress returns the zero value: a Cluster never rebalances.
+func (c *Cluster) RebalanceProgress() RebalanceProgress { return RebalanceProgress{} }
+
+// PlacementEpoch returns 1: a Cluster's placement is its construction-time
+// layout forever (the degenerate single-epoch ring).
+func (c *Cluster) PlacementEpoch() uint64 { return 1 }
+
+// simNow, transferRate, shipBulk and crashed are the hooks the sharded
+// facade's range mover drives a member cluster through: the simulated
+// time base and repair-share bandwidth that pace a bulk copy, the SAN
+// charge for shipped bytes, and the liveness probe that parks a move
+// until failover.
+func (c *Cluster) simNow() sim.Time      { return c.group().Now() }
+func (c *Cluster) transferRate() float64 { return c.group().TransferRate() }
+func (c *Cluster) shipBulk(n int)        { c.group().ShipBulk(n) }
+func (c *Cluster) crashed() bool         { return c.group().Crashed() }
+
 // PartitionPrimary severs the serving primary from the SAN without killing
 // it: heartbeats stop, its lease stops renewing, and every backup is
 // partitioned away. With Autopilot enabled the deposed primary refuses new

@@ -4,21 +4,32 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/placement"
 )
 
-// ShardedCluster stripes a database across N independent replica groups by
-// offset range: shard i owns database offsets [i*ShardSize, (i+1)*ShardSize).
-// Each shard is a full Cluster — its own primary, backups, SAN link and
-// simulated clocks — so the shards progress in parallel and aggregate
-// throughput scales with the shard count (the ROADMAP's sharding lever).
+// ShardedCluster stripes a database across N independent replica groups.
+// At construction shard i owns database offsets [i*ShardSize,
+// (i+1)*ShardSize); the deployment is elastic, so AddShards + Rebalance
+// (or RemoveShard) later re-home partition-aligned ranges onto other
+// groups while the deployment serves — see rebalance.go. Each shard is a
+// full Cluster — its own primary, backups, SAN link and simulated clocks
+// — so the shards progress in parallel and aggregate throughput scales
+// with the shard count (the ROADMAP's sharding lever).
 //
-// Operations are routed by offset; ranges spanning a shard boundary are
-// split. A transaction that touches several shards commits on each touched
-// shard independently, in shard order — there is no cross-shard atomic
-// commit (the paper's API leaves concurrency control, and a fortiori
-// distributed commit, to a separate layer); a mid-commit failure surfaces
-// as a *PartialCommitError naming the shards that did and did not commit.
+// Operations are routed by offset through a versioned placement table
+// (internal/placement): readers load the current table through an atomic
+// pointer — no locks on the hot path — and a rebalance publishes a new
+// version only at each range's cut-over. Ranges spanning an ownership
+// boundary are split. A transaction that touches several shards commits
+// on each touched shard independently, in shard order — there is no
+// cross-shard atomic commit (the paper's API leaves concurrency control,
+// and a fortiori distributed commit, to a separate layer); a mid-commit
+// failure surfaces as a *PartialCommitError naming the shards that did
+// and did not commit.
 //
 // # Concurrency
 //
@@ -33,9 +44,39 @@ import (
 // NetTraffic, Elapsed) sample atomic counters and never block the shards.
 type ShardedCluster struct {
 	cfg       Config
-	shards    []*Cluster
 	shardSize int
 	dbSize    int
+
+	// view is the atomically published routing state: the shard list and
+	// the placement table, swapped together so a reader's (shards, table)
+	// pair is always consistent. Hot paths load it once per span and
+	// compare table pointers — not epochs — to detect a cut-over that
+	// raced their shard acquisition.
+	view atomic.Pointer[placeView]
+
+	// admin serializes topology mutation (AddShards, RemoveShard, the
+	// planning half of Rebalance) and guards layout + pending.
+	admin   sync.Mutex
+	layout  *placement.Layout
+	pending []int // shards added since the last rebalance plan
+
+	// mig is the range mover's state; see rebalance.go.
+	mig migState
+
+	// finishing counts sharded transactions inside finish(): between
+	// releasing their per-shard transactions and publishing their dirty
+	// marks. The cut-over barrier spin-waits it to zero after taking the
+	// source's transaction slot, closing the release-before-mark window.
+	finishing atomic.Int64
+
+	// reg is the deployment-level metrics registry (rebalance
+	// instruments and ring events live here; per-shard registries hang
+	// off the member clusters). Nil with Config.Metrics off.
+	reg     *obs.Registry
+	mRanges *obs.Counter
+	mBytes  *obs.Counter
+	mStalls *obs.Counter
+	mEpoch  *obs.Gauge
 
 	// txPool recycles shardedTx values (with their per-shard open tables)
 	// across Begin/Commit cycles so the steady-state transaction path
@@ -43,6 +84,17 @@ type ShardedCluster struct {
 	// used after Commit/Abort.
 	txPool sync.Pool
 }
+
+// placeView is one immutable routing snapshot: the shard list (tombstoned
+// slots included, so shard ids index it forever) plus the placement table
+// mapping global offsets onto it.
+type placeView struct {
+	shards []*Cluster
+	table  *placement.Table
+}
+
+// v returns the current routing snapshot.
+func (s *ShardedCluster) v() *placeView { return s.view.Load() }
 
 // shardAlign keeps shard sizes page-friendly.
 const shardAlign = 4096
@@ -63,17 +115,25 @@ func NewSharded(cfg Config, shards int) (*ShardedCluster, error) {
 	size := (cfg.DBSize + shards - 1) / shards
 	size = (size + shardAlign - 1) &^ (shardAlign - 1)
 	sc := &ShardedCluster{cfg: cfg, shardSize: size, dbSize: cfg.DBSize}
+	list := make([]*Cluster, 0, shards)
 	for i := 0; i < shards; i++ {
-		scfg := cfg
-		scfg.DBSize = size
-		if cfg.Durability.Enabled() {
-			scfg.Durability.Dir = shardDurabilityDir(cfg.Durability.Dir, i)
-		}
-		c, err := New(scfg)
+		c, err := sc.newShard(i)
 		if err != nil {
-			return nil, fmt.Errorf("repro: shard %d: %w", i, err)
+			return nil, err
 		}
-		sc.shards = append(sc.shards, c)
+		list = append(list, c)
+	}
+	sc.layout = placement.NewLayout(shards, size, 0)
+	sc.view.Store(&placeView{shards: list, table: sc.layout.Compile(1)})
+	sc.mig.curFrom.Store(-1)
+	sc.mig.curTo.Store(-1)
+	if cfg.Metrics {
+		sc.reg = obs.NewRegistry()
+		sc.mRanges = sc.reg.Counter("place.ranges_moved")
+		sc.mBytes = sc.reg.Counter("place.bytes_shipped")
+		sc.mStalls = sc.reg.Counter("place.cutover_stalls")
+		sc.mEpoch = sc.reg.Gauge("place.epoch")
+		sc.mEpoch.Set(1)
 	}
 	sc.txPool.New = func() any {
 		return &shardedTx{s: sc, open: make([]Tx, shards)}
@@ -81,8 +141,24 @@ func NewSharded(cfg Config, shards int) (*ShardedCluster, error) {
 	return sc, nil
 }
 
-// Shards returns the shard count.
-func (s *ShardedCluster) Shards() int { return len(s.shards) }
+// newShard builds member cluster id from the deployment's template
+// configuration (shared by construction and AddShards).
+func (s *ShardedCluster) newShard(id int) (*Cluster, error) {
+	scfg := s.cfg
+	scfg.DBSize = s.shardSize
+	if s.cfg.Durability.Enabled() {
+		scfg.Durability.Dir = shardDurabilityDir(s.cfg.Durability.Dir, id)
+	}
+	c, err := New(scfg)
+	if err != nil {
+		return nil, fmt.Errorf("repro: shard %d: %w", id, err)
+	}
+	return c, nil
+}
+
+// Shards returns the shard slot count, drained tombstones included (ids
+// stay valid for Token and the Admin selectors).
+func (s *ShardedCluster) Shards() int { return len(s.v().shards) }
 
 // Safety returns the commit discipline every shard was configured with.
 func (s *ShardedCluster) Safety() Safety { return s.cfg.Safety }
@@ -96,18 +172,23 @@ func (s *ShardedCluster) DBSize() int { return s.dbSize }
 
 // Capacity returns the allocated size across all shards: ShardSize times
 // Shards, at least DBSize (per-shard sizes are rounded up to 4 KB).
-func (s *ShardedCluster) Capacity() int { return s.shardSize * len(s.shards) }
+func (s *ShardedCluster) Capacity() int { return s.shardSize * len(s.v().shards) }
 
-// ShardFor returns the shard owning database offset off.
-func (s *ShardedCluster) ShardFor(off int) int { return off / s.shardSize }
+// ShardFor returns the shard currently owning database offset off, per
+// the live placement table; the answer can change across a rebalance.
+func (s *ShardedCluster) ShardFor(off int) int {
+	sh, _, _ := s.v().table.Locate(off)
+	return sh
+}
 
 // Shard exposes one shard's cluster (crash injection, traffic inspection,
 // or single-shard transaction streams that skip the routing layer).
 func (s *ShardedCluster) Shard(i int) *Cluster {
-	if i < 0 || i >= len(s.shards) {
+	v := s.v()
+	if i < 0 || i >= len(v.shards) {
 		return nil
 	}
-	return s.shards[i]
+	return v.shards[i]
 }
 
 // checkRange validates [off, off+n) against the configured database size.
@@ -128,21 +209,18 @@ func (s *ShardedCluster) checkShard(shard []int) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if i < 0 || i >= len(s.shards) {
+	if i < 0 || i >= len(s.v().shards) {
 		return 0, ErrNoSuchShard
 	}
 	return i, nil
 }
 
-// split walks [off, off+n) shard by shard.
-func (s *ShardedCluster) split(off, n int, f func(shard, shardOff, n int) error) error {
-	if err := s.checkRange(off, n); err != nil {
-		return err
-	}
+// split walks [off, off+n) ownership run by ownership run under one
+// routing snapshot.
+func (s *ShardedCluster) split(v *placeView, off, n int, f func(shard, shardOff, n int) error) error {
 	for n > 0 {
-		i := off / s.shardSize
-		so := off % s.shardSize
-		cnt := s.shardSize - so
+		i, so, run := v.table.Locate(off)
+		cnt := run
 		if cnt > n {
 			cnt = n
 		}
@@ -155,60 +233,105 @@ func (s *ShardedCluster) split(off, n int, f func(shard, shardOff, n int) error)
 	return nil
 }
 
-// Load installs initial content across the owning shards.
+// Load installs initial content across the owning shards. Loads landing
+// on a range mid-migration are marked dirty for the delta resync; a load
+// that raced a cut-over redoes itself against the new table (raw installs
+// are idempotent), so the flipped-to shard never misses the bytes.
 func (s *ShardedCluster) Load(off int, data []byte) error {
-	pos := 0
-	return s.split(off, len(data), func(i, so, n int) error {
-		err := s.shards[i].Load(so, data[pos:pos+n])
-		pos += n
+	if err := s.checkRange(off, len(data)); err != nil {
 		return err
-	})
+	}
+	for {
+		v := s.v()
+		pos := 0
+		err := s.split(v, off, len(data), func(i, so, n int) error {
+			err := v.shards[i].Load(so, data[pos:pos+n])
+			pos += n
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		s.markDirty(off, len(data))
+		if s.v().table == v.table {
+			return nil
+		}
+	}
 }
 
-// Read performs a charged read across the owning shards.
+// Read performs a charged read across the owning shards. A read that
+// raced a cut-over retries whole against the new table, so one call never
+// mixes two placement epochs.
 func (s *ShardedCluster) Read(off int, dst []byte) error {
-	pos := 0
-	return s.split(off, len(dst), func(i, so, n int) error {
-		err := s.shards[i].Read(so, dst[pos:pos+n])
-		pos += n
+	if err := s.checkRange(off, len(dst)); err != nil {
 		return err
-	})
+	}
+	for {
+		v := s.v()
+		pos := 0
+		err := s.split(v, off, len(dst), func(i, so, n int) error {
+			err := v.shards[i].Read(so, dst[pos:pos+n])
+			pos += n
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if s.v().table == v.table {
+			return nil
+		}
+	}
 }
 
 // ReadAt performs a charged read across the owning shards under opts'
 // consistency discipline. Each sub-span is routed on its own shard with
 // that shard's token element as the floor (a token shorter than the shard
-// count leaves the missing shards unconstrained, so any token is valid on
-// any shard). The result reports the last sub-span's server; when
+// count leaves the missing shards unconstrained, so any token — including
+// one minted before a rebalance grew the deployment — is valid on any
+// shard). The result reports the last sub-span's server; when
 // ReadOpts.Replica pins a backup index, the pin applies on every shard.
 func (s *ShardedCluster) ReadAt(off int, dst []byte, opts ReadOpts) (ReadResult, error) {
-	var res ReadResult
-	pos := 0
-	err := s.split(off, len(dst), func(i, so, n int) error {
-		var minSeq uint64
-		if i < len(opts.Token) {
-			minSeq = opts.Token[i]
-		}
-		r, err := s.shards[i].readAt(so, dst[pos:pos+n], opts, minSeq)
-		pos += n
+	if err := s.checkRange(off, len(dst)); err != nil {
+		return ReadResult{}, err
+	}
+	for {
+		var res ReadResult
+		v := s.v()
+		pos := 0
+		err := s.split(v, off, len(dst), func(i, so, n int) error {
+			var minSeq uint64
+			if i < len(opts.Token) {
+				minSeq = opts.Token[i]
+			}
+			r, err := v.shards[i].readAt(so, dst[pos:pos+n], opts, minSeq)
+			pos += n
+			if err != nil {
+				return err
+			}
+			res = r
+			return nil
+		})
 		if err != nil {
-			return err
+			return res, err
 		}
-		res = r
-		return nil
-	})
-	return res, err
+		if s.v().table == v.table {
+			return res, nil
+		}
+	}
 }
 
 // Token fills dst (growing it as needed) with the per-shard commit-
 // sequence vector: element i is shard i's committed counter. Lock-free.
+// After AddShards the vector grows; earlier (shorter) tokens stay valid —
+// the missing shards are simply unconstrained.
 func (s *ShardedCluster) Token(dst Token) Token {
-	n := len(s.shards)
+	v := s.v()
+	n := len(v.shards)
 	if cap(dst) < n {
 		dst = make(Token, n)
 	}
 	dst = dst[:n]
-	for i, c := range s.shards {
+	for i, c := range v.shards {
 		dst[i] = c.Committed()
 	}
 	return dst
@@ -222,12 +345,18 @@ func (s *ShardedCluster) ReadRaw(off int, dst []byte) {
 	if off < 0 || off+len(dst) > s.dbSize {
 		panic(fmt.Sprintf("repro: ReadRaw [%d,+%d) outside the database of %d bytes", off, len(dst), s.dbSize))
 	}
-	pos := 0
-	_ = s.split(off, len(dst), func(i, so, n int) error {
-		s.shards[i].ReadRaw(so, dst[pos:pos+n])
-		pos += n
-		return nil
-	})
+	for {
+		v := s.v()
+		pos := 0
+		_ = s.split(v, off, len(dst), func(i, so, n int) error {
+			v.shards[i].ReadRaw(so, dst[pos:pos+n])
+			pos += n
+			return nil
+		})
+		if s.v().table == v.table {
+			return
+		}
+	}
 }
 
 // Begin opens a sharded transaction: per-shard transactions open lazily on
@@ -241,20 +370,33 @@ func (s *ShardedCluster) Begin() (Tx, error) {
 	return t, nil
 }
 
+// dirtySpan records one global range a transaction mutated while a
+// rebalance was active; finish() republishes them as dirty marks after
+// the commits make the bytes visible.
+type dirtySpan struct{ off, n int }
+
 // shardedTx routes transactional operations by offset. The hot-path
-// methods walk the shard split inline (closure-free) so a warmed
-// transaction performs no allocation.
+// methods walk the placement split inline (closure-free) so a warmed
+// transaction performs no allocation; marks is only appended while a
+// rebalance is active.
 type shardedTx struct {
-	s    *ShardedCluster
-	open []Tx
-	done bool
+	s     *ShardedCluster
+	open  []Tx
+	marks []dirtySpan
+	done  bool
 }
 
 var _ Tx = (*shardedTx)(nil)
 
-func (t *shardedTx) at(i int) (Tx, error) {
+// at returns the transaction's handle on shard i, opening it on first
+// touch. The open table grows lazily when a rebalance added shards after
+// this handle was pooled.
+func (t *shardedTx) at(v *placeView, i int) (Tx, error) {
+	for len(t.open) < len(v.shards) {
+		t.open = append(t.open, nil)
+	}
 	if t.open[i] == nil {
-		tx, err := t.s.shards[i].Begin()
+		tx, err := v.shards[i].Begin()
 		if err != nil {
 			return nil, fmt.Errorf("repro: shard %d: %w", i, err)
 		}
@@ -263,21 +405,49 @@ func (t *shardedTx) at(i int) (Tx, error) {
 	return t.open[i], nil
 }
 
+// mark records a mutated span for the delta resync when a range move is
+// in flight. Appending here is op-time bookkeeping only; the spans become
+// dirty marks in finish(), after commit makes the bytes visible.
+func (t *shardedTx) mark(off, n int) {
+	if !t.s.migActive() {
+		return
+	}
+	t.marks = append(t.marks, dirtySpan{off: off, n: n})
+}
+
+// route resolves one span under the current snapshot and acquires the
+// owning shard. Acquiring can block behind a cut-over barrier holding the
+// shard's transaction slot; if routing flipped meanwhile, ok is false and
+// the caller re-routes the span on the new table (the speculatively
+// acquired shard simply stays open and idle until finish).
+func (t *shardedTx) route(off int) (tx Tx, so, run int, ok bool, err error) {
+	v := t.s.v()
+	i, so, run := v.table.Locate(off)
+	tx, err = t.at(v, i)
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	if t.s.v().table != v.table {
+		return nil, 0, 0, false, nil
+	}
+	return tx, so, run, true, nil
+}
+
 func (t *shardedTx) SetRange(off, n int) error {
-	s := t.s
-	if err := s.checkRange(off, n); err != nil {
+	if err := t.s.checkRange(off, n); err != nil {
 		return err
 	}
 	for n > 0 {
-		i := off / s.shardSize
-		so := off % s.shardSize
-		cnt := s.shardSize - so
-		if cnt > n {
-			cnt = n
-		}
-		tx, err := t.at(i)
+		tx, so, run, ok, err := t.route(off)
 		if err != nil {
 			return err
+		}
+		if !ok {
+			continue
+		}
+		cnt := run
+		if cnt > n {
+			cnt = n
 		}
 		if err := tx.SetRange(so, cnt); err != nil {
 			return err
@@ -289,25 +459,26 @@ func (t *shardedTx) SetRange(off, n int) error {
 }
 
 func (t *shardedTx) Write(off int, src []byte) error {
-	s := t.s
-	if err := s.checkRange(off, len(src)); err != nil {
+	if err := t.s.checkRange(off, len(src)); err != nil {
 		return err
 	}
 	pos := 0
 	for pos < len(src) {
-		i := off / s.shardSize
-		so := off % s.shardSize
-		cnt := s.shardSize - so
-		if cnt > len(src)-pos {
-			cnt = len(src) - pos
-		}
-		tx, err := t.at(i)
+		tx, so, run, ok, err := t.route(off)
 		if err != nil {
 			return err
+		}
+		if !ok {
+			continue
+		}
+		cnt := run
+		if cnt > len(src)-pos {
+			cnt = len(src) - pos
 		}
 		if err := tx.Write(so, src[pos:pos+cnt]); err != nil {
 			return err
 		}
+		t.mark(off, cnt)
 		off += cnt
 		pos += cnt
 	}
@@ -315,21 +486,21 @@ func (t *shardedTx) Write(off int, src []byte) error {
 }
 
 func (t *shardedTx) Read(off int, dst []byte) error {
-	s := t.s
-	if err := s.checkRange(off, len(dst)); err != nil {
+	if err := t.s.checkRange(off, len(dst)); err != nil {
 		return err
 	}
 	pos := 0
 	for pos < len(dst) {
-		i := off / s.shardSize
-		so := off % s.shardSize
-		cnt := s.shardSize - so
-		if cnt > len(dst)-pos {
-			cnt = len(dst) - pos
-		}
-		tx, err := t.at(i)
+		tx, so, run, ok, err := t.route(off)
 		if err != nil {
 			return err
+		}
+		if !ok {
+			continue
+		}
+		cnt := run
+		if cnt > len(dst)-pos {
+			cnt = len(dst) - pos
 		}
 		if err := tx.Read(so, dst[pos:pos+cnt]); err != nil {
 			return err
@@ -356,6 +527,16 @@ func (t *shardedTx) finish(commit bool) error {
 		return ErrTxDone
 	}
 	t.done = true
+	s := t.s
+	// Enter the finishing window before any per-shard release: the
+	// cut-over barrier holds the source's transaction slot and then waits
+	// for this counter, so every span below is marked dirty before the
+	// mover trusts its dirty set. Aborted spans re-mark too — harmless
+	// over-copy, never a miss.
+	fin := len(t.marks) > 0
+	if fin {
+		s.finishing.Add(1)
+	}
 	var firstErr, ackErr error
 	var pce *PartialCommitError
 	for i, tx := range t.open {
@@ -400,7 +581,20 @@ func (t *shardedTx) finish(commit bool) error {
 	for i := range t.open {
 		t.open[i] = nil
 	}
-	t.s.txPool.Put(t)
+	if fin {
+		for _, m := range t.marks {
+			s.markDirty(m.off, m.n)
+		}
+		s.finishing.Add(-1)
+	}
+	t.marks = t.marks[:0]
+	s.txPool.Put(t)
+	if s.migActive() {
+		// Ride the commit stream: every completed transaction buys the
+		// range mover a pacing slice (non-blocking; skipped when another
+		// goroutine is already pumping).
+		s.pump(false, false)
+	}
 	if firstErr == nil {
 		firstErr = ackErr
 	}
@@ -408,9 +602,14 @@ func (t *shardedTx) finish(commit bool) error {
 }
 
 // Settle lets every shard's pending write buffers (and any open
-// group-commit batches) drain.
+// group-commit batches) drain, and gives an active rebalance a paced
+// pump — so single-stream drivers that settle between phases keep the
+// mover deterministic.
 func (s *ShardedCluster) Settle() {
-	for _, c := range s.shards {
+	if s.migActive() {
+		s.pump(true, false)
+	}
+	for _, c := range s.v().shards {
 		c.Settle()
 	}
 }
@@ -418,7 +617,7 @@ func (s *ShardedCluster) Settle() {
 // Flush seals and ships every shard's open group-commit batch.
 func (s *ShardedCluster) Flush() error {
 	var firstErr error
-	for i, c := range s.shards {
+	for i, c := range s.v().shards {
 		if err := c.Flush(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("repro: shard %d: %w", i, err)
 		}
@@ -433,7 +632,7 @@ func (s *ShardedCluster) CrashPrimary(shard ...int) error {
 	if err != nil {
 		return err
 	}
-	return s.shards[i].CrashPrimary()
+	return s.v().shards[i].CrashPrimary()
 }
 
 // Failover performs takeover on the selected shard (default shard 0).
@@ -442,7 +641,7 @@ func (s *ShardedCluster) Failover(shard ...int) error {
 	if err != nil {
 		return err
 	}
-	return s.shards[i].Failover()
+	return s.v().shards[i].Failover()
 }
 
 // Repair restores the selected shard (default 0) to its configured
@@ -454,7 +653,7 @@ func (s *ShardedCluster) Repair(shard ...int) error {
 	if err != nil {
 		return err
 	}
-	return s.shards[i].Repair()
+	return s.v().shards[i].Repair()
 }
 
 // RepairAsync starts an online repair of the selected shard (default 0)
@@ -465,7 +664,7 @@ func (s *ShardedCluster) RepairAsync(shard ...int) error {
 	if err != nil {
 		return err
 	}
-	return s.shards[i].RepairAsync()
+	return s.v().shards[i].RepairAsync()
 }
 
 // RepairProgress reports the selected shard's current (or most recent)
@@ -475,7 +674,7 @@ func (s *ShardedCluster) RepairProgress(shard ...int) RepairProgress {
 	if err != nil {
 		return RepairProgress{}
 	}
-	return s.shards[i].RepairProgress()
+	return s.v().shards[i].RepairProgress()
 }
 
 // CrashBackup kills backup i of the selected shard (default shard 0).
@@ -484,7 +683,7 @@ func (s *ShardedCluster) CrashBackup(i int, shard ...int) error {
 	if err != nil {
 		return err
 	}
-	return s.shards[si].CrashBackup(i)
+	return s.v().shards[si].CrashBackup(i)
 }
 
 // PauseBackup partitions backup i of the selected shard (default 0) away
@@ -494,7 +693,7 @@ func (s *ShardedCluster) PauseBackup(i int, shard ...int) error {
 	if err != nil {
 		return err
 	}
-	return s.shards[si].PauseBackup(i)
+	return s.v().shards[si].PauseBackup(i)
 }
 
 // ResumeBackup reconnects a paused backup of the selected shard (default
@@ -504,7 +703,7 @@ func (s *ShardedCluster) ResumeBackup(i int, shard ...int) error {
 	if err != nil {
 		return err
 	}
-	return s.shards[si].ResumeBackup(i)
+	return s.v().shards[si].ResumeBackup(i)
 }
 
 // Backups returns the selected shard's current backup count (default
@@ -515,20 +714,20 @@ func (s *ShardedCluster) Backups(shard ...int) int {
 	if err != nil {
 		return 0
 	}
-	return s.shards[i].Backups()
+	return s.v().shards[i].Backups()
 }
 
 // AutopilotEnabled reports whether the unattended failure loop is on
 // (configured uniformly across shards).
 func (s *ShardedCluster) AutopilotEnabled() bool {
-	return s.shards[0].AutopilotEnabled()
+	return s.v().shards[0].AutopilotEnabled()
 }
 
 // Committed returns the committed-transaction total across all shards.
 // Never blocks the shards: per-shard counts are atomic.
 func (s *ShardedCluster) Committed() uint64 {
 	var total uint64
-	for _, c := range s.shards {
+	for _, c := range s.v().shards {
 		total += c.Committed()
 	}
 	return total
@@ -538,7 +737,7 @@ func (s *ShardedCluster) Committed() uint64 {
 // shards.
 func (s *ShardedCluster) Stats() Stats {
 	var out Stats
-	for _, c := range s.shards {
+	for _, c := range s.v().shards {
 		st := c.Stats()
 		out.Begins += st.Begins
 		out.Commits += st.Commits
@@ -550,7 +749,7 @@ func (s *ShardedCluster) Stats() Stats {
 // NetTraffic aggregates SAN traffic across all shards' links.
 func (s *ShardedCluster) NetTraffic() Traffic {
 	var out Traffic
-	for _, c := range s.shards {
+	for _, c := range s.v().shards {
 		tr := c.NetTraffic()
 		out.ModifiedBytes += tr.ModifiedBytes
 		out.UndoBytes += tr.UndoBytes
@@ -568,14 +767,14 @@ func (s *ShardedCluster) PartitionPrimary(shard ...int) error {
 	if err != nil {
 		return err
 	}
-	return s.shards[i].PartitionPrimary()
+	return s.v().shards[i].PartitionPrimary()
 }
 
 // AutopilotEvents aggregates the fault timelines of every shard's
 // autopilot, with each event stamped with its owning shard.
 func (s *ShardedCluster) AutopilotEvents() []FailureEvent {
 	var out []FailureEvent
-	for i, c := range s.shards {
+	for i, c := range s.v().shards {
 		for _, e := range c.AutopilotEvents() {
 			e.Shard = i
 			out = append(out, e)
@@ -591,7 +790,7 @@ func (s *ShardedCluster) AutopilotEvents() []FailureEvent {
 // Never blocks the shards.
 func (s *ShardedCluster) Elapsed() time.Duration {
 	var max time.Duration
-	for _, c := range s.shards {
+	for _, c := range s.v().shards {
 		if e := c.Elapsed(); e > max {
 			max = e
 		}
@@ -604,7 +803,7 @@ func (s *ShardedCluster) Elapsed() time.Duration {
 // Equals Elapsed when no backup served a read this interval.
 func (s *ShardedCluster) ReplicaElapsed() time.Duration {
 	var max time.Duration
-	for _, c := range s.shards {
+	for _, c := range s.v().shards {
 		if e := c.ReplicaElapsed(); e > max {
 			max = e
 		}
@@ -612,23 +811,36 @@ func (s *ShardedCluster) ReplicaElapsed() time.Duration {
 	return max
 }
 
-// ResetMeasurement starts a fresh measured interval on every shard.
+// ResetMeasurement starts a fresh measured interval on every shard and
+// zeroes the deployment-level counters (placement gauges persist).
 func (s *ShardedCluster) ResetMeasurement() {
-	for _, c := range s.shards {
+	for _, c := range s.v().shards {
 		c.ResetMeasurement()
+	}
+	if s.reg != nil {
+		s.reg.Reset()
 	}
 }
 
-// Metrics merges every shard's observability snapshot: counters and
-// gauges sum, same-name histograms merge bucket-wise, and each event is
-// stamped with its owning shard before the timelines concatenate. The
-// zero Snapshot with Config.Metrics off. Never blocks the shards.
+// Metrics merges every shard's observability snapshot plus the
+// deployment-level registry (rebalance instruments and placement events,
+// stamped shard -1): counters and gauges sum, same-name histograms merge
+// bucket-wise, and each per-shard event is stamped with its owning shard
+// before the timelines concatenate. The zero Snapshot with Config.Metrics
+// off. Never blocks the shards.
 func (s *ShardedCluster) Metrics() Metrics {
 	var out Metrics
-	for i, c := range s.shards {
+	for i, c := range s.v().shards {
 		snap := c.Metrics()
 		for j := range snap.Events {
 			snap.Events[j].Shard = i
+		}
+		out.Merge(snap)
+	}
+	if s.reg != nil {
+		snap := s.reg.Snapshot()
+		for j := range snap.Events {
+			snap.Events[j].Shard = -1
 		}
 		out.Merge(snap)
 	}
